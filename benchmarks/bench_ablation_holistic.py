@@ -1,0 +1,80 @@
+"""Ablation: holistic PathStack vs cascaded binary structural joins.
+
+Section 7 names holistic joins (the paper's reference [3]) as the other
+standard pattern-matching primitive beside binary structural joins.  The
+difference shows on long paths: the binary-join cascade materialises one
+intermediate result per edge, PathStack streams all levels at once.  The
+workload is the seven-step chain of the paper's long-path queries
+(x15/x16): ``closed_auctions/closed_auction/annotation/description/
+parlist/listitem/text/keyword``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.physical.holistic import match_path_holistic
+from repro.physical.structural_join import pair_join
+
+LONG_PATH = [
+    ("pc", "closed_auctions"),
+    ("pc", "closed_auction"),
+    ("pc", "annotation"),
+    ("pc", "description"),
+    ("pc", "parlist"),
+    ("pc", "listitem"),
+    ("pc", "text"),
+    ("pc", "keyword"),
+]
+
+SHORT_PATH = [("ad", "open_auction"), ("pc", "bidder")]
+
+
+def binary_join_path(db, steps):
+    root = db.document("auction.xml").root_id
+    partials = [(root,)]
+    for axis, tag in steps:
+        candidates = db.tag_lookup("auction.xml", tag)
+        pairs = pair_join(
+            partials,
+            candidates,
+            axis,
+            parent_id=lambda chain: chain[-1],
+        )
+        partials = [chain + (child,) for chain, child in pairs]
+    return partials
+
+
+@pytest.mark.parametrize("path_name", ["long", "short"])
+@pytest.mark.parametrize("algorithm", ["binary", "holistic"])
+def test_path_matching_algorithms(benchmark, harness, bench_factor,
+                                  path_name, algorithm):
+    db = harness.engine_for(bench_factor).db
+    steps = LONG_PATH if path_name == "long" else SHORT_PATH
+    benchmark.group = f"holistic-{path_name}-path"
+    if algorithm == "binary":
+        result = benchmark.pedantic(
+            lambda: binary_join_path(db, steps), rounds=5, iterations=1
+        )
+    else:
+        result = benchmark.pedantic(
+            lambda: match_path_holistic(db, "auction.xml", steps),
+            rounds=5,
+            iterations=1,
+        )
+    assert isinstance(result, list)
+
+
+@pytest.mark.parametrize("path_name", ["long", "short"])
+def test_algorithms_agree(harness, bench_factor, path_name):
+    db = harness.engine_for(bench_factor).db
+    steps = LONG_PATH if path_name == "long" else SHORT_PATH
+    binary = {
+        tuple(n.start for n in chain[1:])
+        for chain in binary_join_path(db, steps)
+    }
+    holistic = {
+        tuple(n.start for n in solution)
+        for solution in match_path_holistic(db, "auction.xml", steps)
+    }
+    assert binary == holistic

@@ -1,0 +1,58 @@
+"""E9 — Ablation: nest-join matching vs group-by restructuring.
+
+The central physical design choice of Section 5.2: APT ``*``/``+`` edges
+are matched with nest-structural-joins instead of flat joins followed by
+an explicit grouping procedure.  This ablation runs the *same* logical
+query both ways — the TLC plan (nest-joins) and the GTP plan, which is
+identical except that nesting is recovered by split/group/merge — so the
+measured gap isolates the operator choice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmark import QUERIES
+
+#: Count-heavy queries, where restructuring work dominates.
+ABLATION_QUERIES = ("x5", "x6", "x7", "x20", "Q1")
+
+_GRID = [
+    (name, engine)
+    for name in ABLATION_QUERIES
+    for engine in ("tlc", "gtp")
+]
+
+
+@pytest.mark.parametrize(
+    "query_name,engine_name",
+    _GRID,
+    ids=[f"{q}-{'nestjoin' if e == 'tlc' else 'groupby'}"
+         for q, e in _GRID],
+)
+def test_nestjoin_vs_groupby(benchmark, harness, bench_factor,
+                             query_name, engine_name):
+    engine = harness.engine_for(bench_factor)
+    query = QUERIES[query_name].text
+
+    benchmark.group = f"ablation-nest-{query_name}"
+    benchmark.pedantic(
+        lambda: engine.run(query, engine=engine_name),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+@pytest.mark.parametrize("query_name", ABLATION_QUERIES)
+def test_groupby_counter_gap(harness, bench_factor, query_name):
+    """The mechanism: GTP performs group-bys, TLC (almost) none."""
+    engine = harness.engine_for(bench_factor)
+    query = QUERIES[query_name].text
+    engine.db.reset_metrics()
+    engine.run(query, engine="tlc")
+    tlc_groups = engine.db.metrics.groupby_ops
+    engine.db.reset_metrics()
+    engine.run(query, engine="gtp")
+    gtp_groups = engine.db.metrics.groupby_ops
+    assert gtp_groups > tlc_groups

@@ -1,0 +1,78 @@
+"""Ablation: stack-tree structural join vs probe (binary-search) join.
+
+Both implement the structural-join primitive of the paper's reference
+[1]; TIMBER (and this reproduction) can use either.  The stack algorithm
+streams both inputs once; the probe algorithm binary-searches descendant
+runs per ancestor.  This bench compares them on the real XMark join
+workloads the pattern matcher issues.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.physical.stack_join import stack_tree_desc
+from repro.physical.structural_join import pair_join
+
+WORKLOADS = (
+    ("open_auction", "bidder", "pc"),
+    ("open_auction", "@person", "ad"),
+    ("person", "age", "ad"),
+    ("site", "item", "ad"),
+)
+
+
+def _inputs(harness, factor, ancestor_tag, descendant_tag):
+    db = harness.engine_for(factor).db
+    return (
+        db.tag_lookup("auction.xml", ancestor_tag),
+        db.tag_lookup("auction.xml", descendant_tag),
+    )
+
+
+@pytest.mark.parametrize(
+    "ancestor_tag,descendant_tag,axis",
+    WORKLOADS,
+    ids=[f"{a}-{d}-{x}" for a, d, x in WORKLOADS],
+)
+@pytest.mark.parametrize("algorithm", ["probe", "stack"])
+def test_structural_join_algorithms(
+    benchmark, harness, bench_factor,
+    ancestor_tag, descendant_tag, axis, algorithm,
+):
+    ancestors, descendants = _inputs(
+        harness, bench_factor, ancestor_tag, descendant_tag
+    )
+    benchmark.group = f"sjoin-{ancestor_tag}-{descendant_tag}-{axis}"
+    if algorithm == "probe":
+        result = benchmark.pedantic(
+            lambda: pair_join(ancestors, descendants, axis),
+            rounds=5, iterations=1,
+        )
+    else:
+        result = benchmark.pedantic(
+            lambda: stack_tree_desc(ancestors, descendants, axis),
+            rounds=5, iterations=1,
+        )
+    assert isinstance(result, list)
+
+
+@pytest.mark.parametrize(
+    "ancestor_tag,descendant_tag,axis",
+    WORKLOADS,
+    ids=[f"{a}-{d}-{x}" for a, d, x in WORKLOADS],
+)
+def test_algorithms_agree(harness, bench_factor,
+                          ancestor_tag, descendant_tag, axis):
+    ancestors, descendants = _inputs(
+        harness, bench_factor, ancestor_tag, descendant_tag
+    )
+    probe = {
+        (a.start, d.start)
+        for a, d in pair_join(ancestors, descendants, axis)
+    }
+    stack = {
+        (a.start, d.start)
+        for a, d in stack_tree_desc(ancestors, descendants, axis)
+    }
+    assert probe == stack

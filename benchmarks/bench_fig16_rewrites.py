@@ -1,0 +1,55 @@
+"""E2 — Figure 16: plain TLC plans vs rewrite-optimized (OPT) plans.
+
+The Flatten and Shadow/Illuminate rewrites of Section 4 apply to x3, x5,
+Q1 and Q2; the paper reports OPT "up to 2 times faster" from the
+eliminated redundant structural joins and data accesses.
+
+Run ``python benchmarks/report_fig16.py`` for the paper-style table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmark import FIGURE16_QUERIES, QUERIES
+
+_GRID = [
+    (name, optimized)
+    for name in FIGURE16_QUERIES
+    for optimized in (False, True)
+]
+
+
+@pytest.mark.parametrize(
+    "query_name,optimized",
+    _GRID,
+    ids=[f"{q}-{'opt' if o else 'tlc'}" for q, o in _GRID],
+)
+def test_figure16_cell(benchmark, harness, bench_factor,
+                       query_name, optimized):
+    engine = harness.engine_for(bench_factor)
+    query = QUERIES[query_name].text
+
+    benchmark.group = f"fig16-{query_name}"
+    result = benchmark.pedantic(
+        lambda: engine.run(query, engine="tlc", optimize=optimized),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert result is not None
+
+
+@pytest.mark.parametrize("query_name", FIGURE16_QUERIES)
+def test_rewrites_do_not_change_results(harness, bench_factor, query_name):
+    """Correctness guard riding along with the benchmark."""
+    engine = harness.engine_for(bench_factor)
+    query = QUERIES[query_name].text
+    plain = sorted(
+        repr(t.canonical(True)) for t in engine.run(query, engine="tlc")
+    )
+    optimized = sorted(
+        repr(t.canonical(True))
+        for t in engine.run(query, engine="tlc", optimize=True)
+    )
+    assert plain == optimized

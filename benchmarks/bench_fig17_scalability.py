@@ -1,0 +1,41 @@
+"""E3 — Figure 17: TLC scalability across XMark scale factors.
+
+The paper sweeps factors 0.1–5 and observes linear scaling for x3, x5,
+x13, Q1 and Q2 (value-join queries scale linearly thanks to the
+sort–merge–sort strategy of Section 5.1).  The same geometric sweep runs
+here at Python-feasible sizes; ``report_fig17.py`` prints the series and
+a least-squares linearity check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmark import FIGURE17_QUERIES, QUERIES
+
+#: Geometric factor sweep (the paper's 0.1 … 5, scaled down ~50×).
+FACTORS = (0.001, 0.002, 0.004, 0.008)
+
+_GRID = [
+    (name, factor) for name in FIGURE17_QUERIES for factor in FACTORS
+]
+
+
+@pytest.mark.parametrize(
+    "query_name,factor",
+    _GRID,
+    ids=[f"{q}-f{f}" for q, f in _GRID],
+)
+def test_figure17_cell(benchmark, harness, query_name, factor):
+    engine = harness.engine_for(factor)
+    query = QUERIES[query_name].text
+
+    benchmark.group = f"fig17-{query_name}"
+    benchmark.extra_info["factor"] = factor
+    result = benchmark.pedantic(
+        lambda: engine.run(query, engine="tlc"),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert result is not None

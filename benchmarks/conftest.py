@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures: one harness (and its XMark data) per session.
+
+Factors are deliberately small — the substrate is interpreted Python, not
+the paper's C++ system; the *relative* behaviour of the engines is what
+the benchmarks reproduce.  ``REPRO_BENCH_FACTOR`` scales everything up for
+longer, more faithful runs::
+
+    REPRO_BENCH_FACTOR=0.01 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import Harness
+
+#: Scale factor for the benchmark grid (overridable via environment).
+BENCH_FACTOR = float(os.environ.get("REPRO_BENCH_FACTOR", "0.002"))
+
+
+@pytest.fixture(scope="session")
+def harness() -> Harness:
+    instance = Harness()
+    instance.engine_for(BENCH_FACTOR)  # pre-generate outside timings
+    return instance
+
+
+@pytest.fixture(scope="session")
+def bench_factor() -> float:
+    return BENCH_FACTOR

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Regenerate Figure 15: the execution-time grid for all four engines.
+
+Usage::
+
+    python benchmarks/report_fig15.py [--factor 0.005] [--repeats 3]
+        [--queries x1,x2,Q1] [--engines tlc,gtp,tax,nav] [--counters]
+
+Prints the paper-layout table (queries × engines, with the comments
+column), the per-query TLC speedups, and optionally the work counters
+that explain each gap.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import (
+    Harness,
+    counters_table,
+    figure15_speedups,
+    figure15_table,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--factor", type=float, default=0.005,
+                        help="XMark scale factor (default 0.005)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per cell; >2 drops min/max "
+                             "(the paper's methodology)")
+    parser.add_argument("--queries", default="",
+                        help="comma-separated subset (default: all 23)")
+    parser.add_argument("--engines", default="tlc,gtp,tax,nav")
+    parser.add_argument("--counters", action="store_true",
+                        help="also print the work-counter table")
+    args = parser.parse_args()
+
+    harness = Harness()
+    queries = (
+        [q.strip() for q in args.queries.split(",") if q.strip()] or None
+    )
+    engines = [e.strip() for e in args.engines.split(",") if e.strip()]
+    print(f"Figure 15 — XMark factor {args.factor}, "
+          f"{args.repeats} run(s) per cell\n")
+    reports = harness.figure15(
+        factor=args.factor,
+        queries=queries,
+        engines=engines,
+        repeats=args.repeats,
+    )
+    print(figure15_table(reports, engines))
+    print()
+    print("TLC speedups (paper: TLC beats NAV and TAX everywhere, "
+          "GTP up to ~an order of magnitude):\n")
+    print(figure15_speedups(
+        reports, [e for e in engines if e != "tlc"]
+    ))
+    if args.counters:
+        print("\nWork counters (why each engine costs what it costs):\n")
+        print(counters_table(reports))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Regenerate Figure 16: plain TLC plans vs rewrite-optimized plans.
+
+Usage::
+
+    python benchmarks/report_fig16.py [--factor 0.005] [--repeats 5]
+
+Also prints, per query, which rewrites fired (Flatten, Shadow,
+Illuminate) and the saved data accesses.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import Harness, figure16_table
+from repro.rewrites import optimize
+from repro.xmark import FIGURE16_QUERIES, QUERIES
+from repro.xquery import translate_query
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--factor", type=float, default=0.005)
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args()
+
+    harness = Harness()
+    print(f"Figure 16 — TLC vs OPT, XMark factor {args.factor}\n")
+    reports = harness.figure16(factor=args.factor, repeats=args.repeats)
+    print(figure16_table(reports))
+
+    print("\nRewrites applied per query:")
+    for name in FIGURE16_QUERIES:
+        _, log = optimize(translate_query(QUERIES[name].text).plan)
+        parts = []
+        if log.flattened:
+            parts.append(f"Flatten{log.flattened}")
+        if log.shadowed:
+            parts.append(f"Shadow{log.shadowed}")
+        if log.illuminated:
+            parts.append(f"Illuminate{log.illuminated}")
+        print(f"  {name:4s} " + (", ".join(parts) or "none"))
+
+    print("\nData-access savings (stored nodes touched):")
+    engine = harness.engine_for(args.factor)
+    for name in FIGURE16_QUERIES:
+        query = QUERIES[name].text
+        engine.db.reset_metrics()
+        engine.run(query, engine="tlc")
+        plain = engine.db.metrics.nodes_touched
+        engine.db.reset_metrics()
+        engine.run(query, engine="tlc", optimize=True)
+        opt = engine.db.metrics.nodes_touched
+        print(f"  {name:4s} {plain:>8d} -> {opt:>8d}")
+
+
+if __name__ == "__main__":
+    main()

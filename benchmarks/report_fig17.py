@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Regenerate Figure 17: TLC scalability across XMark factors.
+
+Usage::
+
+    python benchmarks/report_fig17.py [--factors 0.001,0.002,0.005,0.01]
+        [--repeats 3]
+
+Prints the per-query timing series and a least-squares R² linearity check
+(the paper: "the produced TLC plans scale linearly with size").
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import Harness, figure17_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--factors", default="0.001,0.002,0.005,0.01",
+        help="comma-separated XMark factors",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    factors = [float(f) for f in args.factors.split(",") if f.strip()]
+    harness = Harness()
+    print(f"Figure 17 — TLC scalability over factors {factors}\n")
+    reports = harness.figure17(factors=factors, repeats=args.repeats)
+    print(figure17_table(reports))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""A tiny interactive XQuery shell over an XMark database.
+
+Usage::
+
+    python examples/xquery_repl.py [factor]
+
+Commands inside the shell:
+
+* any FLWOR query (may span lines; finish with an empty line),
+* ``:engine tlc|gtp|tax|nav`` — switch evaluation strategy,
+* ``:opt on|off``             — toggle the Section 4 rewrites,
+* ``:plan``                   — show the plan of the last query,
+* ``:bench <name>``           — run a named benchmark query (x1…x20, Q1…),
+* ``:quit``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Engine, ReproError
+from repro.xmark import QUERIES
+
+
+def main() -> None:
+    factor = float(sys.argv[1]) if len(sys.argv) > 1 else 0.002
+    engine = Engine()
+    document = engine.load_xmark(factor=factor)
+    print(
+        f"XMark factor {factor} loaded ({len(document)} nodes) as "
+        f'document("auction.xml").  :quit to exit.'
+    )
+    current_engine = "tlc"
+    optimize = False
+    last_query = ""
+
+    while True:
+        try:
+            line = input(f"{current_engine}> ").strip()
+        except EOFError:
+            break
+        if not line:
+            continue
+        if line == ":quit":
+            break
+        if line.startswith(":engine"):
+            current_engine = line.split()[-1]
+            continue
+        if line.startswith(":opt"):
+            optimize = line.split()[-1] == "on"
+            print(f"rewrites {'on' if optimize else 'off'}")
+            continue
+        if line == ":plan":
+            if not last_query:
+                print("no previous query")
+                continue
+            try:
+                print(engine.plan(
+                    last_query, current_engine, optimize
+                ).explain())
+            except ReproError as error:
+                print(f"error: {error}")
+            continue
+        if line.startswith(":bench"):
+            name = line.split()[-1]
+            if name not in QUERIES:
+                print(f"unknown query {name!r}")
+                continue
+            line = QUERIES[name].text
+        # multi-line query entry
+        buffer = [line]
+        while True:
+            more = input("   ... ").strip() if not line.startswith(":") else ""
+            if not more:
+                break
+            buffer.append(more)
+        last_query = "\n".join(buffer)
+        try:
+            report = engine.measure(
+                last_query, engine=current_engine,
+                optimize=optimize, label="repl",
+            )
+            result = engine.run(
+                last_query, engine=current_engine, optimize=optimize
+            )
+            for tree in list(result)[:20]:
+                print("  " + tree.to_xml())
+            if len(result) > 20:
+                print(f"  … {len(result) - 20} more")
+            print(
+                f"[{report.result_trees} trees in "
+                f"{report.seconds * 1000:.1f} ms]"
+            )
+        except ReproError as error:
+            print(f"error: {error}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""TLC: Tree Logical Classes for Efficient Evaluation of XQuery.
+
+A from-scratch reproduction of the SIGMOD 2004 paper: a native XML store,
+the TLC algebra (annotated pattern trees + logical classes + nest-joins),
+an XQuery fragment front-end, the Flatten / Shadow-Illuminate rewrites,
+and the three competing evaluation strategies (TAX, GTP, navigational)
+the paper benchmarks against on XMark data.
+
+Quickstart::
+
+    from repro import Engine
+    engine = Engine()
+    engine.load_xmark(factor=0.01)
+    result = engine.run('FOR $p IN document("auction.xml")//person '
+                        'WHERE $p//age > 60 RETURN $p/name')
+    print(result.to_xml())
+"""
+
+from .engine import ENGINES, Engine
+from .errors import (
+    AlgebraError,
+    CardinalityError,
+    EvaluationError,
+    PatternError,
+    ReproError,
+    RewriteError,
+    StorageError,
+    TranslationError,
+    XMLParseError,
+    XQueryError,
+    XQuerySyntaxError,
+)
+from .model import NodeId, TempId, TNode, TreeSequence, XTree
+from .storage import Database, Metrics, QueryReport, parse_xml
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ENGINES",
+    "Engine",
+    "AlgebraError",
+    "CardinalityError",
+    "EvaluationError",
+    "PatternError",
+    "ReproError",
+    "RewriteError",
+    "StorageError",
+    "TranslationError",
+    "XMLParseError",
+    "XQueryError",
+    "XQuerySyntaxError",
+    "NodeId",
+    "TempId",
+    "TNode",
+    "TreeSequence",
+    "XTree",
+    "Database",
+    "Metrics",
+    "QueryReport",
+    "parse_xml",
+    "__version__",
+]

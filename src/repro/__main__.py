@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — build a synthetic XMark document and save it (XML or the
+  binary TLCDB format);
+* ``query``    — run an XQuery (from a file or inline) against a document,
+  under any engine, optionally with the Section 4 rewrites;
+* ``bench``    — regenerate one of the paper's figures;
+* ``explain``  — print the algebraic plan for a query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import Engine
+from .errors import ReproError
+from .storage.persist import load_database, save_database
+from .xmark.generator import XMarkGenerator
+
+
+def _open_engine(source: str) -> Engine:
+    """Build an engine from an .xml, .tlcdb, or xmark:<factor> source."""
+    if source.startswith("xmark:"):
+        engine = Engine()
+        engine.load_xmark(factor=float(source.split(":", 1)[1]))
+        return engine
+    path = Path(source)
+    if path.suffix == ".tlcdb":
+        return Engine(load_database(path))
+    engine = Engine()
+    engine.load_xml("auction.xml", path.read_text())
+    return engine
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    generator = XMarkGenerator(factor=args.factor, seed=args.seed)
+    out = Path(args.output)
+    if out.suffix == ".tlcdb":
+        from .storage.database import Database
+
+        db = Database()
+        generator.load_into(db)
+        save_database(db, out)
+    else:
+        out.write_text(generator.generate_xml())
+    print(f"wrote XMark factor {args.factor} to {out}")
+    return 0
+
+
+def _read_query(args: argparse.Namespace) -> str:
+    if args.query_file:
+        return Path(args.query_file).read_text()
+    if args.query:
+        return args.query
+    return sys.stdin.read()
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    engine = _open_engine(args.document)
+    query = _read_query(args)
+    report = engine.measure(
+        query, engine=args.engine, optimize=args.optimize, label="cli"
+    )
+    result = engine.run(query, engine=args.engine, optimize=args.optimize)
+    for tree in result:
+        print(tree.to_xml())
+    if args.stats:
+        counters = report.counters
+        print(
+            f"-- {report.result_trees} trees in "
+            f"{report.seconds * 1000:.1f} ms | "
+            f"pages={counters['pages_read']} "
+            f"nodes={counters['nodes_touched']} "
+            f"sjoins={counters['structural_joins']} "
+            f"groupbys={counters['groupby_ops']} "
+            f"navsteps={counters['navigation_steps']}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    engine = _open_engine(args.document)
+    query = _read_query(args)
+    translation = engine.plan(query, args.engine, args.optimize)
+    if getattr(args, "dot", False):
+        from .core.visualize import plan_to_dot
+
+        print(plan_to_dot(translation.plan))
+    else:
+        print(translation.explain())
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (
+        Harness,
+        figure15_speedups,
+        figure15_table,
+        figure16_table,
+        figure17_table,
+    )
+
+    harness = Harness()
+    if args.figure == "15":
+        reports = harness.figure15(
+            factor=args.factor, repeats=args.repeats
+        )
+        print(figure15_table(reports))
+        print()
+        print(figure15_speedups(reports))
+    elif args.figure == "16":
+        print(figure16_table(
+            harness.figure16(factor=args.factor, repeats=args.repeats)
+        ))
+    else:
+        print(figure17_table(harness.figure17(repeats=args.repeats)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="generate a synthetic XMark document"
+    )
+    generate.add_argument("output", help=".xml or .tlcdb output path")
+    generate.add_argument("--factor", type=float, default=0.01)
+    generate.add_argument("--seed", type=int, default=20040613)
+    generate.set_defaults(func=cmd_generate)
+
+    for name, func in (("query", cmd_query), ("explain", cmd_explain)):
+        command = sub.add_parser(
+            name,
+            help=f"{name} an XQuery against a document",
+        )
+        command.add_argument(
+            "document",
+            help=".xml file, .tlcdb file, or xmark:<factor>",
+        )
+        command.add_argument("-q", "--query", help="inline query text")
+        command.add_argument("-f", "--query-file", help="query file")
+        command.add_argument(
+            "-e", "--engine", default="tlc",
+            choices=("tlc", "gtp", "tax", "nav"),
+        )
+        command.add_argument(
+            "-O", "--optimize", action="store_true",
+            help="apply the Section 4 rewrites (TLC only)",
+        )
+        if name == "query":
+            command.add_argument(
+                "--stats", action="store_true",
+                help="print timing and work counters to stderr",
+            )
+        else:
+            command.add_argument(
+                "--dot", action="store_true",
+                help="emit Graphviz DOT instead of the text rendering",
+            )
+        command.set_defaults(func=func)
+
+    bench = sub.add_parser("bench", help="regenerate a paper figure")
+    bench.add_argument("figure", choices=("15", "16", "17"))
+    bench.add_argument("--factor", type=float, default=0.002)
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

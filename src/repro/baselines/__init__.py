@@ -1,0 +1,13 @@
+"""Competing approaches of Section 6: TAX, GTP and the navigational plan."""
+
+from .gtp.translator import GTPTranslator, translate_gtp
+from .nav.evaluator import NavEvaluator
+from .tax.translator import TAXTranslator, translate_tax
+
+__all__ = [
+    "GTPTranslator",
+    "translate_gtp",
+    "NavEvaluator",
+    "TAXTranslator",
+    "translate_tax",
+]

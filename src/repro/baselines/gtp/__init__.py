@@ -1,0 +1,5 @@
+"""The GTP (generalized tree pattern) baseline."""
+
+from .translator import GTPTranslator, translate_gtp
+
+__all__ = ["GTPTranslator", "translate_gtp"]

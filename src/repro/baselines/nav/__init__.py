@@ -1,0 +1,5 @@
+"""The navigational baseline."""
+
+from .evaluator import NavEvaluator
+
+__all__ = ["NavEvaluator"]

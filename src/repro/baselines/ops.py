@@ -1,0 +1,137 @@
+"""Restructuring operators used by the TAX and GTP baselines.
+
+Neither TAX nor GTP has annotated pattern edges, so both recover nested
+structure ("+"/"*" semantics) through an explicit grouping procedure:
+split the flat witness trees, group by the parent node, and merge the
+per-branch results back (Section 6.1).  These operators implement that
+procedure on top of :mod:`repro.physical.grouping`; their group-by cost —
+versus TLC's nest-joins — is exactly what Figures 15 and 16 measure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core.base import Context, Operator
+from ..model.node_id import AnyNodeId
+from ..model.sequence import TreeSequence
+from ..model.tree import TNode, XTree
+from ..physical.grouping import group_by_node, group_merge
+
+
+class GroupByOp(Operator):
+    """Group flat witness trees by the identity of one class's node.
+
+    Input: one tree per (group, member) combination (the flat match).
+    Output: one tree per distinct group node with all its members nested —
+    the structure one nest-join would have produced directly.
+    """
+
+    name = "GroupBy"
+
+    def __init__(
+        self, group_lcl: int, member_lcl: int, input_op: Operator = None
+    ) -> None:
+        super().__init__([input_op] if input_op is not None else [])
+        self.group_lcl = group_lcl
+        self.member_lcl = member_lcl
+
+    def execute(
+        self, ctx: Context, inputs: List[TreeSequence]
+    ) -> TreeSequence:
+        return group_by_node(
+            inputs[0], self.group_lcl, self.member_lcl, ctx.metrics
+        )
+
+    def params(self) -> str:
+        return f"group ({self.group_lcl}) members ({self.member_lcl})"
+
+
+class MergeOp(Operator):
+    """Merge a grouped branch back onto the main trees by node identity.
+
+    The "merge" step of the split/group/merge DAG: each main tree's
+    ``base_key_lcl`` node receives the children of the branch tree whose
+    ``branch_key_lcl`` node has the same stored identity.  Main trees with
+    no branch partner pass through unchanged (the branch is an optional
+    part of the query).
+    """
+
+    name = "Merge"
+
+    def __init__(
+        self,
+        main: Operator,
+        branch: Operator,
+        base_key_lcl: int,
+        branch_key_lcl: int,
+    ) -> None:
+        super().__init__([main, branch])
+        self.base_key_lcl = base_key_lcl
+        self.branch_key_lcl = branch_key_lcl
+
+    def execute(
+        self, ctx: Context, inputs: List[TreeSequence]
+    ) -> TreeSequence:
+        main, branch = inputs
+        return group_merge(
+            main,
+            [branch],
+            self.base_key_lcl,
+            [self.branch_key_lcl],
+            ctx.metrics,
+        )
+
+    def params(self) -> str:
+        return f"on ({self.base_key_lcl}) = ({self.branch_key_lcl})"
+
+
+class NestJoinResultsOp(Operator):
+    """Group join_root trees of a flat outer join by the left-side class.
+
+    TLC's Join can nest directly (``*`` edge); the baselines join flat and
+    then group: one output tree per distinct left node, clustering every
+    right-side root under a single join_root.
+    """
+
+    name = "NestJoinResults"
+
+    def __init__(
+        self,
+        key_lcl: int,
+        root_lcl: int,
+        input_op: Operator = None,
+    ) -> None:
+        super().__init__([input_op] if input_op is not None else [])
+        self.key_lcl = key_lcl
+        self.root_lcl = root_lcl
+
+    def execute(
+        self, ctx: Context, inputs: List[TreeSequence]
+    ) -> TreeSequence:
+        ctx.metrics.groupby_ops += 1
+        buckets: Dict[AnyNodeId, XTree] = {}
+        order: List[AnyNodeId] = []
+        for tree in inputs[0]:
+            keys = tree.nodes_in_class(self.key_lcl)
+            if not keys:
+                continue
+            key = keys[0].nid
+            children = tree.root.children
+            left_part = children[0] if children else None
+            right_parts = children[1:]
+            if key not in buckets:
+                root = TNode("join_root", lcls={self.root_lcl})
+                if left_part is not None:
+                    root.add_child(left_part.clone())
+                buckets[key] = XTree(root)
+                order.append(key)
+                ctx.metrics.trees_built += 1
+            host = buckets[key].root
+            for part in right_parts:
+                host.add_child(part.clone())
+            buckets[key].invalidate()
+        return TreeSequence([buckets[key] for key in order])
+
+    def params(self) -> str:
+        return f"by ({self.key_lcl}) root ({self.root_lcl})"

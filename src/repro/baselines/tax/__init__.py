@@ -1,0 +1,5 @@
+"""The TAX baseline."""
+
+from .translator import TAXTranslator, translate_tax
+
+__all__ = ["TAXTranslator", "translate_tax"]

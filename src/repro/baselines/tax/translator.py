@@ -1,0 +1,31 @@
+"""TAX-style translation (Section 6.1's description of the TAX plan).
+
+TAX has no annotated edges and no pattern-tree reuse:
+
+* each FOR/WHERE source is a flat selection followed by early
+  materialisation (Project with full subtrees of every bound variable)
+  and duplicate elimination;
+* every aggregate, quantifier, ORDER BY key and RETURN path is a *fresh*
+  selection from the database that re-applies the anchor's predicates,
+  grouped and then **joined** back onto the main pipeline by node
+  identity;
+* LET / nested-FLWOR structure is recovered by grouping the flat join
+  results.
+"""
+
+from __future__ import annotations
+
+from ...xquery.translator import TranslationResult
+from ..common import BaselineTranslator
+
+
+class TAXTranslator(BaselineTranslator):
+    """Translate queries into TAX-style plans."""
+
+    def __init__(self) -> None:
+        super().__init__("tax")
+
+
+def translate_tax(text: str) -> TranslationResult:
+    """Parse and translate query text into a TAX plan."""
+    return TAXTranslator().translate_text(text)

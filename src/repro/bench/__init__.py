@@ -1,0 +1,23 @@
+"""Benchmark harness and paper-style reporting."""
+
+from .harness import DEFAULT_FACTOR, FIGURE15_ENGINES, Harness
+from .reporting import (
+    counters_table,
+    figure15_speedups,
+    figure15_table,
+    figure16_table,
+    figure17_table,
+    linear_r2,
+)
+
+__all__ = [
+    "DEFAULT_FACTOR",
+    "FIGURE15_ENGINES",
+    "Harness",
+    "counters_table",
+    "figure15_speedups",
+    "figure15_table",
+    "figure16_table",
+    "figure17_table",
+    "linear_r2",
+]

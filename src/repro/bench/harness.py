@@ -1,0 +1,169 @@
+"""Benchmark harness: regenerate the paper's Figures 15, 16 and 17.
+
+The harness owns data generation (one engine per scale factor, cached),
+query execution under each competitor and the collection of
+:class:`~repro.storage.stats.QueryReport` rows.  Absolute seconds belong
+to this Python substrate, not the paper's 2004 C++ system; the *shape* —
+who wins, by what factor, where the crossovers are — is what the reports
+compare (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..engine import Engine
+from ..storage.stats import QueryReport
+from ..xmark.generator import load_xmark
+from ..xmark.queries import (
+    FIGURE15_ORDER,
+    FIGURE16_QUERIES,
+    FIGURE17_QUERIES,
+    QUERIES,
+)
+
+#: Engine column order of Figure 15.
+FIGURE15_ENGINES = ("tlc", "gtp", "tax", "nav")
+
+#: Default scale factor for full-grid runs (factor 1 ≈ the paper's 710 MB
+#: document is far beyond interpreted-Python scale; ratios are preserved).
+DEFAULT_FACTOR = 0.005
+
+
+@dataclass
+class Harness:
+    """Cached XMark engines and the experiment runners."""
+
+    seed: int = 20040613
+    budget_seconds: float = 600.0  # the paper's 10-minute DNF cutoff
+    _engines: Dict[float, Engine] = field(default_factory=dict)
+
+    def engine_for(self, factor: float) -> Engine:
+        """The (cached) engine loaded with XMark data at ``factor``."""
+        if factor not in self._engines:
+            engine = Engine()
+            load_xmark(engine.db, factor, seed=self.seed)
+            self._engines[factor] = engine
+        return self._engines[factor]
+
+    # ------------------------------------------------------------------
+    def run_query(
+        self,
+        name: str,
+        engine_name: str,
+        factor: float = DEFAULT_FACTOR,
+        optimize: bool = False,
+        repeats: int = 1,
+    ) -> QueryReport:
+        """One measurement: query × engine × factor.
+
+        With ``repeats`` > 2 the paper's methodology applies: "the average
+        of the query execution time over five executions … the highest and
+        the lowest values were removed and then the average was computed".
+        A cell whose first run already exceeds a tenth of the DNF budget
+        is not repeated (repeating a minutes-long navigational query adds
+        nothing but wall-clock time).
+        """
+        engine = self.engine_for(factor)
+        first = engine.measure(
+            QUERIES[name].text,
+            engine=engine_name,
+            optimize=optimize,
+            label=name,
+        )
+        if first.seconds >= self.budget_seconds / 10:
+            # too slow to repeat; the single (cold) run is the result
+            return first
+        # the first run warmed caches and code paths; measure afresh
+        reports = [
+            engine.measure(
+                QUERIES[name].text,
+                engine=engine_name,
+                optimize=optimize,
+                label=name,
+            )
+            for _ in range(max(1, repeats))
+        ]
+        report = reports[-1]
+        times = sorted(r.seconds for r in reports)
+        if len(times) > 2:
+            times = times[1:-1]
+        report.seconds = sum(times) / len(times)
+        return report
+
+    # ------------------------------------------------------------------
+    # E1: Figure 15 — all queries under all four engines
+    # ------------------------------------------------------------------
+    def figure15(
+        self,
+        factor: float = DEFAULT_FACTOR,
+        queries: Optional[Sequence[str]] = None,
+        engines: Sequence[str] = FIGURE15_ENGINES,
+        repeats: int = 1,
+    ) -> List[QueryReport]:
+        """Execution-time grid of Figure 15 (DNF rows marked)."""
+        reports: List[QueryReport] = []
+        for name in queries or FIGURE15_ORDER:
+            for engine_name in engines:
+                started = time.perf_counter()
+                try:
+                    report = self.run_query(
+                        name, engine_name, factor, repeats=repeats
+                    )
+                except Exception as error:  # a DNF-equivalent failure
+                    report = QueryReport(
+                        engine=engine_name,
+                        query=name,
+                        seconds=float("nan"),
+                        counters={"error": repr(error)},
+                    )
+                if time.perf_counter() - started > self.budget_seconds:
+                    report.counters["dnf"] = True
+                reports.append(report)
+        return reports
+
+    # ------------------------------------------------------------------
+    # E2: Figure 16 — plain TLC vs rewritten (OPT) plans
+    # ------------------------------------------------------------------
+    def figure16(
+        self,
+        factor: float = DEFAULT_FACTOR,
+        queries: Sequence[str] = tuple(FIGURE16_QUERIES),
+        repeats: int = 1,
+    ) -> List[QueryReport]:
+        """TLC vs OPT timing for the rewrite-applicable queries."""
+        reports: List[QueryReport] = []
+        for name in queries:
+            reports.append(
+                self.run_query(name, "tlc", factor, repeats=repeats)
+            )
+            reports.append(
+                self.run_query(
+                    name, "tlc", factor, optimize=True, repeats=repeats
+                )
+            )
+        return reports
+
+    # ------------------------------------------------------------------
+    # E3: Figure 17 — scalability across XMark factors
+    # ------------------------------------------------------------------
+    def figure17(
+        self,
+        factors: Sequence[float] = (0.001, 0.002, 0.005, 0.01, 0.02),
+        queries: Sequence[str] = tuple(FIGURE17_QUERIES),
+        repeats: int = 1,
+    ) -> List[QueryReport]:
+        """TLC timing for the scalability queries across factors.
+
+        The paper sweeps XMark 0.1…5; the same geometric sweep is run at
+        Python-feasible sizes (linearity is scale-free).
+        """
+        reports: List[QueryReport] = []
+        for factor in factors:
+            for name in queries:
+                report = self.run_query(name, "tlc", factor, repeats=repeats)
+                report.counters["factor"] = factor
+                reports.append(report)
+        return reports

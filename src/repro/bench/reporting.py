@@ -1,0 +1,164 @@
+"""Tabular reports in the paper's layout for Figures 15, 16 and 17."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..storage.stats import QueryReport
+from ..xmark.queries import FIGURE15_ORDER, QUERIES
+
+
+def _grid(
+    reports: Sequence[QueryReport],
+) -> Dict[Tuple[str, str], QueryReport]:
+    return {(r.query, r.engine): r for r in reports}
+
+
+def _cell(report: Optional[QueryReport]) -> str:
+    if report is None:
+        return "-"
+    if report.counters.get("dnf") or math.isnan(report.seconds):
+        return "DNF"
+    return f"{report.seconds:.3f}"
+
+
+def figure15_table(
+    reports: Sequence[QueryReport],
+    engines: Sequence[str] = ("tlc", "gtp", "tax", "nav"),
+) -> str:
+    """Render the Figure 15 grid: queries × engines, with comments."""
+    grid = _grid(reports)
+    queries = [q for q in FIGURE15_ORDER if any(
+        (q, e) in grid for e in engines
+    )]
+    header = (
+        f"{'query':6s}" + "".join(f"{e.upper():>9s}" for e in engines)
+        + "  comments"
+    )
+    lines = [header, "-" * len(header)]
+    for name in queries:
+        cells = "".join(
+            f"{_cell(grid.get((name, e))):>9s}" for e in engines
+        )
+        lines.append(f"{name:6s}{cells}  {QUERIES[name].comment}")
+    return "\n".join(lines)
+
+
+def figure15_speedups(
+    reports: Sequence[QueryReport],
+    baseline_engines: Sequence[str] = ("gtp", "tax", "nav"),
+) -> str:
+    """Per-query speedup of TLC over each competitor (the paper's claim)."""
+    grid = _grid(reports)
+    lines = [
+        f"{'query':6s}"
+        + "".join(f"{'vs ' + e.upper():>10s}" for e in baseline_engines)
+    ]
+    lines.append("-" * len(lines[0]))
+    for name in FIGURE15_ORDER:
+        tlc = grid.get((name, "tlc"))
+        if tlc is None or math.isnan(tlc.seconds) or tlc.seconds == 0:
+            continue
+        cells = []
+        for engine in baseline_engines:
+            other = grid.get((name, engine))
+            if other is None or math.isnan(other.seconds):
+                cells.append(f"{'DNF':>10s}")
+            else:
+                cells.append(f"{other.seconds / tlc.seconds:>9.1f}x")
+        lines.append(f"{name:6s}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def figure16_table(reports: Sequence[QueryReport]) -> str:
+    """Render Figure 16: plain TLC vs rewritten (OPT) per query."""
+    grid = _grid(reports)
+    queries = sorted({r.query for r in reports}, key=_query_order)
+    header = f"{'query':6s}{'TLC':>9s}{'OPT':>9s}{'speedup':>9s}"
+    lines = [header, "-" * len(header)]
+    for name in queries:
+        plain = grid.get((name, "tlc"))
+        opt = grid.get((name, "tlc+opt"))
+        speed = (
+            f"{plain.seconds / opt.seconds:.2f}x"
+            if plain and opt and opt.seconds
+            else "-"
+        )
+        lines.append(
+            f"{name:6s}{_cell(plain):>9s}{_cell(opt):>9s}{speed:>9s}"
+        )
+    return "\n".join(lines)
+
+
+def figure17_table(reports: Sequence[QueryReport]) -> str:
+    """Render Figure 17: seconds per (factor, query) + linearity fits."""
+    by_query: Dict[str, List[Tuple[float, float]]] = {}
+    for report in reports:
+        factor = report.counters.get("factor")
+        if factor is None:
+            continue
+        by_query.setdefault(report.query, []).append(
+            (factor, report.seconds)
+        )
+    factors = sorted({f for rows in by_query.values() for f, _ in rows})
+    header = f"{'query':6s}" + "".join(f"{f:>10.3f}" for f in factors)
+    lines = [header, "-" * len(header), "(seconds per XMark factor)"]
+    for name in sorted(by_query, key=_query_order):
+        rows = dict(by_query[name])
+        cells = "".join(
+            f"{rows.get(f, float('nan')):>10.4f}" for f in factors
+        )
+        lines.append(f"{name:6s}{cells}")
+    lines.append("")
+    lines.append("linearity (R² of seconds ~ factor):")
+    for name in sorted(by_query, key=_query_order):
+        r2 = linear_r2(by_query[name])
+        lines.append(f"  {name:6s} R² = {r2:.4f}")
+    return "\n".join(lines)
+
+
+def linear_r2(points: Sequence[Tuple[float, float]]) -> float:
+    """Coefficient of determination of a least-squares line through points."""
+    n = len(points)
+    if n < 2:
+        return float("nan")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    syy = sum((y - mean_y) ** 2 for y in ys)
+    if sxx == 0 or syy == 0:
+        return 1.0
+    return (sxy * sxy) / (sxx * syy)
+
+
+def counters_table(reports: Sequence[QueryReport]) -> str:
+    """Work-counter report: why each engine costs what it costs."""
+    header = (
+        f"{'query':6s}{'engine':>8s}{'secs':>9s}{'trees':>7s}"
+        f"{'pages':>8s}{'nodes':>9s}{'sjoins':>8s}{'groups':>8s}"
+        f"{'navsteps':>9s}"
+    )
+    lines = [header, "-" * len(header)]
+    for report in reports:
+        counters = report.counters
+        lines.append(
+            f"{report.query:6s}{report.engine:>8s}"
+            f"{_cell(report):>9s}{report.result_trees:>7d}"
+            f"{counters.get('pages_read', 0):>8d}"
+            f"{counters.get('nodes_touched', 0):>9d}"
+            f"{counters.get('structural_joins', 0):>8d}"
+            f"{counters.get('groupby_ops', 0):>8d}"
+            f"{counters.get('navigation_steps', 0):>9d}"
+        )
+    return "\n".join(lines)
+
+
+def _query_order(name: str) -> tuple:
+    try:
+        return (FIGURE15_ORDER.index(name),)
+    except ValueError:
+        return (len(FIGURE15_ORDER), name)

@@ -1,0 +1,44 @@
+"""The TLC algebra: operators of Section 2.3 plus Flatten/Shadow/Illuminate."""
+
+from .aggregate import FUNCTIONS, AggregateOp
+from .base import ClassPredicate, Context, JoinPredicate, Operator, class_value
+from .construct import CClassRef, CElement, CText, ConstructOp
+from .dedup import DedupOp
+from .evaluator import evaluate, evaluate_on
+from .filter import MODES, FilterOp
+from .flatten import FlattenOp
+from .join import JoinOp
+from .project import ProjectOp
+from .select import SelectOp
+from .shadow import IlluminateOp, ShadowOp
+from .sort_op import SortOp
+from .union import UnionOp
+from .visualize import plan_to_dot
+
+__all__ = [
+    "FUNCTIONS",
+    "AggregateOp",
+    "ClassPredicate",
+    "Context",
+    "JoinPredicate",
+    "Operator",
+    "class_value",
+    "CClassRef",
+    "CElement",
+    "CText",
+    "ConstructOp",
+    "DedupOp",
+    "evaluate",
+    "evaluate_on",
+    "MODES",
+    "FilterOp",
+    "FlattenOp",
+    "JoinOp",
+    "ProjectOp",
+    "SelectOp",
+    "IlluminateOp",
+    "ShadowOp",
+    "SortOp",
+    "UnionOp",
+    "plan_to_dot",
+]

@@ -1,0 +1,87 @@
+"""Aggregate-Function ``AF[fname, LCL_a, newLCL]`` (Section 2.3).
+
+Applies an aggregate (count, sum, avg, min, max) over all nodes of one
+logical class per tree, and adds a result node *as a sibling of the class
+nodes*, marked with a fresh class label.  "If LCa maps to the empty set,
+the generated node will contain 0 for count and the flag 'empty' for all
+other functions" — in that case the node attaches under the tree root (the
+paper leaves the sibling position undefined when the class is empty).
+
+This operator runs entirely on in-memory witness trees — no data access —
+which is why TLC computes counts "without touching the data in a fraction
+of a second" while navigation iterates over all nodes (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import AlgebraError
+from ..model.sequence import TreeSequence
+from ..model.tree import TNode, XTree
+from ..model.value import coerce_number
+from .base import Context, Operator
+
+#: Aggregate functions of the Figure 5 grammar.
+FUNCTIONS = ("count", "sum", "avg", "min", "max")
+
+
+class AggregateOp(Operator):
+    """Per-tree aggregate over a logical class, materialised as a node."""
+
+    name = "Aggregate"
+
+    def __init__(
+        self,
+        fname: str,
+        lcl: int,
+        new_lcl: int,
+        input_op: Operator = None,
+    ) -> None:
+        super().__init__([input_op] if input_op is not None else [])
+        if fname not in FUNCTIONS:
+            raise AlgebraError(f"unknown aggregate function {fname!r}")
+        self.fname = fname
+        self.lcl = lcl
+        self.new_lcl = new_lcl
+
+    # ------------------------------------------------------------------
+    def _compute(self, nodes: List[TNode]) -> Optional[object]:
+        if self.fname == "count":
+            return len(nodes)
+        values = [
+            number
+            for number in (coerce_number(n.value) for n in nodes)
+            if number is not None
+        ]
+        if not values:
+            return "empty"
+        if self.fname == "sum":
+            return sum(values)
+        if self.fname == "avg":
+            return sum(values) / len(values)
+        if self.fname == "min":
+            return min(values)
+        return max(values)
+
+    def execute(
+        self, ctx: Context, inputs: List[TreeSequence]
+    ) -> TreeSequence:
+        out = TreeSequence()
+        for tree in inputs[0]:
+            copy = tree.clone()
+            nodes = copy.nodes_in_class(self.lcl)
+            result = TNode(self.fname, self._compute(nodes))
+            result.lcls.add(self.new_lcl)
+            if nodes:
+                parents = copy.root.parent_map()
+                host = parents.get(id(nodes[0]), copy.root)
+            else:
+                host = copy.root
+            host.add_child(result)
+            copy.invalidate()
+            out.append(copy)
+        return out
+
+    def params(self) -> str:
+        return f"{self.fname}(({self.lcl})) -> ({self.new_lcl})"

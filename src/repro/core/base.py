@@ -1,0 +1,152 @@
+"""Operator base classes and predicate forms for the TLC algebra.
+
+Every operator "maps one or more sets of trees to one set of trees"
+(Section 2.3).  Plans are operator trees evaluated bottom-up,
+set-at-a-time; shared sub-plans are evaluated once (the evaluator memoises
+by operator identity, matching the paper's pattern-tree-reuse execution
+where "the results of a pattern tree evaluation persist and are shared").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..model.sequence import TreeSequence
+from ..model.tree import TNode, XTree
+from ..model.value import Atomic, compare
+from ..patterns.match import PatternMatcher
+from ..storage.database import Database
+from ..storage.stats import Metrics
+
+
+class Context:
+    """Evaluation context: the database, its matcher and metrics."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self.matcher = PatternMatcher(db)
+
+    @property
+    def metrics(self) -> Metrics:
+        """The database's shared metrics bundle."""
+        return self.db.metrics
+
+
+class Operator(ABC):
+    """A logical TLC operator with zero or more input operators."""
+
+    #: Operator name used by the plan pretty-printer.
+    name = "operator"
+
+    def __init__(self, inputs: Sequence["Operator"] = ()) -> None:
+        self.inputs: List[Operator] = list(inputs)
+
+    @abstractmethod
+    def execute(
+        self, ctx: Context, inputs: List[TreeSequence]
+    ) -> TreeSequence:
+        """Produce this operator's output from already-evaluated inputs."""
+
+    def params(self) -> str:
+        """One-line parameter description for plan explainers."""
+        return ""
+
+    def describe(self, depth: int = 0) -> str:
+        """Indented rendering of the plan rooted at this operator."""
+        pad = "  " * depth
+        header = f"{pad}{self.name}"
+        if self.params():
+            header += f" {self.params()}"
+        lines = [header]
+        for child in self.inputs:
+            lines.append(child.describe(depth + 1))
+        return "\n".join(lines)
+
+    def walk(self):
+        """Pre-order traversal of the plan."""
+        yield self
+        for child in self.inputs:
+            yield from child.walk()
+
+    def replace_input(self, old: "Operator", new: "Operator") -> None:
+        """Swap one input operator for another (used by rewrites)."""
+        self.inputs = [new if op is old else op for op in self.inputs]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.params()}>"
+
+
+@dataclass(frozen=True)
+class ClassPredicate:
+    """Predicate comparing the content of a class's nodes to a constant.
+
+    This is the predicate form of the Filter operator: ``(11) > 5``,
+    ``EVERY (15) > 2`` and friends.
+    """
+
+    lcl: int
+    op: str
+    value: Atomic
+
+    def test(self, node: TNode) -> bool:
+        """Evaluate the comparison on one node's content."""
+        return compare(node.value, self.op, self.value)
+
+    def describe(self) -> str:
+        """Render as the paper writes it: ``(11) > 5``."""
+        return f"({self.lcl}) {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """Value-join predicate between a left and a right logical class.
+
+    Both classes must bind to singleton sets in their trees (Section 2.3's
+    Join contract).  With ``by_id`` the predicate compares stored *node
+    identifiers* instead of content — the identity join the TAX baseline
+    uses to stitch RETURN-path selections back onto bound variables
+    (Section 6.1).
+    """
+
+    left_lcl: int
+    op: str
+    right_lcl: int
+    by_id: bool = False
+
+    def describe(self) -> str:
+        """Render as the paper writes it: ``(7) = (9)``."""
+        kind = "id" if self.by_id else ""
+        return f"({self.left_lcl}) {self.op}{kind} ({self.right_lcl})"
+
+
+def class_node_id(tree: XTree, lcl: int, operator: str):
+    """Node id of the singleton node of ``lcl`` (None when empty)."""
+    from ..errors import CardinalityError
+
+    nodes = tree.nodes_in_class(lcl)
+    if not nodes:
+        return None
+    if len(nodes) > 1:
+        raise CardinalityError(lcl, len(nodes), operator)
+    return nodes[0].nid
+
+
+def class_value(tree: XTree, lcl: int, operator: str) -> Optional[Atomic]:
+    """Content of the singleton node of ``lcl`` (None when class is empty).
+
+    Raises :class:`~repro.errors.CardinalityError` when the class holds
+    more than one node — the singleton contract of the Join and
+    Duplicate-Elimination operators.  Shadowed members are visible here:
+    a join may read the hidden correlation classes a nested query's
+    construct carries for its benefit (see ``CClassRef.hidden``).
+    """
+    from ..errors import CardinalityError
+
+    nodes = tree.nodes_in_class(lcl, include_shadowed=True)
+    if not nodes:
+        return None
+    if len(nodes) > 1:
+        raise CardinalityError(lcl, len(nodes), operator)
+    return nodes[0].value

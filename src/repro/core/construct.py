@@ -1,0 +1,199 @@
+"""The Construct operator ``C[c]`` (Section 2.3).
+
+Takes an *annotated construct-pattern tree*: an APT-like tree with
+"facilities for tagging, renaming, and arbitrary tree assembly".  Our
+construct patterns are built from three node kinds:
+
+* :class:`CElement` — a new element with a tag, optional attributes whose
+  values are literals or class references, and child construct nodes;
+* :class:`CClassRef` — splice the *full subtrees* of every node of a
+  logical class (this is where materialisation I/O is paid: stored nodes
+  are fetched through the buffer pool on demand);
+* :class:`CText` — literal text content.
+
+Box "Construct 10" of Figure 7 is expressed as::
+
+    CElement("person", lcl=15,
+             attrs=[("name", CClassRef(12, text_only=True))],
+             children=[CClassRef(13)])
+
+Class markings on spliced roots survive so that outer queries can keep
+referencing inner constructed content (the Figure 8 requirement that
+"inner construct elements referenced in the outer clause should survive
+the outer projection").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..model.node_id import NodeId
+from ..model.sequence import TreeSequence
+from ..model.tree import TNode, XTree
+from .base import Context, Operator
+
+
+@dataclass
+class CClassRef:
+    """Splice the members of a logical class into the constructed tree.
+
+    With ``text_only`` the members' atomic content is used instead of their
+    subtrees (the ``(12).text()`` notation of the paper's figures).
+
+    With ``hidden`` the spliced nodes are marked *shadowed*: they carry
+    data an outer operator (the deferred correlation join of a nested
+    query) still needs, but are not part of the visible query result —
+    the (9) reference Figure 8's Construct 8 adds for Join 9's benefit.
+    """
+
+    lcl: int
+    text_only: bool = False
+    hidden: bool = False
+
+    def describe(self) -> str:
+        suffix = ".text()" if self.text_only else ""
+        if self.hidden:
+            suffix += " hidden"
+        return f"({self.lcl}){suffix}"
+
+
+@dataclass
+class CText:
+    """Literal text content inside a constructed element."""
+
+    text: str
+
+    def describe(self) -> str:
+        return repr(self.text)
+
+
+@dataclass
+class CElement:
+    """A constructed element: tag, attributes, children, class label."""
+
+    tag: str
+    lcl: int = 0
+    attrs: List[Tuple[str, Union[str, CClassRef]]] = field(
+        default_factory=list
+    )
+    children: List[Union["CElement", CClassRef, CText]] = field(
+        default_factory=list
+    )
+
+    def describe(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        attrs = " ".join(
+            "@{}={}".format(
+                name,
+                value.describe()
+                if isinstance(value, CClassRef)
+                else repr(value),
+            )
+            for name, value in self.attrs
+        )
+        header = f"{pad}<{self.tag}> {attrs} [lcl={self.lcl}]".rstrip()
+        lines = [header]
+        for child in self.children:
+            if isinstance(child, CElement):
+                lines.append(child.describe(depth + 1))
+            else:
+                lines.append(f"{'  ' * (depth + 1)}{child.describe()}")
+        return "\n".join(lines)
+
+
+class ConstructOp(Operator):
+    """Build one constructed tree per input tree.
+
+    When the construct pattern is a bare :class:`CClassRef` (a RETURN of a
+    plain path, ``RETURN $p/name``), each member of the class becomes its
+    own output tree: the materialised subtree, or a ``text`` node for
+    ``.text()`` references.
+    """
+
+    name = "Construct"
+
+    def __init__(
+        self,
+        ctree: Union[CElement, CClassRef],
+        input_op: Operator = None,
+    ) -> None:
+        super().__init__([input_op] if input_op is not None else [])
+        self.ctree = ctree
+
+    def execute(
+        self, ctx: Context, inputs: List[TreeSequence]
+    ) -> TreeSequence:
+        out = TreeSequence()
+        for tree in inputs[0]:
+            if isinstance(self.ctree, CClassRef):
+                for spliced in self._materialize(ctx, tree, self.ctree):
+                    if self.ctree.text_only:
+                        out.append(XTree(TNode("text", spliced)))
+                    else:
+                        out.append(XTree(spliced))
+                    ctx.metrics.trees_built += 1
+            else:
+                out.append(XTree(self._build_element(ctx, self.ctree, tree)))
+                ctx.metrics.trees_built += 1
+        return out
+
+    # ------------------------------------------------------------------
+    def _build_element(
+        self, ctx: Context, spec: CElement, tree: XTree
+    ) -> TNode:
+        element = TNode(spec.tag)
+        if spec.lcl:
+            element.lcls.add(spec.lcl)
+        for attr_name, attr_value in spec.attrs:
+            if isinstance(attr_value, CClassRef):
+                value = self._class_text(tree, attr_value.lcl)
+            else:
+                value = attr_value
+            element.add_child(TNode("@" + attr_name, value))
+        for child in spec.children:
+            if isinstance(child, CElement):
+                element.add_child(self._build_element(ctx, child, tree))
+            elif isinstance(child, CText):
+                element.value = (
+                    child.text
+                    if element.value is None
+                    else f"{element.value}{child.text}"
+                )
+            else:
+                for spliced in self._materialize(ctx, tree, child):
+                    if child.text_only:
+                        element.value = (
+                            spliced
+                            if element.value is None
+                            else f"{element.value} {spliced}"
+                        )
+                    else:
+                        element.add_child(spliced)
+        return element
+
+    def _class_text(self, tree: XTree, lcl: int) -> str:
+        nodes = tree.nodes_in_class(lcl)
+        if not nodes or nodes[0].value is None:
+            return ""
+        return str(nodes[0].value)
+
+    def _materialize(self, ctx: Context, tree: XTree, ref: CClassRef):
+        """Yield the spliced content for one class reference."""
+        for node in tree.nodes_in_class(ref.lcl):
+            if ref.text_only:
+                if node.value is not None:
+                    yield str(node.value)
+                continue
+            if isinstance(node.nid, NodeId):
+                copy = ctx.db.subtree(node.nid, node.lcls)
+            else:
+                copy = node.clone()
+            if ref.hidden:
+                copy.shadowed = True
+            yield copy
+
+    def params(self) -> str:
+        if isinstance(self.ctree, CClassRef):
+            return f"splice {self.ctree.describe()}"
+        return f"<{self.ctree.tag}> lcl={self.ctree.lcl}"

@@ -1,0 +1,68 @@
+"""Duplicate-Elimination ``DE[nl, ci]`` (Section 2.3).
+
+Eliminates duplicate trees based on a list of logical classes, comparing
+either node identifiers (``ci='id'`` — the cheap NodeIDDE the translator
+emits after projection, "all identifiers are already in memory") or node
+content (``ci='content'``).  Each listed class must bind to at most one
+node per tree; an empty class contributes a null key component (outer
+joins legitimately produce trees where an optional class is empty).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import CardinalityError
+from ..model.sequence import TreeSequence
+from .base import Context, Operator
+
+
+class DedupOp(Operator):
+    """Keep the first tree for each distinct key over the listed classes."""
+
+    name = "DuplicateElimination"
+
+    def __init__(
+        self,
+        lcls: Sequence[int],
+        by: str = "id",
+        input_op: Operator = None,
+        bases: dict = None,
+    ) -> None:
+        super().__init__([input_op] if input_op is not None else [])
+        if by not in ("id", "content"):
+            raise ValueError(f"invalid dedup basis {by!r}")
+        self.lcls = list(lcls)
+        self.by = by
+        #: optional per-class basis override: {lcl: "id" | "content"}
+        self.bases = dict(bases) if bases else {}
+
+    def execute(
+        self, ctx: Context, inputs: List[TreeSequence]
+    ) -> TreeSequence:
+        seen = set()
+        out = TreeSequence()
+        for tree in inputs[0]:
+            key_parts = []
+            for lcl in self.lcls:
+                basis = self.bases.get(lcl, self.by)
+                nodes = tree.nodes_in_class(lcl)
+                if len(nodes) > 1:
+                    raise CardinalityError(lcl, len(nodes), self.name)
+                if not nodes:
+                    key_parts.append(None)
+                elif basis == "id":
+                    key_parts.append(nodes[0].nid)
+                else:
+                    key_parts.append(nodes[0].canonical(by_content=True))
+            key = tuple(key_parts)
+            if key not in seen:
+                seen.add(key)
+                out.append(tree)
+        return out
+
+    def params(self) -> str:
+        overrides = "".join(
+            f" ({lcl}:{basis})" for lcl, basis in sorted(self.bases.items())
+        )
+        return f"on {sorted(self.lcls)} by {self.by}{overrides}"

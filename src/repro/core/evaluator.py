@@ -1,0 +1,35 @@
+"""Bottom-up, set-at-a-time evaluation of TLC plans.
+
+Plans are operator trees (occasionally DAGs after rewrites share a
+sub-plan); evaluation memoises by operator identity so shared sub-plans
+run exactly once — the executable counterpart of pattern-tree reuse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..model.sequence import TreeSequence
+from ..storage.database import Database
+from .base import Context, Operator
+
+
+def evaluate(plan: Operator, ctx: Context) -> TreeSequence:
+    """Evaluate ``plan`` bottom-up and return its output sequence."""
+    memo: Dict[int, TreeSequence] = {}
+
+    def run(op: Operator) -> TreeSequence:
+        key = id(op)
+        if key in memo:
+            return memo[key]
+        inputs = [run(child) for child in op.inputs]
+        result = op.execute(ctx, inputs)
+        memo[key] = result
+        return result
+
+    return run(plan)
+
+
+def evaluate_on(plan: Operator, db: Database) -> TreeSequence:
+    """Convenience wrapper: evaluate against a database directly."""
+    return evaluate(plan, Context(db))

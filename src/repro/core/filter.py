@@ -1,0 +1,125 @@
+"""The Filter operator ``F[LCL, p, m]`` (Section 2.3).
+
+Outputs only the trees whose class-``LCL`` nodes satisfy predicate ``p``
+under iteration mode ``m``:
+
+* ``E``   (Every, the default): the predicate must hold at *all* nodes of
+  the class; an empty class passes ("the semantics for Every will let the
+  input tree pass if LCf maps to the empty set", footnote 2),
+* ``ALO`` (at least one): existential quantification,
+* ``EX``  (exactly one): satisfied at exactly one node of the class,
+* ``FIRST``: satisfied at the first node of the class in input data node
+  ordering — the extra interpretation Section 2.3 suggests ("apply to
+  first element (on the basis of input data node ordering)").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import AlgebraError
+from ..model.sequence import TreeSequence
+from .base import ClassPredicate, Context, Operator
+
+#: Supported iteration modes.
+MODES = ("E", "ALO", "EX", "FIRST")
+
+
+class FilterOp(Operator):
+    """Filter trees by a predicate over one logical class."""
+
+    name = "Filter"
+
+    def __init__(
+        self,
+        predicate: ClassPredicate,
+        mode: str = "E",
+        input_op: Operator = None,
+    ) -> None:
+        super().__init__([input_op] if input_op is not None else [])
+        if mode not in MODES:
+            raise AlgebraError(f"unknown filter mode {mode!r}")
+        self.predicate = predicate
+        self.mode = mode
+
+    def execute(
+        self, ctx: Context, inputs: List[TreeSequence]
+    ) -> TreeSequence:
+        out = TreeSequence()
+        for tree in inputs[0]:
+            nodes = tree.nodes_in_class(self.predicate.lcl)
+            hits = sum(1 for node in nodes if self.predicate.test(node))
+            if self.mode == "E":
+                keep = hits == len(nodes)
+            elif self.mode == "ALO":
+                keep = hits >= 1
+            elif self.mode == "EX":
+                keep = hits == 1
+            else:  # FIRST: the node earliest in data node ordering decides
+                ordered = sorted(nodes, key=lambda n: n.nid.order_key)
+                keep = bool(ordered) and self.predicate.test(ordered[0])
+            if keep:
+                out.append(tree)
+        return out
+
+    def params(self) -> str:
+        return f"{self.mode} {self.predicate.describe()}"
+
+
+class TreeFilterOp(Operator):
+    """Filter trees by an arbitrary per-tree predicate.
+
+    Used for predicate forms that fall outside ``F[LCL, p, m]``'s
+    single-class shape: value comparisons between two classes of the same
+    tree, and disjunctions over several classes (the OR translation).  The
+    ``label`` names the predicate in plan explanations.
+    """
+
+    name = "TreeFilter"
+
+    def __init__(self, predicate, label: str, input_op: Operator = None):
+        super().__init__([input_op] if input_op is not None else [])
+        self.predicate = predicate
+        self.label = label
+
+    def execute(
+        self, ctx: Context, inputs: List[TreeSequence]
+    ) -> TreeSequence:
+        out = TreeSequence()
+        for tree in inputs[0]:
+            if self.predicate(tree):
+                out.append(tree)
+        return out
+
+    def params(self) -> str:
+        return self.label
+
+
+def cross_class_predicate(left_lcl: int, op: str, right_lcl: int):
+    """Predicate: some pair of (left, right) class nodes compares true.
+
+    Implements a value join whose sides live in the same tree (same-source
+    joins), with existential semantics over the node pairs.
+    """
+    from ..model.value import compare
+
+    def test(tree) -> bool:
+        lefts = tree.nodes_in_class(left_lcl)
+        rights = tree.nodes_in_class(right_lcl)
+        return any(
+            compare(l.value, op, r.value) for l in lefts for r in rights
+        )
+
+    return test
+
+
+def disjunctive_predicate(predicates: List[ClassPredicate]):
+    """Predicate: at least one disjunct holds at some node of its class."""
+
+    def test(tree) -> bool:
+        for pred in predicates:
+            if any(pred.test(n) for n in tree.nodes_in_class(pred.lcl)):
+                return True
+        return False
+
+    return test

@@ -1,0 +1,67 @@
+"""The Flatten operator ``FL[LCL_P, LCL_C]`` (Definition 5).
+
+Breaks nested trees apart *without going back to the database*: for every
+tree and every pair (p ∈ P, c ∈ C) it emits one output tree identical to
+the input except only ``c`` is retained among C — all other members of C,
+with their subtrees, are dropped.  P must bind to a singleton per tree and
+C must map to children of P.
+
+This is the second half of the Flatten rewrite (Section 4.2): evaluate the
+``*``-edge once, run the aggregate, then flatten to recover the
+one-pair-per-tree structure the join needs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import AlgebraError
+from ..model.sequence import TreeSequence
+from ..model.tree import XTree
+from .base import Context, Operator
+
+
+class FlattenOp(Operator):
+    """Emit one tree per member of class C, dropping its siblings in C."""
+
+    name = "Flatten"
+
+    def __init__(
+        self, parent_lcl: int, child_lcl: int, input_op: Operator = None
+    ) -> None:
+        super().__init__([input_op] if input_op is not None else [])
+        self.parent_lcl = parent_lcl
+        self.child_lcl = child_lcl
+
+    def execute(
+        self, ctx: Context, inputs: List[TreeSequence]
+    ) -> TreeSequence:
+        out = TreeSequence()
+        for tree in inputs[0]:
+            parent = tree.singleton(self.parent_lcl, self.name)
+            members = tree.nodes_in_class(self.child_lcl)
+            if not all(any(m is c for c in parent.children) for m in members):
+                raise AlgebraError(
+                    f"Flatten: class {self.child_lcl} must map to children "
+                    f"of class {self.parent_lcl}"
+                )
+            for keep_index in range(len(members)):
+                copy = tree.clone()
+                parent_copy = copy.singleton(self.parent_lcl, self.name)
+                member_position = 0
+                survivors = []
+                for child in parent_copy.children:
+                    if self.child_lcl in child.lcls:
+                        if member_position == keep_index:
+                            survivors.append(child)
+                        member_position += 1
+                    else:
+                        survivors.append(child)
+                parent_copy.children = survivors
+                copy.invalidate()
+                out.append(copy)
+                ctx.metrics.trees_built += 1
+        return out
+
+    def params(self) -> str:
+        return f"({self.parent_lcl}, {self.child_lcl})"

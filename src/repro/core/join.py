@@ -1,0 +1,169 @@
+"""The Join operator ``J[apt, p]`` (Section 2.3).
+
+Joins two tree sequences on value predicates between logical classes and
+stitches matching trees under a fresh ``join_root`` node.  The right-hand
+edge of the result structure may carry any of the four matching
+specifications: ``-`` pairs one left tree with one right tree per output,
+``+``/``*`` nest *all* matching right trees under one output per left tree
+(the Nest-Value-Join of Section 5.2), and ``?``/``*`` keep left trees with
+no match (left-outer variants).
+
+Physical strategy: sort–merge–sort (Section 5.1) — sort both sides by join
+value, merge, then re-sort the output by the node id of the left input's
+root to restore document order without a nested-loop join.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import AlgebraError
+from ..model.sequence import TreeSequence
+from ..model.tree import TNode, XTree
+from ..model.value import compare
+from ..physical.value_join import nest_merge, theta_join
+from .base import (
+    Context,
+    JoinPredicate,
+    Operator,
+    class_node_id,
+    class_value,
+)
+
+
+def _key_fn(lcl: int, by_id: bool):
+    """Join-key extractor: class content, or a node-identity string."""
+    if not by_id:
+        return lambda tree: class_value(tree, lcl, "Join")
+
+    def key(tree):
+        nid = class_node_id(tree, lcl, "Join")
+        if nid is None:
+            return None
+        return "#" + ":".join(str(part) for part in nid.order_key)
+
+    return key
+
+
+class JoinOp(Operator):
+    """Value (or cartesian) join of two tree sequences."""
+
+    name = "Join"
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        predicates: Sequence[JoinPredicate] = (),
+        root_lcl: int = 0,
+        right_mspec: str = "-",
+    ) -> None:
+        super().__init__([left, right])
+        if right_mspec not in ("-", "?", "+", "*"):
+            raise AlgebraError(f"invalid join mspec {right_mspec!r}")
+        self.predicates: List[JoinPredicate] = list(predicates)
+        self.root_lcl = root_lcl
+        self.right_mspec = right_mspec
+
+    # ------------------------------------------------------------------
+    def execute(
+        self, ctx: Context, inputs: List[TreeSequence]
+    ) -> TreeSequence:
+        left, right = inputs
+        if not self.predicates:
+            pairs = [(l, r) for l in left for r in right]
+        else:
+            first = self.predicates[0]
+            left_key = _key_fn(first.left_lcl, first.by_id)
+            right_key = _key_fn(first.right_lcl, first.by_id)
+            # joins never pair trees with NULL join values
+            lefts = [t for t in left if left_key(t) is not None]
+            rights = [t for t in right if right_key(t) is not None]
+            pairs = theta_join(
+                lefts,
+                rights,
+                first.op,
+                left_key=left_key,
+                right_key=right_key,
+                metrics=ctx.metrics,
+            )
+            for pred in self.predicates[1:]:
+                lkey = _key_fn(pred.left_lcl, pred.by_id)
+                rkey = _key_fn(pred.right_lcl, pred.by_id)
+                if pred.by_id:
+                    pairs = [
+                        (l, r) for l, r in pairs if lkey(l) == rkey(r)
+                    ]
+                else:
+                    pairs = [
+                        (l, r)
+                        for l, r in pairs
+                        if compare(lkey(l), pred.op, rkey(r))
+                    ]
+        return self._stitch(ctx, left, pairs)
+
+    # ------------------------------------------------------------------
+    def _stitch(
+        self,
+        ctx: Context,
+        all_left: TreeSequence,
+        pairs: List[Tuple[XTree, XTree]],
+    ) -> TreeSequence:
+        """Build join_root output trees per the right-edge mSpec.
+
+        The pairs arrive in join-value order (the merge output); we sort
+        them back into document order *before* constructing the output
+        trees, so the fresh join_root temporary ids ascend in document
+        order — Property 4 of Section 5.1, which is what lets subsequent
+        operators re-establish order by sorting on root ids.
+        """
+        outer = self.right_mspec in ("?", "*")
+        decorated: List[Tuple[tuple, tuple, XTree, List[XTree]]] = []
+        if self.right_mspec in ("+", "*"):
+            clusters = nest_merge(
+                pairs, list(all_left), outer=outer, metrics=ctx.metrics
+            )
+            for left_tree, cluster in clusters:
+                first_right = (
+                    cluster[0].order_key if cluster else (2, 0, 0)
+                )
+                decorated.append(
+                    (left_tree.order_key, first_right, left_tree, cluster)
+                )
+        else:
+            matched = set()
+            for left_tree, right_tree in pairs:
+                matched.add(id(left_tree))
+                decorated.append(
+                    (
+                        left_tree.order_key,
+                        right_tree.order_key,
+                        left_tree,
+                        [right_tree],
+                    )
+                )
+            if outer:
+                for left_tree in all_left:
+                    if id(left_tree) not in matched:
+                        decorated.append(
+                            (left_tree.order_key, (2, 0, 0), left_tree, [])
+                        )
+        # the final sort of sort-merge-sort: restore document order
+        ctx.metrics.sort_ops += 1
+        decorated.sort(key=lambda item: (item[0], item[1]))
+        result = TreeSequence()
+        for _, _, left_tree, rights in decorated:
+            result.append(self._make_tree(left_tree, rights))
+            ctx.metrics.trees_built += 1
+        return result
+
+    def _make_tree(self, left: XTree, rights: List[XTree]) -> XTree:
+        root = TNode("join_root", lcls={self.root_lcl} if self.root_lcl else None)
+        root.add_child(left.root.clone())
+        for right in rights:
+            root.add_child(right.root.clone())
+        return XTree(root)
+
+    def params(self) -> str:
+        preds = ", ".join(p.describe() for p in self.predicates) or "cartesian"
+        return f"[{preds}] mspec={self.right_mspec!r} root_lcl={self.root_lcl}"

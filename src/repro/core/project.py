@@ -1,0 +1,125 @@
+"""The Project operator ``P[nl]`` (Section 2.3).
+
+Retains only the nodes identified by the list of logical class labels; the
+relative hierarchy among retained nodes is preserved (a retained node hangs
+under its closest retained ancestor).  "If the output is not a tree, the
+input tree root is also retained."
+
+TLC projection keeps just the marked nodes — late materialization.  The
+``with_subtrees`` flag implements the TAX variant that retains each node's
+*entire subtree* ("the entire subtree is retrieved for such nodes",
+Section 6.1's description of the TAX plan) — early materialization, and the
+cost the paper charges TAX for.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..model.node_id import NodeId
+from ..model.sequence import TreeSequence
+from ..model.tree import TNode, XTree
+from .base import Context, Operator
+
+
+class ProjectOp(Operator):
+    """Project each tree onto the nodes of the given logical classes."""
+
+    name = "Project"
+
+    def __init__(
+        self,
+        keep_lcls: Sequence[int],
+        input_op: Operator = None,
+        with_subtrees: bool = False,
+    ) -> None:
+        super().__init__([input_op] if input_op is not None else [])
+        self.keep_lcls = list(keep_lcls)
+        self.with_subtrees = with_subtrees
+
+    def execute(
+        self, ctx: Context, inputs: List[TreeSequence]
+    ) -> TreeSequence:
+        keep = set(self.keep_lcls)
+        out = TreeSequence()
+        for tree in inputs[0]:
+            out.append(self._project_tree(ctx, tree, keep))
+        return out
+
+    def _project_tree(self, ctx: Context, tree: XTree, keep: set) -> XTree:
+        def retained_below(node: TNode) -> List[TNode]:
+            """Projected forest of retained nodes in node's subtree."""
+            collected: List[TNode] = []
+            for child in node.children:
+                if child.shadowed:
+                    continue
+                if child.lcls & keep:
+                    collected.append(self._copy_node(ctx, child, keep))
+                else:
+                    collected.extend(retained_below(child))
+            return collected
+
+        root = tree.root
+        if root.lcls & keep:
+            projected = self._copy_node(ctx, root, keep)
+            return XTree(projected)
+        top = retained_below(root)
+        if len(top) == 1:
+            return XTree(top[0])
+        # not a tree: retain the input root as the connector
+        new_root = TNode(root.tag, root.value, root.nid, root.lcls)
+        new_root.add_children(top)
+        return XTree(new_root)
+
+    def _copy_node(self, ctx: Context, node: TNode, keep: set) -> TNode:
+        """Copy a retained node, continuing the scan below it."""
+        if not isinstance(node.nid, NodeId) and node.tag != "join_root":
+            # constructed content is atomic for projection: it cannot be
+            # re-fetched from the database, so a retained constructed
+            # element keeps its whole subtree ("inner construct elements
+            # referenced in the outer clause should survive the outer
+            # projection", Section 3)
+            return node.clone()
+        if self.with_subtrees and isinstance(node.nid, NodeId):
+            # TAX early materialization: fetch the complete stored subtree,
+            # then transfer the class markings of witness descendants onto
+            # the matching fetched nodes so joins can still address them
+            copy = ctx.db.subtree(node.nid, node.lcls)
+            by_nid = {n.nid: n for n in copy.walk()}
+            for descendant in node.walk():
+                if descendant is node or not descendant.lcls:
+                    continue
+                target = by_nid.get(descendant.nid)
+                if target is not None:
+                    target.lcls.update(descendant.lcls)
+            return copy
+        copy = TNode(node.tag, node.value, node.nid, node.lcls)
+        for child in node.children:
+            if child.shadowed:
+                # shadowed nodes are invisible to the operator but are
+                # *retained* in the intermediate result ("a logical means
+                # to retain nodes … but have them not participating"),
+                # awaiting a later Illuminate
+                copy.add_child(child.clone())
+                continue
+            if child.lcls & keep:
+                copy.add_child(self._copy_node(ctx, child, keep))
+            else:
+                for kept in self._descend(ctx, child, keep):
+                    copy.add_child(kept)
+        return copy
+
+    def _descend(self, ctx: Context, node: TNode, keep: set) -> List[TNode]:
+        collected: List[TNode] = []
+        for child in node.children:
+            if child.shadowed:
+                continue
+            if child.lcls & keep:
+                collected.append(self._copy_node(ctx, child, keep))
+            else:
+                collected.extend(self._descend(ctx, child, keep))
+        return collected
+
+    def params(self) -> str:
+        kind = " +subtrees" if self.with_subtrees else ""
+        return f"keep {sorted(self.keep_lcls)}{kind}"

@@ -1,0 +1,57 @@
+"""The Select operator: pattern-tree matching as an algebra step.
+
+``S[apt](S)`` performs a pattern tree match for each input tree and outputs
+"the entire set of the matching witness trees for all input trees"
+(Section 2.3).  Three cases:
+
+* **document-rooted** (no input): the pattern matches the stored document —
+  the leaf Selects of every plan (boxes 1 and 2 of Figure 7);
+* **extension** (root references a logical class): the input trees are
+  extended below their class nodes, reusing earlier match work — the
+  pattern-tree-reuse Selects (boxes 8 and 9 of Figure 7);
+* **in-memory**: the pattern is matched against each input tree itself —
+  the TAX-style semantics, also used on constructed (temporary) content.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import AlgebraError
+from ..model.sequence import TreeSequence
+from ..patterns.apt import APT
+from ..patterns.match import match_in_tree
+from .base import Context, Operator
+
+
+class SelectOp(Operator):
+    """Select ``S[apt]``; see module docstring for the three modes."""
+
+    name = "Select"
+
+    def __init__(self, apt: APT, input_op: Operator = None) -> None:
+        super().__init__([input_op] if input_op is not None else [])
+        self.apt = apt
+
+    def execute(
+        self, ctx: Context, inputs: List[TreeSequence]
+    ) -> TreeSequence:
+        if self.apt.root.lc_ref is not None:
+            if not inputs:
+                raise AlgebraError("extension Select needs an input")
+            return ctx.matcher.extend(self.apt, inputs[0])
+        if not inputs:
+            if self.apt.doc is None:
+                raise AlgebraError("leaf Select needs a bound document")
+            return ctx.matcher.match(self.apt)
+        out = TreeSequence()
+        ctx.metrics.pattern_matches += 1
+        for tree in inputs[0]:
+            out.extend(match_in_tree(self.apt, tree))
+        return out
+
+    def params(self) -> str:
+        root = self.apt.root
+        if root.lc_ref is not None:
+            return f"extend ({root.lc_ref})"
+        return f"doc={self.apt.doc!r} root={root.test.describe()}"

@@ -1,0 +1,86 @@
+"""Shadow and Illuminate (Definitions 6 and 7).
+
+Shadow behaves like Flatten — one output tree per (p, c) pair — but instead
+of *dropping* the other members of C it marks them (and their subtrees)
+**shadowed**: still members of their logical classes, but invisible to
+every operator except Illuminate.  Illuminate renders all shadowed nodes of
+one class active again; it does not change the number of trees.
+
+Together they let a plan evaluate a join on the one-pair-per-tree structure
+and afterwards recover *all* clustered members without a second trip to the
+database (Section 4.3's rewrite).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import AlgebraError
+from ..model.sequence import TreeSequence
+from .base import Context, Operator
+
+
+class ShadowOp(Operator):
+    """Like Flatten, but hides siblings in C instead of dropping them."""
+
+    name = "Shadow"
+
+    def __init__(
+        self, parent_lcl: int, child_lcl: int, input_op: Operator = None
+    ) -> None:
+        super().__init__([input_op] if input_op is not None else [])
+        self.parent_lcl = parent_lcl
+        self.child_lcl = child_lcl
+
+    def execute(
+        self, ctx: Context, inputs: List[TreeSequence]
+    ) -> TreeSequence:
+        out = TreeSequence()
+        for tree in inputs[0]:
+            parent = tree.singleton(self.parent_lcl, self.name)
+            members = tree.nodes_in_class(self.child_lcl)
+            if not all(any(m is c for c in parent.children) for m in members):
+                raise AlgebraError(
+                    f"Shadow: class {self.child_lcl} must map to children "
+                    f"of class {self.parent_lcl}"
+                )
+            for keep_index in range(len(members)):
+                copy = tree.clone()
+                parent_copy = copy.singleton(self.parent_lcl, self.name)
+                member_position = 0
+                for child in parent_copy.children:
+                    if self.child_lcl in child.lcls:
+                        child.shadowed = member_position != keep_index
+                        member_position += 1
+                copy.invalidate()
+                out.append(copy)
+                ctx.metrics.trees_built += 1
+        return out
+
+    def params(self) -> str:
+        return f"({self.parent_lcl}, {self.child_lcl})"
+
+
+class IlluminateOp(Operator):
+    """Render all shadowed nodes of one class (and their subtrees) active."""
+
+    name = "Illuminate"
+
+    def __init__(self, lcl: int, input_op: Operator = None) -> None:
+        super().__init__([input_op] if input_op is not None else [])
+        self.lcl = lcl
+
+    def execute(
+        self, ctx: Context, inputs: List[TreeSequence]
+    ) -> TreeSequence:
+        out = TreeSequence()
+        for tree in inputs[0]:
+            copy = tree.clone()
+            for node in copy.nodes_in_class(self.lcl, include_shadowed=True):
+                node.shadowed = False
+            copy.invalidate()
+            out.append(copy)
+        return out
+
+    def params(self) -> str:
+        return f"({self.lcl})"

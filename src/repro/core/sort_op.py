@@ -1,0 +1,51 @@
+"""The Sort operator (ORDER BY support).
+
+``Sort[LCL_1 … LCL_n, Mode]`` orders the tree sequence by the content of
+the listed classes' nodes (Figure 6's OrderClause case).  Each key class is
+expected to bind to at most one node per tree; an empty class orders first.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..model.sequence import TreeSequence
+from ..physical.sort import sort_trees
+from .base import Context, Operator
+
+
+class SortOp(Operator):
+    """Sort trees by the values of one or more logical classes."""
+
+    name = "Sort"
+
+    def __init__(
+        self,
+        lcls: Sequence[int],
+        descending: bool = False,
+        input_op: Operator = None,
+    ) -> None:
+        super().__init__([input_op] if input_op is not None else [])
+        self.lcls = list(lcls)
+        self.descending = descending
+
+    def execute(
+        self, ctx: Context, inputs: List[TreeSequence]
+    ) -> TreeSequence:
+        def key_for(lcl: int):
+            def key(tree):
+                nodes = tree.nodes_in_class(lcl)
+                return nodes[0].value if nodes else None
+
+            return key
+
+        return sort_trees(
+            inputs[0],
+            [key_for(lcl) for lcl in self.lcls],
+            descending=self.descending,
+            metrics=ctx.metrics,
+        )
+
+    def params(self) -> str:
+        mode = "desc" if self.descending else "asc"
+        return f"by {self.lcls} {mode}"

@@ -1,0 +1,51 @@
+"""Union of tree sequences (the OR translation of Figure 6).
+
+"OR is translated to UNION of the operators produced on both sides", with
+the root node of each path assigned the same LCL on both sides.  The union
+concatenates its inputs and removes trees whose shared-root node id was
+already produced, preserving document order of the output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..model.sequence import TreeSequence
+from .base import Context, Operator
+
+
+class UnionOp(Operator):
+    """Concatenate inputs, optionally deduplicating by a shared class."""
+
+    name = "Union"
+
+    def __init__(
+        self,
+        inputs: Sequence[Operator],
+        dedup_lcl: Optional[int] = None,
+    ) -> None:
+        super().__init__(inputs)
+        self.dedup_lcl = dedup_lcl
+
+    def execute(
+        self, ctx: Context, inputs: List[TreeSequence]
+    ) -> TreeSequence:
+        merged = TreeSequence()
+        for sequence in inputs:
+            merged.extend(sequence)
+        if self.dedup_lcl is None:
+            return merged.sorted_by_root()
+        seen = set()
+        out = TreeSequence()
+        for tree in merged.sorted_by_root():
+            nodes = tree.nodes_in_class(self.dedup_lcl)
+            key = nodes[0].nid if nodes else None
+            if key not in seen:
+                seen.add(key)
+                out.append(tree)
+        return out
+
+    def params(self) -> str:
+        if self.dedup_lcl is None:
+            return ""
+        return f"dedup ({self.dedup_lcl})"

@@ -1,0 +1,129 @@
+"""High-level facade: load documents, run XQuery under any of the four
+engines (TLC / TAX / GTP / NAV), optionally with the Section 4 rewrites.
+
+This is the entry point downstream users and the benchmark harness share::
+
+    from repro import Engine
+    engine = Engine()
+    engine.load_xml("auction.xml", xml_text)
+    result = engine.run(query_text)               # TLC by default
+    result = engine.run(query_text, engine="gtp")  # a competitor
+    result = engine.run(query_text, optimize=True) # Flatten/Shadow rewrites
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+from .baselines.gtp.translator import translate_gtp
+from .baselines.nav.evaluator import NavEvaluator
+from .baselines.tax.translator import translate_tax
+from .core.base import Context, Operator
+from .core.evaluator import evaluate
+from .errors import ReproError
+from .model.sequence import TreeSequence
+from .storage.database import DEFAULT_POOL_PAGES, Database
+from .storage.stats import QueryReport
+from .xquery.translator import TranslationResult, translate_query
+
+#: Engine names accepted by :meth:`Engine.run`.
+ENGINES = ("tlc", "tax", "gtp", "nav")
+
+
+class Engine:
+    """A database plus the four query evaluation strategies of Section 6."""
+
+    def __init__(
+        self,
+        db: Optional[Database] = None,
+        pool_pages: int = DEFAULT_POOL_PAGES,
+    ) -> None:
+        self.db = db if db is not None else Database(pool_pages)
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def load_xml(self, name: str, text: str):
+        """Parse and store an XML document."""
+        return self.db.load_xml(name, text)
+
+    def load_xmark(self, factor: float = 0.01, name: str = "auction.xml"):
+        """Generate and store a synthetic XMark document."""
+        from .xmark.generator import load_xmark
+
+        return load_xmark(self.db, factor, name)
+
+    # ------------------------------------------------------------------
+    # planning and execution
+    # ------------------------------------------------------------------
+    def plan(
+        self, query: str, engine: str = "tlc", optimize: bool = False
+    ) -> TranslationResult:
+        """Translate a query into a plan for the given algebraic engine.
+
+        ``nav`` has no plan (it interprets the AST); asking for one raises.
+        """
+        if engine == "tlc":
+            translation = translate_query(query)
+            if optimize:
+                from .rewrites.pipeline import optimize_plan
+
+                translation = optimize_plan(translation)
+            return translation
+        if optimize:
+            raise ReproError(
+                "the Flatten/Shadow rewrites are TLC-specific (Section 4)"
+            )
+        if engine == "tax":
+            return translate_tax(query)
+        if engine == "gtp":
+            return translate_gtp(query)
+        raise ReproError(f"engine {engine!r} has no algebraic plan")
+
+    def run(
+        self,
+        query: str,
+        engine: str = "tlc",
+        optimize: bool = False,
+    ) -> TreeSequence:
+        """Evaluate a query and return the result forest."""
+        if engine not in ENGINES:
+            raise ReproError(
+                f"unknown engine {engine!r}; choose one of {ENGINES}"
+            )
+        if engine == "nav":
+            if optimize:
+                raise ReproError("rewrites do not apply to navigation")
+            return NavEvaluator(self.db).run(query)
+        translation = self.plan(query, engine, optimize)
+        return evaluate(translation.plan, Context(self.db))
+
+    def run_plan(self, plan: Operator) -> TreeSequence:
+        """Evaluate an already-built plan against this engine's database."""
+        return evaluate(plan, Context(self.db))
+
+    # ------------------------------------------------------------------
+    # measurement (the benchmark harness entry point)
+    # ------------------------------------------------------------------
+    def measure(
+        self,
+        query: str,
+        engine: str = "tlc",
+        optimize: bool = False,
+        label: str = "",
+        cold_cache: bool = False,
+    ) -> QueryReport:
+        """Run a query and report wall time plus the work counters."""
+        self.db.reset_metrics(cold_cache=cold_cache)
+        started = time.perf_counter()
+        result = self.run(query, engine=engine, optimize=optimize)
+        elapsed = time.perf_counter() - started
+        name = engine + ("+opt" if optimize else "")
+        return QueryReport(
+            engine=name,
+            query=label or query.strip().splitlines()[0],
+            seconds=elapsed,
+            counters=self.db.metrics.snapshot(),
+            result_trees=len(result),
+        )

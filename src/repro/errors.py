@@ -1,0 +1,78 @@
+"""Exception hierarchy for the TLC reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class StorageError(ReproError):
+    """Raised for failures in the storage layer (pages, documents, indexes)."""
+
+
+class XMLParseError(StorageError):
+    """Raised when an XML document cannot be parsed."""
+
+    def __init__(self, message: str, line: int = -1, column: int = -1):
+        location = f" at line {line}, column {column}" if line >= 0 else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class PatternError(ReproError):
+    """Raised for malformed annotated pattern trees or match requests."""
+
+
+class AlgebraError(ReproError):
+    """Raised when a TLC algebra operator receives invalid input.
+
+    The paper requires several operators (Join predicates, Flatten, Shadow,
+    Duplicate-Elimination) to be applied to logical classes that bind to
+    singleton sets; violating that contract "generates an error" (Section
+    2.3), which surfaces as this exception.
+    """
+
+
+class CardinalityError(AlgebraError):
+    """Raised when a logical class does not bind to the required singleton."""
+
+    def __init__(self, lcl: int, found: int, operator: str):
+        super().__init__(
+            f"operator {operator} requires logical class {lcl} to bind to a "
+            f"singleton set per tree, found {found} nodes"
+        )
+        self.lcl = lcl
+        self.found = found
+        self.operator = operator
+
+
+class XQueryError(ReproError):
+    """Base class for XQuery front-end failures."""
+
+
+class XQuerySyntaxError(XQueryError):
+    """Raised when the query text does not conform to the Figure 5 grammar."""
+
+    def __init__(self, message: str, line: int = -1, column: int = -1):
+        location = f" at line {line}, column {column}" if line >= 0 else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class TranslationError(XQueryError):
+    """Raised when a parsed query cannot be translated to a TLC plan."""
+
+
+class RewriteError(ReproError):
+    """Raised when a rewrite rule is applied to a plan it does not match."""
+
+
+class EvaluationError(ReproError):
+    """Raised when plan evaluation fails at runtime."""

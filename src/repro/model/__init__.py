@@ -1,0 +1,30 @@
+"""Data model: atomic values, node identifiers, result trees, sequences."""
+
+from .node_id import (
+    AnyNodeId,
+    NodeId,
+    TempId,
+    TempIdAllocator,
+    new_temp_id,
+    structurally_related,
+)
+from .sequence import TreeSequence
+from .tree import TNode, XTree
+from .value import COMPARISON_OPS, atomize, coerce_number, compare, sort_key
+
+__all__ = [
+    "AnyNodeId",
+    "NodeId",
+    "TempId",
+    "TempIdAllocator",
+    "new_temp_id",
+    "structurally_related",
+    "TreeSequence",
+    "TNode",
+    "XTree",
+    "COMPARISON_OPS",
+    "atomize",
+    "coerce_number",
+    "compare",
+    "sort_key",
+]

@@ -1,0 +1,93 @@
+"""Sequences of trees — the currency of every algebra operator.
+
+Every TLC operator "maps one or more sets of trees to one set of trees"
+(Section 2.3).  We model the sets as ordered sequences because XQuery
+requires document order on output; :class:`TreeSequence` provides the small
+set of bulk helpers the operators share.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional
+
+from .tree import TNode, XTree
+
+
+class TreeSequence:
+    """An ordered sequence of :class:`~repro.model.tree.XTree`.
+
+    Thin wrapper over a list: iteration, indexing and length behave as for
+    lists, plus ordering helpers used by the physical operators.
+    """
+
+    __slots__ = ("trees",)
+
+    def __init__(self, trees: Optional[Iterable[XTree]] = None) -> None:
+        self.trees: List[XTree] = list(trees) if trees is not None else []
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[XTree]:
+        return iter(self.trees)
+
+    def __len__(self) -> int:
+        return len(self.trees)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return TreeSequence(self.trees[index])
+        return self.trees[index]
+
+    def __bool__(self) -> bool:
+        return bool(self.trees)
+
+    def append(self, tree: XTree) -> None:
+        """Append one tree."""
+        self.trees.append(tree)
+
+    def extend(self, trees: Iterable[XTree]) -> None:
+        """Append every tree of ``trees`` in order."""
+        self.trees.extend(trees)
+
+    # ------------------------------------------------------------------
+    # bulk helpers
+    # ------------------------------------------------------------------
+    def sorted_by_root(self) -> "TreeSequence":
+        """New sequence sorted in document order of the tree roots.
+
+        This is the cheap "sort on node id" step of the paper's
+        sort-merge-sort join strategy (Section 5.1) that re-establishes
+        document order after a value join.
+        """
+        return TreeSequence(sorted(self.trees, key=lambda t: t.order_key))
+
+    def sorted_by(self, key: Callable[[XTree], object]) -> "TreeSequence":
+        """New sequence sorted by an arbitrary key (stable)."""
+        return TreeSequence(sorted(self.trees, key=key))
+
+    def map_trees(
+        self, transform: Callable[[XTree], Optional[XTree]]
+    ) -> "TreeSequence":
+        """New sequence of ``transform(tree)`` results, dropping ``None``."""
+        out = TreeSequence()
+        for tree in self.trees:
+            result = transform(tree)
+            if result is not None:
+                out.append(result)
+        return out
+
+    def roots(self) -> List[TNode]:
+        """The root nodes of all trees, in sequence order."""
+        return [tree.root for tree in self.trees]
+
+    def canonical(self, by_content: bool = True) -> tuple:
+        """Hashable canonical form of the whole sequence (for tests)."""
+        return tuple(tree.canonical(by_content) for tree in self.trees)
+
+    def to_xml(self) -> str:
+        """Serialise every tree, newline separated (for examples/tests)."""
+        return "\n".join(tree.to_xml() for tree in self.trees)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TreeSequence n={len(self.trees)}>"

@@ -1,0 +1,244 @@
+"""In-memory result trees with logical-class membership.
+
+Intermediate results in every engine of this reproduction are *sequences of
+trees*.  Each tree node carries:
+
+* ``tag``   — element name; attribute nodes use the ``@name`` convention,
+* ``value`` — the node's atomic text content (or ``None``),
+* ``nid``   — its identifier: a stored :class:`~repro.model.node_id.NodeId`
+  for database nodes, a :class:`~repro.model.node_id.TempId` for nodes
+  created during execution (join roots, constructed elements),
+* ``lcls``  — the set of Logical Class Labels the node belongs to
+  (Definition 4; a node may be marked by more than one class),
+* ``shadowed`` — visibility flag used by the Shadow/Illuminate operators
+  (Section 4.3): a shadowed node remains a member of its logical classes but
+  is invisible to every operator except Illuminate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .node_id import AnyNodeId, new_temp_id
+from .value import Atomic
+
+
+class TNode:
+    """A node of an in-memory result tree."""
+
+    __slots__ = ("tag", "value", "nid", "children", "lcls", "shadowed")
+
+    def __init__(
+        self,
+        tag: str,
+        value: Optional[Atomic] = None,
+        nid: Optional[AnyNodeId] = None,
+        lcls: Optional[Iterable[int]] = None,
+    ) -> None:
+        self.tag = tag
+        self.value = value
+        self.nid: AnyNodeId = nid if nid is not None else new_temp_id()
+        self.children: List["TNode"] = []
+        self.lcls: set = set(lcls) if lcls else set()
+        self.shadowed = False
+
+    # ------------------------------------------------------------------
+    # structure manipulation
+    # ------------------------------------------------------------------
+    def add_child(self, child: "TNode") -> "TNode":
+        """Append ``child`` and return it (for chaining)."""
+        self.children.append(child)
+        return child
+
+    def add_children(self, children: Iterable["TNode"]) -> None:
+        """Append every tree node in ``children`` in order."""
+        self.children.extend(children)
+
+    def remove_child(self, child: "TNode") -> None:
+        """Remove ``child`` by identity."""
+        self.children = [c for c in self.children if c is not child]
+
+    def visible_children(self) -> List["TNode"]:
+        """Children that are not shadowed."""
+        return [c for c in self.children if not c.shadowed]
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def walk(self, include_shadowed: bool = False) -> Iterator["TNode"]:
+        """Pre-order traversal of this subtree.
+
+        Shadowed nodes (and their entire subtrees) are skipped unless
+        ``include_shadowed`` is set — mirroring the paper's rule that a
+        shadowed node "is not visible to any operator other than
+        illuminate".
+        """
+        if self.shadowed and not include_shadowed:
+            return
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node.shadowed and not include_shadowed and node is not self:
+                continue
+            yield node
+            stack.extend(reversed(node.children))
+
+    def find(
+        self, want: Callable[["TNode"], bool], include_shadowed: bool = False
+    ) -> List["TNode"]:
+        """All nodes in this subtree satisfying ``want``, in document order."""
+        return [n for n in self.walk(include_shadowed) if want(n)]
+
+    def parent_map(self, include_shadowed: bool = True) -> Dict[int, "TNode"]:
+        """Map ``id(child) -> parent`` over this subtree."""
+        mapping: Dict[int, TNode] = {}
+        for node in self.walk(include_shadowed=include_shadowed):
+            for child in node.children:
+                mapping[id(child)] = node
+        return mapping
+
+    # ------------------------------------------------------------------
+    # copying and equality
+    # ------------------------------------------------------------------
+    def clone(self) -> "TNode":
+        """Deep copy preserving node ids, classes and shadow flags."""
+        copy = TNode(self.tag, self.value, self.nid, self.lcls)
+        copy.shadowed = self.shadowed
+        copy.children = [child.clone() for child in self.children]
+        return copy
+
+    def canonical(self, by_content: bool = True) -> Tuple:
+        """Hashable canonical form for duplicate elimination and testing.
+
+        With ``by_content`` the form is ``(tag, value, children...)``; node
+        identity is ignored.  Without it the node id participates, matching
+        the ``ci`` parameter of the Duplicate-Elimination operator.
+        Shadowed nodes are excluded (invisible to the operator).
+        """
+        kids = tuple(
+            c.canonical(by_content) for c in self.children if not c.shadowed
+        )
+        if by_content:
+            return (self.tag, self.value, kids)
+        return (self.tag, self.value, self.nid, kids)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def to_xml(self) -> str:
+        """Serialise this subtree to a compact XML string.
+
+        ``@name`` children render as attributes; shadowed nodes are omitted.
+        Intended for examples and tests — the storage layer owns the real
+        serialiser.
+        """
+        if self.tag.startswith("@"):
+            return ""
+        attrs = "".join(
+            ' {}="{}"'.format(
+                c.tag[1:],
+                _escape(str(c.value)) if c.value is not None else "",
+            )
+            for c in self.children
+            if c.tag.startswith("@") and not c.shadowed
+        )
+        inner = "".join(
+            c.to_xml()
+            for c in self.children
+            if not c.tag.startswith("@") and not c.shadowed
+        )
+        text = _escape(str(self.value)) if self.value is not None else ""
+        body = f"{text}{inner}"
+        if not body:
+            return f"<{self.tag}{attrs}/>"
+        return f"<{self.tag}{attrs}>{body}</{self.tag}>"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        lcl = f" lcls={sorted(self.lcls)}" if self.lcls else ""
+        shadow = " shadowed" if self.shadowed else ""
+        return f"<TNode {self.tag}={self.value!r}{lcl}{shadow}>"
+
+
+def _escape(text: str) -> str:
+    """Escape XML special characters in text and attribute content."""
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+class XTree:
+    """A single tree of an intermediate result, with its LC index.
+
+    The logical-class index (``LCL -> [nodes]``) is derived lazily from node
+    markings and cached; operators that perform structural surgery call
+    :meth:`invalidate` (or construct a fresh ``XTree``).
+    """
+
+    __slots__ = ("root", "_lc_index", "_lc_index_shadowed")
+
+    def __init__(self, root: TNode) -> None:
+        self.root = root
+        self._lc_index: Optional[Dict[int, List[TNode]]] = None
+        self._lc_index_shadowed: Optional[Dict[int, List[TNode]]] = None
+
+    def invalidate(self) -> None:
+        """Drop the cached LC index after structural modification."""
+        self._lc_index = None
+        self._lc_index_shadowed = None
+
+    def _build_index(self, include_shadowed: bool) -> Dict[int, List[TNode]]:
+        index: Dict[int, List[TNode]] = {}
+        for node in self.root.walk(include_shadowed=include_shadowed):
+            for lcl in node.lcls:
+                index.setdefault(lcl, []).append(node)
+        return index
+
+    def nodes_in_class(
+        self, lcl: int, include_shadowed: bool = False
+    ) -> List[TNode]:
+        """All (visible) nodes belonging to logical class ``lcl``.
+
+        Base data carries no class markings, so unknown classes map to the
+        empty set — exactly the paper's convention ("When no logical class
+        information exists in a tree we assume the class maps to the empty
+        set").
+        """
+        if include_shadowed:
+            if self._lc_index_shadowed is None:
+                self._lc_index_shadowed = self._build_index(True)
+            return list(self._lc_index_shadowed.get(lcl, ()))
+        if self._lc_index is None:
+            self._lc_index = self._build_index(False)
+        return list(self._lc_index.get(lcl, ()))
+
+    def singleton(self, lcl: int, operator: str) -> TNode:
+        """The unique node of class ``lcl``; raises CardinalityError else."""
+        from ..errors import CardinalityError
+
+        nodes = self.nodes_in_class(lcl)
+        if len(nodes) != 1:
+            raise CardinalityError(lcl, len(nodes), operator)
+        return nodes[0]
+
+    def clone(self) -> "XTree":
+        """Deep copy of the tree (ids, classes and shadow flags preserved)."""
+        return XTree(self.root.clone())
+
+    @property
+    def order_key(self) -> Tuple[int, int, int]:
+        """Document-order key of the tree (its root's id order)."""
+        return self.root.nid.order_key
+
+    def canonical(self, by_content: bool = True) -> Tuple:
+        """Hashable canonical form of the whole tree."""
+        return self.root.canonical(by_content)
+
+    def to_xml(self) -> str:
+        """Serialise the tree to XML (see :meth:`TNode.to_xml`)."""
+        return self.root.to_xml()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<XTree root={self.root.tag}>"

@@ -1,0 +1,113 @@
+"""Untyped-atomic value semantics for XML content.
+
+XML text content is untyped.  The paper's queries compare content both
+numerically (``$p/age > 25``) and as strings (``@id = @person``), so this
+module centralises the coercion and comparison rules used by every engine in
+the reproduction (TLC, TAX, GTP and the navigational baseline), guaranteeing
+that all four agree on predicate semantics.
+
+Rules (untyped-atomic, XPath 1.0 flavoured):
+
+* If *both* operands parse as numbers, compare numerically.
+* Otherwise compare the raw strings (Python string ordering).
+* ``None`` (a node without content) never satisfies any comparison.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Optional, Union
+
+Atomic = Union[str, int, float]
+
+#: Comparison operators accepted by the Figure 5 grammar, plus
+#: ``contains`` (substring test — the XMark x14 function, supported as an
+#: extension across all four engines).
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=", "contains")
+
+_PY_OPS: dict[str, Callable[[object, object], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "contains": lambda left, right: str(right) in str(left),
+}
+
+
+def coerce_number(text: Atomic) -> Optional[float]:
+    """Return ``text`` as a float if it looks numeric, else ``None``.
+
+    Accepts integers, decimals and scientific notation with surrounding
+    whitespace; rejects empty strings and non-numeric junk.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    if text is None:
+        return None
+    stripped = text.strip()
+    if not stripped:
+        return None
+    try:
+        number = float(stripped)
+    except ValueError:
+        return None
+    if number != number:  # NaN breaks comparison trichotomy: treat the
+        return None       # literal text "nan" as a plain string
+    return number
+
+
+def compare(left: Optional[Atomic], op: str, right: Optional[Atomic]) -> bool:
+    """Compare two atomic values under untyped-atomic semantics.
+
+    ``left`` and ``right`` may be strings (raw XML content), numbers, or
+    ``None`` (absent content).  Absent content fails every comparison,
+    including ``!=`` — a missing value is "unknown", not "different".
+
+    >>> compare("25", ">", 20)
+    True
+    >>> compare("person12", "=", "person12")
+    True
+    >>> compare(None, "=", "x")
+    False
+    """
+    if op not in _PY_OPS:
+        raise ValueError(f"unknown comparison operator: {op!r}")
+    if left is None or right is None:
+        return False
+    if op == "contains":
+        return _PY_OPS[op](str(left), str(right))
+    left_num = coerce_number(left)
+    right_num = coerce_number(right)
+    if left_num is not None and right_num is not None:
+        return _PY_OPS[op](left_num, right_num)
+    return _PY_OPS[op](str(left), str(right))
+
+
+def atomize(value: Optional[Atomic]) -> Optional[Atomic]:
+    """Normalise a value for duplicate-elimination and sort keys.
+
+    Numbers and numeric strings collapse to floats so that ``"07"`` and
+    ``"7.0"`` are duplicates; other strings pass through unchanged.
+    """
+    if value is None:
+        return None
+    number = coerce_number(value)
+    if number is not None:
+        return number
+    return str(value)
+
+
+def sort_key(value: Optional[Atomic]) -> tuple:
+    """Total-order sort key over heterogeneous atomic values.
+
+    Orders ``None`` first, then numbers, then strings, so that ``ORDER BY``
+    never raises on mixed content.
+    """
+    if value is None:
+        return (0, 0.0, "")
+    number = coerce_number(value)
+    if number is not None:
+        return (1, number, "")
+    return (2, 0.0, str(value))

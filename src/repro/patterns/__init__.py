@@ -1,0 +1,19 @@
+"""Annotated pattern trees, logical classes and the match engine."""
+
+from .apt import APT, AXES, MSPECS, APTEdge, APTNode, pattern_node
+from .logical_class import LCLAllocator
+from .match import PatternMatcher, match_in_tree
+from .predicates import NodeTest
+
+__all__ = [
+    "APT",
+    "AXES",
+    "MSPECS",
+    "APTEdge",
+    "APTNode",
+    "pattern_node",
+    "LCLAllocator",
+    "PatternMatcher",
+    "match_in_tree",
+    "NodeTest",
+]

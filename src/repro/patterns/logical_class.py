@@ -1,0 +1,32 @@
+"""Logical class label allocation.
+
+The paper assigns each logical class a label (LCL) that is "a unique number
+associated with each tree" — in practice the translator allocates labels
+globally per plan (Figure 6 keeps a single ``LCLCounter``), which trivially
+guarantees per-tree uniqueness.  We follow the same scheme.
+"""
+
+from __future__ import annotations
+
+
+class LCLAllocator:
+    """Monotonic allocator of logical class labels, starting at 1."""
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+
+    def allocate(self) -> int:
+        """Return a fresh label."""
+        label = self._next
+        self._next += 1
+        return label
+
+    def reserve(self, label: int) -> None:
+        """Ensure future allocations stay above an externally chosen label."""
+        if label >= self._next:
+            self._next = label + 1
+
+    @property
+    def high_water(self) -> int:
+        """The next label that would be allocated."""
+        return self._next

@@ -1,0 +1,566 @@
+"""Pattern-tree matching (Definition 3) for annotated pattern trees.
+
+Two matchers share the combination logic:
+
+* :class:`PatternMatcher` matches APTs against *stored documents* through
+  the structural-join machinery of Section 5.2 (``-``→structural join,
+  ``?``→left-outer, ``+``→nest join, ``*``→left-outer-nest join), and
+  supports *extension* patterns whose root references a logical class of
+  the input trees (pattern-tree reuse, Section 4.1).
+* :func:`match_in_tree` matches an APT against an in-memory tree — used by
+  the TAX baseline (whose operators re-match patterns on intermediate
+  results), for extension below temporary nodes, and by the Figure 4 tests.
+
+Both produce the heterogeneous witness trees of Definition 3: one witness
+per valid mapping *h*, with every matched node tagged by its pattern node's
+Logical Class Label.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import PatternError
+from ..model.node_id import NodeId, TempId
+from ..model.sequence import TreeSequence
+from ..model.tree import TNode, XTree
+from ..physical.structural_join import join_for_mspec
+from ..storage.database import Database
+from .apt import APT, APTEdge, APTNode
+
+
+class _MTree:
+    """One match variant of a pattern node: identity plus per-edge slots.
+
+    ``ref`` is set when the match lives in an in-memory tree (the node is
+    marked rather than copied); otherwise ``nid/tag/value`` describe a
+    stored node to materialise.
+    """
+
+    __slots__ = ("nid", "tag", "value", "slots", "ref")
+
+    def __init__(self, nid, tag, value, slots=None, ref=None):
+        self.nid = nid
+        self.tag = tag
+        self.value = value
+        self.slots: List[List["_MTree"]] = slots if slots is not None else []
+        self.ref: Optional[TNode] = ref
+
+
+def _cluster_alternatives(
+    members: List[_MTree], keyer
+) -> List[List[_MTree]]:
+    """Expand a nest-join cluster into alternatives without duplicate nodes.
+
+    A ``+``/``*`` cluster must contain each matching *node* once; if some
+    node produced several variants (its own ``-`` sub-edges multiplied), the
+    alternatives are the cross product across nodes.
+    """
+    groups: Dict[object, List[_MTree]] = {}
+    order: List[object] = []
+    for member in members:
+        key = keyer(member)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(member)
+    if all(len(groups[key]) == 1 for key in order):
+        return [members]
+    return [list(combo) for combo in itertools.product(*(groups[k] for k in order))]
+
+
+def _expand_nested(
+    joined: List[Tuple[_MTree, List[List[_MTree]]]],
+    mspec: str,
+    keyer,
+) -> List[Tuple[_MTree, List[List[_MTree]]]]:
+    """Post-process join output so nested clusters have unique members."""
+    if mspec not in ("+", "*"):
+        return joined
+    out = []
+    for parent, alternatives in joined:
+        expanded: List[List[_MTree]] = []
+        for cluster in alternatives:
+            if cluster:
+                expanded.extend(_cluster_alternatives(cluster, keyer))
+            else:
+                expanded.append(cluster)
+        out.append((parent, expanded))
+    return out
+
+
+def _combine_edge(
+    partials: List[_MTree],
+    joined: List[Tuple[_MTree, List[List[_MTree]]]],
+) -> List[_MTree]:
+    """Extend each partial with its alternatives for one more edge."""
+    by_parent = {id(parent): alts for parent, alts in joined}
+    out: List[_MTree] = []
+    for partial in partials:
+        alternatives = by_parent.get(id(partial))
+        if alternatives is None:
+            continue  # parent dropped by a mandatory edge
+        for alt in alternatives:
+            out.append(
+                _MTree(
+                    partial.nid,
+                    partial.tag,
+                    partial.value,
+                    partial.slots + [alt],
+                    partial.ref,
+                )
+            )
+    return out
+
+
+class PatternMatcher:
+    """Matches annotated pattern trees against a :class:`Database`."""
+
+    def __init__(
+        self,
+        db: Database,
+        order_edges: bool = False,
+        strategy: str = "binary",
+    ) -> None:
+        self.db = db
+        #: With ``order_edges`` the matcher processes a node's mandatory
+        #: edges in ascending candidate-count order before its optional
+        #: edges — the structural-join-order idea of the paper's reference
+        #: [19] ("Join order should be considered by an optimizer … for
+        #: our implementation we used a simple bottom-up approach"); the
+        #: default reproduces the paper's unordered behaviour.
+        self.order_edges = order_edges
+        #: ``strategy="holistic"`` matches eligible patterns (all edges
+        #: ``-``, no content predicates) with the TwigStack holistic join
+        #: of reference [3] instead of cascaded binary structural joins;
+        #: ineligible patterns fall back to the binary cascade.
+        if strategy not in ("binary", "holistic"):
+            raise PatternError(f"unknown match strategy {strategy!r}")
+        self.strategy = strategy
+
+    def _edge_plan(self, node: APTNode, doc_name: str) -> list:
+        """The edge processing order for one pattern node."""
+        edges = list(node.edges)
+        if not self.order_edges or len(edges) < 2:
+            return edges
+        index = self.db.tag_index(doc_name)
+
+        def cost(edge) -> tuple:
+            tag = edge.child.test.tag
+            count = index.count(tag) if tag else float("inf")
+            mandatory = edge.mspec in ("-", "+")
+            # mandatory edges prune partials: run them first, cheapest
+            # candidate list first; optional edges only expand
+            return (not mandatory, count)
+
+        return sorted(edges, key=cost)
+
+    # ------------------------------------------------------------------
+    # document-rooted matching
+    # ------------------------------------------------------------------
+    def match(self, apt: APT) -> TreeSequence:
+        """All witness trees of ``apt`` against its bound document."""
+        if apt.doc is None:
+            raise PatternError("document-rooted match needs apt.doc")
+        if apt.root.lc_ref is not None:
+            raise PatternError("use extend() for class-referencing patterns")
+        apt.validate()
+        self.db.metrics.pattern_matches += 1
+        if self.strategy == "holistic" and _holistic_eligible(apt.root):
+            return self._match_holistic(apt)
+        memo: Dict[int, List[_MTree]] = {}
+        matches = self._match_node_db(apt.root, apt.doc, memo)
+        out = TreeSequence()
+        for mtree in matches:
+            out.append(XTree(self._build(mtree, apt.root)))
+            self.db.metrics.trees_built += 1
+        return out
+
+    def _match_holistic(self, apt: APT) -> TreeSequence:
+        """Match a '-'-only predicate-free pattern with TwigStack."""
+        from ..physical.twigstack import TwigNode, twig_stack
+
+        def to_twig(node: APTNode, axis: str) -> TwigNode:
+            if node.test.tag == "doc_root":
+                stream = [self.db.document(apt.doc).root_id]
+            else:
+                stream = self.db.tag_lookup(apt.doc, node.test.tag)
+            twig = TwigNode(str(node.lcl), stream, axis)
+            for edge in node.edges:
+                twig.children.append(to_twig(edge.child, edge.axis))
+            return twig
+
+        twig_root = to_twig(apt.root, "ad")
+        matches = twig_stack(twig_root, self.db.metrics)
+        out = TreeSequence()
+        for assignment in matches:
+            out.append(XTree(self._build_assignment(apt.root, assignment)))
+            self.db.metrics.trees_built += 1
+        return TreeSequence(
+            sorted(out, key=lambda tree: tree.order_key)
+        )
+
+    def _build_assignment(self, node: APTNode, assignment) -> TNode:
+        nid = assignment[str(node.lcl)]
+        record = self.db.owner(nid).fetch_by_id(nid)
+        built = TNode(record.tag, record.value, nid, {node.lcl})
+        for edge in node.edges:
+            built.add_child(
+                self._build_assignment(edge.child, assignment)
+            )
+        return built
+
+    # ------------------------------------------------------------------
+    # extension matching (pattern-tree reuse)
+    # ------------------------------------------------------------------
+    def extend(self, apt: APT, trees: TreeSequence) -> TreeSequence:
+        """Extend input trees below their ``apt.root.lc_ref`` class nodes.
+
+        For each input tree and each valid combination of matches of the
+        pattern's edges below each anchor node, emit one output tree: a
+        clone of the input with the new branches attached (stored anchors)
+        or with existing nodes marked into the new classes (temporary
+        anchors, matched in memory).
+        """
+        root = apt.root
+        if root.lc_ref is None:
+            raise PatternError("extension pattern must reference a class")
+        apt.validate()
+        self.db.metrics.pattern_matches += 1
+        memo: Dict[int, List[_MTree]] = {}
+        starts_cache: Dict[int, list] = {}
+        mandatory = any(e.mspec in ("-", "+") for e in root.edges)
+        out = TreeSequence()
+        for tree in trees:
+            anchors = tree.nodes_in_class(root.lc_ref)
+            if not anchors:
+                if not mandatory:
+                    out.append(tree.clone())
+                continue
+            if not all(
+                root.test.matches_content(a.value) for a in anchors
+            ):
+                continue
+            per_anchor: List[List[_MTree]] = []
+            dead = False
+            for anchor in anchors:
+                variants = self._anchor_variants(
+                    anchor, root.edges, memo, starts_cache
+                )
+                if not variants:
+                    dead = True
+                    break
+                per_anchor.append(variants)
+            if dead:
+                continue
+            for combo in itertools.product(*per_anchor):
+                out.append(self._graft(tree, anchors, combo, root.edges))
+                self.db.metrics.trees_built += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # internals: database-side matching
+    # ------------------------------------------------------------------
+    def _candidates(self, node: APTNode, doc_name: str) -> List[_MTree]:
+        """Stored candidates for one pattern node, document order."""
+        db = self.db
+        test = node.test
+        if test.tag == "doc_root":
+            document = db.document(doc_name)
+            root_id = document.root_id
+            return [_MTree(root_id, "doc_root", None)]
+        if test.tag is None:
+            document = db.document(doc_name)
+            out = []
+            for idx in range(len(document.records)):
+                rec = document.fetch(idx)
+                if test.matches_content(rec.value):
+                    out.append(
+                        _MTree(document.node_id(idx), rec.tag, rec.value)
+                    )
+            return out
+        indexable = tuple(
+            (op, val)
+            for op, val in test.comparisons
+            if op in ("=", "!=", "<", "<=", ">", ">=")
+        )
+        if indexable:
+            op0, val0 = indexable[0]
+            ids = db.value_lookup(doc_name, test.tag, op0, val0)
+            rest = tuple(
+                c for c in test.comparisons if c != indexable[0]
+            )
+        else:
+            ids = db.tag_lookup(doc_name, test.tag)
+            rest = test.comparisons
+        out = []
+        for nid in ids:
+            rec = db.owner(nid).fetch_by_id(nid)
+            if all(
+                _compare_ok(rec.value, op, val) for op, val in rest
+            ):
+                out.append(_MTree(nid, rec.tag, rec.value))
+        return out
+
+    def _match_node_db(
+        self, node: APTNode, doc_name: str, memo: Dict[int, List[_MTree]]
+    ) -> List[_MTree]:
+        """All match variants of a pattern subtree, document order."""
+        key = id(node)
+        if key in memo:
+            return memo[key]
+        partials = self._candidates(node, doc_name)
+        planned = self._edge_plan(node, doc_name)
+        for edge in planned:
+            children = self._match_node_db(edge.child, doc_name, memo)
+            joined = join_for_mspec(
+                partials,
+                children,
+                edge.axis,
+                edge.mspec,
+                self.db.metrics,
+                parent_id=lambda m: m.nid,
+                child_id=lambda m: m.nid,
+            )
+            joined = _expand_nested(joined, edge.mspec, lambda m: m.nid)
+            partials = _combine_edge(partials, joined)
+        if planned != node.edges:
+            # witness building zips slots with node.edges: restore order
+            original_position = {
+                id(edge): index for index, edge in enumerate(node.edges)
+            }
+            for partial in partials:
+                reordered = [None] * len(node.edges)
+                for processed_index, edge in enumerate(planned):
+                    reordered[
+                        original_position[id(edge)]
+                    ] = partial.slots[processed_index]
+                partial.slots = reordered
+        memo[key] = partials
+        return partials
+
+    def _build(self, mtree: _MTree, node: APTNode) -> TNode:
+        """Materialise one match variant as a witness tree."""
+        built = TNode(mtree.tag, mtree.value, mtree.nid, {node.lcl})
+        for edge, matches in zip(node.edges, mtree.slots):
+            for child in matches:
+                built.add_child(self._build(child, edge.child))
+        return built
+
+    # ------------------------------------------------------------------
+    # internals: anchors and grafting for extension patterns
+    # ------------------------------------------------------------------
+    def _anchor_variants(
+        self,
+        anchor: TNode,
+        edges: List[APTEdge],
+        memo: Dict[int, List[_MTree]],
+        starts_cache: Dict[int, list] = None,
+    ) -> List[_MTree]:
+        """Match variants of the pattern edges below one anchor node.
+
+        ``starts_cache`` memoises the sorted probe keys of each edge's
+        candidate list across anchors — the extension Select visits one
+        anchor per input tree, and rebuilding the key array every time
+        would make pattern reuse quadratic.
+        """
+        if isinstance(anchor.nid, NodeId):
+            doc_name = self.db.owner(anchor.nid).name
+            partials = [_MTree(anchor.nid, anchor.tag, anchor.value)]
+            for edge in edges:
+                children = self._match_node_db(edge.child, doc_name, memo)
+                child_starts = None
+                if starts_cache is not None:
+                    key = id(children)
+                    if key not in starts_cache:
+                        starts_cache[key] = [
+                            (m.nid.doc, m.nid.start) for m in children
+                        ]
+                    child_starts = starts_cache[key]
+                joined = join_for_mspec(
+                    partials,
+                    children,
+                    edge.axis,
+                    edge.mspec,
+                    self.db.metrics,
+                    parent_id=lambda m: m.nid,
+                    child_id=lambda m: m.nid,
+                    child_starts=child_starts,
+                )
+                joined = _expand_nested(joined, edge.mspec, lambda m: m.nid)
+                partials = _combine_edge(partials, joined)
+            return partials
+        # temporary anchor: match inside the in-memory tree
+        return _match_tree_variants(
+            _MTree(anchor.nid, anchor.tag, anchor.value, ref=anchor), edges
+        )
+
+    def _graft(
+        self,
+        tree: XTree,
+        anchors: List[TNode],
+        combo: Sequence[_MTree],
+        edges: List[APTEdge],
+    ) -> XTree:
+        """One output tree: clone the input, attach or mark matches."""
+        mapping: Dict[int, TNode] = {}
+        root_copy = _clone_with_map(tree.root, mapping)
+        for anchor, variant in zip(anchors, combo):
+            host = mapping[id(anchor)]
+            for edge, matches in zip(edges, variant.slots):
+                for child in matches:
+                    _apply_match(child, edge.child, host, mapping)
+        return XTree(root_copy)
+
+
+def _compare_ok(value, op, rhs) -> bool:
+    from ..model.value import compare
+
+    return compare(value, op, rhs)
+
+
+def _clone_with_map(node: TNode, mapping: Dict[int, TNode]) -> TNode:
+    copy = TNode(node.tag, node.value, node.nid, node.lcls)
+    copy.shadowed = node.shadowed
+    mapping[id(node)] = copy
+    copy.children = [
+        _clone_with_map(child, mapping) for child in node.children
+    ]
+    return copy
+
+
+def _apply_match(
+    mtree: _MTree,
+    pattern: APTNode,
+    host: TNode,
+    mapping: Dict[int, TNode],
+) -> None:
+    """Attach a stored match under ``host``, or mark an in-memory match."""
+    if mtree.ref is not None:
+        target = mapping[id(mtree.ref)]
+        target.lcls.add(pattern.lcl)
+        for edge, matches in zip(pattern.edges, mtree.slots):
+            for child in matches:
+                _apply_match(child, edge.child, target, mapping)
+        return
+    built = TNode(mtree.tag, mtree.value, mtree.nid, {pattern.lcl})
+    host.add_child(built)
+    for edge, matches in zip(pattern.edges, mtree.slots):
+        for child in matches:
+            _apply_match(child, edge.child, built, mapping)
+
+
+def _holistic_eligible(root: APTNode) -> bool:
+    """Is a pattern in TwigStack's supported fragment?
+
+    All edges must be mandatory (``-``) and no node may carry content
+    comparisons — the classic twig-join setting.  Anything richer uses
+    the binary cascade.
+    """
+    for node in root.walk():
+        if node.test.comparisons or node.test.tag is None:
+            return False
+        for edge in node.edges:
+            if edge.mspec != "-":
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# in-memory matching
+# ----------------------------------------------------------------------
+def _tree_candidates(
+    scope: TNode, test, axis: str, include_scope: bool = False
+) -> List[TNode]:
+    """Visible nodes related to ``scope`` by ``axis`` satisfying ``test``."""
+    if axis == "pc":
+        pool = scope.visible_children()
+    else:
+        pool = [n for n in scope.walk() if n is not scope]
+    if include_scope:
+        pool = [scope] + pool
+    return [n for n in pool if test.matches(n.tag, n.value)]
+
+
+def _match_tree_node(pattern: APTNode, candidate: TNode) -> List[_MTree]:
+    """Match variants of a pattern subtree rooted at one tree node."""
+    partials = [
+        _MTree(candidate.nid, candidate.tag, candidate.value, ref=candidate)
+    ]
+    return _match_tree_variants(partials[0], pattern.edges)
+
+
+def _match_tree_variants(
+    base: _MTree, edges: List[APTEdge]
+) -> List[_MTree]:
+    """Expand ``base`` with match variants for each pattern edge in turn."""
+    partials = [base]
+    scope = base.ref
+    assert scope is not None
+    for edge in edges:
+        child_nodes = _tree_candidates(scope, edge.child.test, edge.axis)
+        child_variants: List[_MTree] = []
+        for node in child_nodes:
+            child_variants.extend(_match_tree_node(edge.child, node))
+        if edge.mspec in ("-", "?"):
+            alternatives: List[List[_MTree]] = [
+                [variant] for variant in child_variants
+            ]
+            if edge.mspec == "?" and not alternatives:
+                alternatives = [[]]
+        else:
+            if child_variants:
+                alternatives = _cluster_alternatives(
+                    child_variants, lambda m: id(m.ref)
+                )
+            elif edge.mspec == "*":
+                alternatives = [[]]
+            else:
+                alternatives = []
+        new_partials: List[_MTree] = []
+        for partial in partials:
+            for alt in alternatives:
+                new_partials.append(
+                    _MTree(
+                        partial.nid,
+                        partial.tag,
+                        partial.value,
+                        partial.slots + [alt],
+                        partial.ref,
+                    )
+                )
+        partials = new_partials
+        if not partials:
+            break
+    return partials
+
+
+def _build_witness(mtree: _MTree, pattern: APTNode) -> TNode:
+    """Copy one in-memory match variant into a fresh witness tree."""
+    built = TNode(mtree.tag, mtree.value, mtree.nid, {pattern.lcl})
+    for edge, matches in zip(pattern.edges, mtree.slots):
+        for child in matches:
+            built.add_child(_build_witness(child, edge.child))
+    return built
+
+
+def match_in_tree(apt: APT, tree: XTree) -> TreeSequence:
+    """Match an APT against one in-memory tree, yielding witness trees.
+
+    The pattern root may match any visible node of the tree (as in the TAX
+    algebra, whose selections pattern-match their input trees).  Witness
+    trees are fresh copies of the matched nodes, tagged with the pattern's
+    class labels — the Figure 4 semantics.
+    """
+    apt.validate()
+    out = TreeSequence()
+    candidates = [
+        n
+        for n in tree.root.walk()
+        if apt.root.test.matches(n.tag, n.value)
+    ]
+    for candidate in candidates:
+        for variant in _match_tree_node(apt.root, candidate):
+            out.append(XTree(_build_witness(variant, apt.root)))
+    return out

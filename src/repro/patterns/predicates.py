@@ -1,0 +1,47 @@
+"""Node predicates for annotated pattern trees.
+
+Definition 2 associates with each pattern node a predicate ``P_v`` for the
+individual node match.  In the Figure 5 fragment a node predicate is a
+conjunction of a tag test (element name or ``@attribute``) and zero or more
+content comparisons (``age > 25``); this module models exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..model.value import Atomic, compare
+
+
+@dataclass(frozen=True)
+class NodeTest:
+    """Predicate on one pattern node: tag equality plus content comparisons.
+
+    ``tag=None`` is the wildcard (any element).  ``comparisons`` is a tuple
+    of ``(op, value)`` pairs, all of which must hold on the node's atomic
+    content.
+    """
+
+    tag: Optional[str] = None
+    comparisons: Tuple[Tuple[str, Atomic], ...] = field(default_factory=tuple)
+
+    def matches(self, tag: str, value: Optional[Atomic]) -> bool:
+        """Evaluate the full predicate against a node's tag and content."""
+        if self.tag is not None and tag != self.tag:
+            return False
+        return all(compare(value, op, rhs) for op, rhs in self.comparisons)
+
+    def matches_content(self, value: Optional[Atomic]) -> bool:
+        """Evaluate only the content comparisons."""
+        return all(compare(value, op, rhs) for op, rhs in self.comparisons)
+
+    def with_comparison(self, op: str, value: Atomic) -> "NodeTest":
+        """A copy of this test with one more content comparison."""
+        return NodeTest(self.tag, self.comparisons + ((op, value),))
+
+    def describe(self) -> str:
+        """Human-readable form used by plan pretty-printers."""
+        base = self.tag if self.tag is not None else "*"
+        conds = "".join(f"[{op}{value!r}]" for op, value in self.comparisons)
+        return f"{base}{conds}"

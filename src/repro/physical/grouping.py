@@ -1,0 +1,137 @@
+"""Explicit group-by restructuring — the operation TLC avoids.
+
+TAX and GTP have no annotated pattern edges, so whenever a query needs
+nested structure (aggregates, LET bindings, multi-argument RETURNs) they run
+a *grouping procedure*: split the flat witness trees, group by the parent
+node, rebuild the nested tree, and merge the per-branch results (Section
+6.1 describes the DAG-like split/group/merge).  We implement it faithfully
+as the baselines' restructuring primitive; its cost relative to nest-joins
+is exactly what Figures 15 and 16 measure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..model.node_id import AnyNodeId
+from ..model.sequence import TreeSequence
+from ..model.tree import TNode, XTree
+from ..storage.stats import Metrics
+
+
+def group_by_node(
+    trees: TreeSequence,
+    group_lcl: int,
+    member_lcl: int,
+    metrics: Optional[Metrics] = None,
+) -> TreeSequence:
+    """Group flat witness trees by the identity of their ``group_lcl`` node.
+
+    Input trees each contain one node of class ``group_lcl`` and one node of
+    class ``member_lcl`` (the flat pattern-match output).  The result has
+    one tree per distinct group node, with *all* its members attached under
+    it — the structure a single nest-join would have produced directly.
+
+    The procedure materialises a hash of every input tree (this is the
+    expensive part: "groupby costs more than nest-joins", Section 6.3).
+    """
+    if metrics is not None:
+        metrics.groupby_ops += 1
+    buckets: Dict[AnyNodeId, XTree] = {}
+    order: List[AnyNodeId] = []
+    for tree in trees:
+        group_nodes = tree.nodes_in_class(group_lcl)
+        if not group_nodes:
+            continue
+        group_node = group_nodes[0]
+        members = tree.nodes_in_class(member_lcl)
+        key = group_node.nid
+        if key not in buckets:
+            host_root = group_node.clone()
+            _prune_class(host_root, member_lcl)
+            buckets[key] = XTree(host_root)
+            order.append(key)
+        host = buckets[key].root
+        for member in members:
+            host.add_child(member.clone())
+        buckets[key].invalidate()
+        if metrics is not None:
+            metrics.trees_built += 1
+    return TreeSequence([buckets[key] for key in order])
+
+
+def _prune_class(node: TNode, lcl: int) -> None:
+    """Remove every node of class ``lcl`` (with its subtree) below ``node``."""
+    node.children = [c for c in node.children if lcl not in c.lcls]
+    for child in node.children:
+        _prune_class(child, lcl)
+
+
+def group_merge(
+    base: TreeSequence,
+    branches: Sequence[TreeSequence],
+    base_key_lcl: int,
+    branch_key_lcls: Sequence[int],
+    metrics: Optional[Metrics] = None,
+) -> TreeSequence:
+    """Merge grouped branches back onto base trees by shared node identity.
+
+    This is the "merge the produced paths" step of the baselines' DAG
+    procedure: each branch sequence was grouped independently; its trees
+    re-attach to the base tree whose ``base_key_lcl`` node has the same
+    stored identity as the branch's ``branch_key_lcls[i]`` node.
+    """
+    if metrics is not None:
+        metrics.groupby_ops += 1
+    out = TreeSequence()
+    branch_maps: List[Dict[AnyNodeId, List[XTree]]] = []
+    for branch, key_lcl in zip(branches, branch_key_lcls):
+        mapping: Dict[AnyNodeId, List[XTree]] = {}
+        for tree in branch:
+            keys = tree.nodes_in_class(key_lcl)
+            if keys:
+                mapping.setdefault(keys[0].nid, []).append(tree)
+        branch_maps.append(mapping)
+    for tree in base:
+        keys = tree.nodes_in_class(base_key_lcl)
+        if not keys:
+            out.append(tree)
+            continue
+        key = keys[0].nid
+        merged = tree.clone()
+        anchor = merged.nodes_in_class(base_key_lcl)[0]
+        for mapping in branch_maps:
+            for branch_tree in mapping.get(key, ()):
+                for child in branch_tree.root.children:
+                    anchor.add_child(child.clone())
+        merged.invalidate()
+        out.append(merged)
+        if metrics is not None:
+            metrics.trees_built += 1
+    return out
+
+
+def split_by_class(
+    trees: TreeSequence,
+    keep: Callable[[TNode], bool],
+    metrics: Optional[Metrics] = None,
+) -> TreeSequence:
+    """Split step of the DAG procedure: project each tree to chosen nodes.
+
+    Returns clones of the input trees retaining only nodes accepted by
+    ``keep`` (roots always survive).
+    """
+    if metrics is not None:
+        metrics.groupby_ops += 1
+    out = TreeSequence()
+    for tree in trees:
+        root = tree.root.clone()
+
+        def prune(node: TNode) -> None:
+            node.children = [c for c in node.children if keep(c)]
+            for child in node.children:
+                prune(child)
+
+        prune(root)
+        out.append(XTree(root))
+    return out

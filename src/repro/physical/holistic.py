@@ -1,0 +1,136 @@
+"""Holistic path matching: the PathStack algorithm (reference [3]).
+
+Section 7 notes that algebraic native XQuery engines evaluate path
+expressions "via structural joins [1], holistic joins [3]".  The default
+matcher composes binary structural joins edge by edge, materialising the
+intermediate result of every join.  **PathStack** (Bruno, Koudas,
+Srivastava: *Holistic Twig Joins*, SIGMOD 2002) evaluates a whole linear
+path in one synchronized pass over the per-tag candidate streams, with a
+chain of stacks encoding all partial solutions compactly — no
+intermediate results, O(sum of input sizes + output size).
+
+This module implements PathStack for linear chains (each pattern node has
+at most one child), which covers the paper's long-path queries (x15/x16
+walk a seven-step chain).  ``bench_ablation_holistic.py`` compares it
+against the binary-join pipeline; a property test asserts both produce
+identical solution sets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..model.node_id import NodeId
+from ..storage.stats import Metrics
+
+#: One stack entry: (node, index of the parent-stack top at push time).
+_Entry = Tuple[NodeId, int]
+
+
+def path_stack(
+    streams: Sequence[Sequence[NodeId]],
+    axes: Sequence[str],
+    metrics: Optional[Metrics] = None,
+) -> List[Tuple[NodeId, ...]]:
+    """All root-to-leaf solutions of a linear path pattern.
+
+    ``streams[i]`` holds the candidates for path level *i* in document
+    order; ``axes[i]`` (``"ad"`` or ``"pc"``) constrains the edge between
+    level *i-1* and level *i* (``axes[0]`` is ignored — the root level
+    has no incoming edge).  Solutions are emitted in leaf document order;
+    each is a tuple of one node per level.
+    """
+    n_levels = len(streams)
+    if n_levels == 0:
+        return []
+    if len(axes) != n_levels:
+        raise ValueError("need one axis per level")
+    if metrics is not None:
+        metrics.structural_joins += 1
+    stacks: List[List[_Entry]] = [[] for _ in range(n_levels)]
+    cursors = [0] * n_levels
+    out: List[Tuple[NodeId, ...]] = []
+
+    def next_level() -> Optional[int]:
+        """The level whose current candidate starts first."""
+        best = None
+        best_key = None
+        for level in range(n_levels):
+            if cursors[level] >= len(streams[level]):
+                continue
+            node = streams[level][cursors[level]]
+            key = (node.doc, node.start)
+            if best_key is None or key < best_key:
+                best, best_key = level, key
+        return best
+
+    while True:
+        if cursors[n_levels - 1] >= len(streams[n_levels - 1]):
+            break  # no further leaf can produce a solution
+        level = next_level()
+        if level is None:
+            break
+        node = streams[level][cursors[level]]
+        cursors[level] += 1
+        for stack in stacks:
+            while stack and not _spans(stack[-1][0], node):
+                stack.pop()
+        if level > 0 and not stacks[level - 1]:
+            continue  # no live ancestor: the candidate cannot extend
+        parent_top = len(stacks[level - 1]) - 1 if level > 0 else -1
+        stacks[level].append((node, parent_top))
+        if level == n_levels - 1:
+            _emit(stacks, axes, len(stacks[level]) - 1, out)
+    return out
+
+
+def _spans(ancestor: NodeId, node: NodeId) -> bool:
+    """Does ``ancestor``'s interval still cover ``node``'s start?"""
+    return ancestor.doc == node.doc and node.start < ancestor.end
+
+
+def _emit(
+    stacks: List[List[_Entry]],
+    axes: Sequence[str],
+    leaf_index: int,
+    out: List[Tuple[NodeId, ...]],
+) -> None:
+    """Expand every solution ending at the just-pushed leaf entry."""
+    n_levels = len(stacks)
+
+    def expand(level: int, entry_index: int, suffix: Tuple[NodeId, ...]):
+        node, parent_top = stacks[level][entry_index]
+        chain = (node,) + suffix
+        if level == 0:
+            out.append(chain)
+            return
+        for ancestor_index in range(parent_top + 1):
+            ancestor = stacks[level - 1][ancestor_index][0]
+            if not ancestor.contains(node):
+                continue
+            if axes[level] == "pc" and node.level != ancestor.level + 1:
+                continue
+            expand(level - 1, ancestor_index, chain)
+
+    expand(n_levels - 1, leaf_index, ())
+
+
+def match_path_holistic(
+    db,
+    doc_name: str,
+    steps: Sequence[Tuple[str, str]],
+    metrics: Optional[Metrics] = None,
+) -> List[Tuple[NodeId, ...]]:
+    """Match a linear ``(axis, tag)`` path against a document holistically.
+
+    Convenience wrapper: pulls candidate streams from the tag index and
+    runs :func:`path_stack`.  The implicit root level is the document's
+    ``doc_root``.
+    """
+    streams: List[Sequence[NodeId]] = [[db.document(doc_name).root_id]]
+    axes: List[str] = ["ad"]
+    for axis, tag in steps:
+        streams.append(db.tag_lookup(doc_name, tag))
+        axes.append(axis)
+    solutions = path_stack(streams, axes, metrics)
+    return [solution[1:] for solution in solutions]  # drop doc_root

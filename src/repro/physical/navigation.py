@@ -1,0 +1,94 @@
+"""Navigation primitives for the navigational baseline.
+
+Section 6.1: "The algorithm traverses down a path by recursively getting
+all children of a node and checking them for a condition on content or name
+before proceeding on the next iteration."  Every child fetched counts a
+navigation step (and pays the buffer-pool touch through the document's
+metered ``children_ids``), which is why navigation suffers on ``//`` paths,
+on counts and on highly selective queries (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..model.node_id import NodeId
+from ..storage.database import Database
+
+
+def child_step(
+    db: Database, node: NodeId, tag: Optional[str] = None
+) -> List[NodeId]:
+    """All children of ``node``, optionally filtered by tag.
+
+    Fetches *every* child (and meters it) before filtering — navigation has
+    no index to consult, it must look at each child's name.
+    """
+    db.metrics.navigation_steps += 1
+    children = db.children(node)
+    if tag is None:
+        return children
+    out = []
+    for child in children:
+        if db.tag_of(child) == tag:
+            out.append(child)
+    return out
+
+
+def descendant_step(
+    db: Database, node: NodeId, tag: Optional[str] = None
+) -> List[NodeId]:
+    """All descendants of ``node`` with the given tag, document order.
+
+    Recursively fetches all children of all nodes below ``node`` — the
+    worst case the paper highlights for ``//`` paths.
+    """
+    out: List[NodeId] = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        db.metrics.navigation_steps += 1
+        children = db.children(current)
+        for child in reversed(children):
+            stack.append(child)
+        for child in children:
+            if tag is None or db.tag_of(child) == tag:
+                out.append(child)
+    out.sort(key=lambda nid: nid.order_key)
+    return out
+
+
+def navigate_path(
+    db: Database,
+    start: NodeId,
+    steps: List[tuple],
+) -> List[NodeId]:
+    """Follow a simple path of ``(axis, tag)`` steps from ``start``.
+
+    ``axis`` is ``"pc"`` (``/tag``) or ``"ad"`` (``//tag``).  Returns the
+    nodes reached, in document order, duplicates removed (two ``//`` steps
+    can reach one node twice).
+    """
+    frontier = [start]
+    for axis, tag in steps:
+        next_frontier: List[NodeId] = []
+        seen = set()
+        for node in frontier:
+            if axis == "pc":
+                reached = child_step(db, node, tag)
+            else:
+                reached = descendant_step(db, node, tag)
+            for nid in reached:
+                if nid not in seen:
+                    seen.add(nid)
+                    next_frontier.append(nid)
+        next_frontier.sort(key=lambda nid: nid.order_key)
+        frontier = next_frontier
+    return frontier
+
+
+def check_content(
+    db: Database, node: NodeId, predicate: Callable[[Optional[str]], bool]
+) -> bool:
+    """Evaluate a content predicate on one node (metered fetch)."""
+    return predicate(db.value_of(node))

@@ -1,0 +1,40 @@
+"""Sorting helpers shared by the Sort operator and the join machinery."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..model.sequence import TreeSequence
+from ..model.tree import XTree
+from ..model.value import sort_key
+from ..storage.stats import Metrics
+
+
+def sort_trees(
+    trees: TreeSequence,
+    keys: Sequence[Callable[[XTree], object]],
+    descending: bool = False,
+    metrics: Optional[Metrics] = None,
+) -> TreeSequence:
+    """Stable multi-key sort of a tree sequence by atomic key values.
+
+    Each key callable extracts one atomic value per tree; values order via
+    :func:`~repro.model.value.sort_key` so mixed content never raises.
+    """
+    if metrics is not None:
+        metrics.sort_ops += 1
+
+    def composite(tree: XTree) -> tuple:
+        return tuple(sort_key(key(tree)) for key in keys)
+
+    ordered: List[XTree] = sorted(trees, key=composite, reverse=descending)
+    return TreeSequence(ordered)
+
+
+def restore_document_order(
+    trees: TreeSequence, metrics: Optional[Metrics] = None
+) -> TreeSequence:
+    """The final cheap sort of sort–merge–sort: order trees by root id."""
+    if metrics is not None:
+        metrics.sort_ops += 1
+    return trees.sorted_by_root()

@@ -1,0 +1,201 @@
+"""Structural joins over interval-encoded node ids.
+
+The basic primitive of Section 5.2: given two node-id lists sorted in
+document order, find the (ancestor, descendant) or (parent, child) pairs.
+Both inputs arrive sorted by ``(doc, start)`` — the tag index returns them
+that way — so each probe is a binary search over the descendant starts,
+giving the classic merge-style cost.
+
+Four result shapes implement the four matching specifications (Section 5.2):
+
+========  =======================  =============================
+mSpec     algorithm                function
+========  =======================  =============================
+``-``     structural join          :func:`pair_join`
+``?``     left-outer join          :func:`pair_join` (outer)
+``+``     nest-structural-join     :func:`nest_join`
+``*``     left-outer-nest-join     :func:`nest_join` (outer)
+========  =======================  =============================
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from ..model.node_id import NodeId
+from ..storage.stats import Metrics
+
+Item = TypeVar("Item")
+
+
+def _descendant_range(
+    parent: NodeId, starts: Sequence[Tuple[int, int]]
+) -> Tuple[int, int]:
+    """Index range of ``starts`` lying strictly inside ``parent``'s interval.
+
+    ``starts`` is a sorted list of ``(doc, start)`` keys.
+    """
+    lo = bisect.bisect_right(starts, (parent.doc, parent.start))
+    hi = bisect.bisect_left(starts, (parent.doc, parent.end))
+    return lo, hi
+
+
+def _axis_ok(parent: NodeId, child: NodeId, axis: str) -> bool:
+    if axis == "ad":
+        return True  # containment already guaranteed by the range scan
+    if axis == "pc":
+        return child.level == parent.level + 1
+    raise ValueError(f"unknown axis: {axis!r}")
+
+
+def pair_join(
+    parents: Sequence[Item],
+    children: Sequence[Item],
+    axis: str,
+    metrics: Optional[Metrics] = None,
+    parent_id: Callable[[Item], NodeId] = lambda x: x,
+    child_id: Callable[[Item], NodeId] = lambda x: x,
+    outer: bool = False,
+) -> List[Tuple[Item, Optional[Item]]]:
+    """Structural join producing one output pair per match.
+
+    With ``outer`` (the ``?`` semantics) a parent with no matching child
+    yields a single ``(parent, None)`` pair — the witness tree "is let
+    through" as in Figure 4.
+
+    Inputs must be sorted in document order of their node ids.
+    """
+    if metrics is not None:
+        metrics.structural_joins += 1
+    starts = [
+        (child_id(c).doc, child_id(c).start) for c in children
+    ]
+    out: List[Tuple[Item, Optional[Item]]] = []
+    for parent in parents:
+        pid = parent_id(parent)
+        lo, hi = _descendant_range(pid, starts)
+        matched = False
+        for idx in range(lo, hi):
+            child = children[idx]
+            if _axis_ok(pid, child_id(child), axis):
+                out.append((parent, child))
+                matched = True
+        if outer and not matched:
+            out.append((parent, None))
+    return out
+
+
+def nest_join(
+    parents: Sequence[Item],
+    children: Sequence[Item],
+    axis: str,
+    metrics: Optional[Metrics] = None,
+    parent_id: Callable[[Item], NodeId] = lambda x: x,
+    child_id: Callable[[Item], NodeId] = lambda x: x,
+    outer: bool = False,
+) -> List[Tuple[Item, List[Item]]]:
+    """Nest-structural-join (Definition 8): cluster all matches per parent.
+
+    One output per parent holding *all* its matching children; parents with
+    no match are dropped (``+``) or kept with an empty cluster when
+    ``outer`` is set (``*`` — the left-outer-nest variant).
+    """
+    if metrics is not None:
+        metrics.structural_joins += 1
+        metrics.nest_joins += 1
+    starts = [
+        (child_id(c).doc, child_id(c).start) for c in children
+    ]
+    out: List[Tuple[Item, List[Item]]] = []
+    for parent in parents:
+        pid = parent_id(parent)
+        lo, hi = _descendant_range(pid, starts)
+        cluster = [
+            children[idx]
+            for idx in range(lo, hi)
+            if _axis_ok(pid, child_id(children[idx]), axis)
+        ]
+        if cluster or outer:
+            out.append((parent, cluster))
+    return out
+
+
+def join_for_mspec(
+    parents: Sequence[Item],
+    children: Sequence[Item],
+    axis: str,
+    mspec: str,
+    metrics: Optional[Metrics] = None,
+    parent_id: Callable[[Item], NodeId] = lambda x: x,
+    child_id: Callable[[Item], NodeId] = lambda x: x,
+    child_starts: Optional[Sequence[Tuple[int, int]]] = None,
+) -> List[Tuple[Item, List[List[Item]]]]:
+    """Dispatch a pattern edge to the right join and normalise the output.
+
+    Returns, for each surviving parent, the list of *alternatives*; each
+    alternative is the list of children to place in the witness tree:
+
+    * ``-``  one alternative per matching child (cross-product semantics),
+    * ``?``  like ``-`` plus one empty alternative when nothing matched,
+    * ``+``  exactly one alternative holding the whole cluster,
+    * ``*``  one alternative holding the (possibly empty) cluster.
+
+    This normal form is what the pattern matcher combines across edges.
+
+    ``child_starts`` may carry the pre-sorted ``(doc, start)`` keys of
+    ``children``; the extension matcher passes a cached copy so probing
+    one anchor at a time stays logarithmic instead of rebuilding the key
+    array per probe.
+    """
+    if child_starts is not None:
+        if metrics is not None:
+            metrics.structural_joins += 1
+            if mspec in ("+", "*"):
+                metrics.nest_joins += 1
+        out: List[Tuple[Item, List[List[Item]]]] = []
+        for parent in parents:
+            pid = parent_id(parent)
+            lo, hi = _descendant_range(pid, child_starts)
+            matched = [
+                children[idx]
+                for idx in range(lo, hi)
+                if _axis_ok(pid, child_id(children[idx]), axis)
+            ]
+            if mspec == "-":
+                if matched:
+                    out.append((parent, [[m] for m in matched]))
+            elif mspec == "?":
+                out.append(
+                    (parent, [[m] for m in matched] if matched else [[]])
+                )
+            elif mspec == "+":
+                if matched:
+                    out.append((parent, [matched]))
+            else:  # "*"
+                out.append((parent, [matched]))
+        return out
+    if mspec in ("-", "?"):
+        pairs = pair_join(
+            parents, children, axis, metrics, parent_id, child_id,
+            outer=(mspec == "?"),
+        )
+        grouped: dict = {}
+        order: List[Item] = []
+        for parent, child in pairs:
+            key = id(parent)
+            if key not in grouped:
+                grouped[key] = (parent, [])
+                order.append(parent)
+            if child is not None:
+                grouped[key][1].append([child])
+            else:
+                grouped[key][1].append([])
+        return [grouped[id(p)] for p in order]
+    if mspec in ("+", "*"):
+        nested = nest_join(
+            parents, children, axis, metrics, parent_id, child_id,
+            outer=(mspec == "*"),
+        )
+        return [(parent, [cluster]) for parent, cluster in nested]
+    raise ValueError(f"unknown matching specification: {mspec!r}")

@@ -1,0 +1,288 @@
+"""TwigStack: holistic matching of branching twig patterns (reference [3]).
+
+Extends :mod:`repro.physical.holistic` from linear paths to full twigs —
+the second algorithm of Bruno/Koudas/Srivastava (SIGMOD 2002), which the
+paper lists among the structural primitives TIMBER builds on.
+
+Phase 1 streams all candidate lists once, guided by ``getNext`` (which
+only advances a stream when its head either cannot contribute or is
+guaranteed to have a full descendant extension), pushing nodes onto
+per-pattern-node stacks and emitting **root-to-leaf path solutions**.
+Phase 2 merge-joins the per-leaf path solutions on their shared pattern
+prefixes into complete twig matches.
+
+Supported edges: ancestor-descendant throughout phase 1 (the classic
+algorithm); parent-child constraints are enforced at solution expansion —
+correct, though without TwigStack's ad-only optimality guarantee, exactly
+as the original paper notes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..model.node_id import NodeId
+from ..storage.stats import Metrics
+
+
+@dataclass
+class TwigNode:
+    """One node of a twig pattern: a candidate stream plus children."""
+
+    label: str
+    stream: Sequence[NodeId]
+    axis: str = "ad"  # edge from the parent ("ad" or "pc")
+    children: List["TwigNode"] = field(default_factory=list)
+
+    def add_child(
+        self, label: str, stream: Sequence[NodeId], axis: str = "ad"
+    ) -> "TwigNode":
+        child = TwigNode(label, stream, axis)
+        self.children.append(child)
+        return child
+
+    def walk(self) -> Iterator["TwigNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def leaves(self) -> List["TwigNode"]:
+        return [n for n in self.walk() if not n.children]
+
+
+class _State:
+    """Per-pattern-node runtime state: cursor, stack, solution buffer."""
+
+    __slots__ = ("cursor", "stack", "solutions")
+
+    def __init__(self) -> None:
+        self.cursor = 0
+        self.stack: List[Tuple[NodeId, int]] = []
+        self.solutions: List[Tuple[NodeId, ...]] = []
+
+
+def twig_stack(
+    root: TwigNode, metrics: Optional[Metrics] = None
+) -> List[Dict[str, NodeId]]:
+    """All matches of the twig; one dict (label -> node) per match.
+
+    Twig labels must be unique.  Matches are produced for every valid
+    assignment of one stream node per pattern node satisfying all edges.
+    """
+    labels = [n.label for n in root.walk()]
+    if len(set(labels)) != len(labels):
+        raise ValueError("twig labels must be unique")
+    if metrics is not None:
+        metrics.structural_joins += 1
+    states: Dict[str, _State] = {n.label: _State() for n in root.walk()}
+    parents: Dict[str, Optional[TwigNode]] = {root.label: None}
+    for node in root.walk():
+        for child in node.children:
+            parents[child.label] = node
+
+    INFINITY = (float("inf"), float("inf"))
+
+    def head(q: TwigNode) -> Optional[NodeId]:
+        state = states[q.label]
+        if state.cursor >= len(q.stream):
+            return None
+        return q.stream[state.cursor]
+
+    def start_key(q: TwigNode):
+        node = head(q)
+        return INFINITY if node is None else (node.doc, node.start)
+
+    def advance(q: TwigNode) -> None:
+        states[q.label].cursor += 1
+
+    def leaves_open(q: TwigNode) -> bool:
+        """Can any leaf below ``q`` still emit a path solution?"""
+        return any(head(leaf) is not None for leaf in q.leaves())
+
+    def get_next(q: TwigNode) -> TwigNode:
+        """The TwigStack getNext: the node whose head to act on next.
+
+        Exhausted streams behave as ``start = infinity``; when every
+        child stream is still open, heads of ``q`` that end before the
+        furthest child head are skipped (they cannot cover all
+        branches — the classic pruning).  Subtrees whose streams have
+        fully drained are routed around, so remaining leaves in other
+        branches keep emitting their path solutions.
+        """
+        if not q.children:
+            return q
+        active = [
+            c
+            for c in q.children
+            if head(c) is not None or leaves_open(c)
+        ]
+        for child in active:
+            result = get_next(child)
+            if result is not child and head(result) is not None:
+                return result
+        open_child_keys = [
+            start_key(c) for c in q.children if head(c) is not None
+        ]
+        if len(open_child_keys) == len(q.children):
+            # safe to prune: every branch still has candidates
+            max_key = max(open_child_keys)
+            current = head(q)
+            while current is not None and (
+                (current.doc, current.end) < max_key
+            ):
+                advance(q)
+                current = head(q)
+        actionable = [c for c in active if head(c) is not None]
+        if not actionable:
+            return q
+        min_child = min(actionable, key=start_key)
+        if start_key(q) < start_key(min_child):
+            return q
+        return min_child
+
+    def clean_stack(q: TwigNode, current: NodeId) -> None:
+        stack = states[q.label].stack
+        while stack and not _spans(stack[-1][0], current):
+            stack.pop()
+
+    def emit_path(q: TwigNode) -> None:
+        """Record every root-to-q chain ending at q's stack top."""
+        chain_levels: List[TwigNode] = []
+        node: Optional[TwigNode] = q
+        while node is not None:
+            chain_levels.append(node)
+            node = parents[node.label]
+        chain_levels.reverse()
+
+        def expand(depth: int, entry_index: int, suffix):
+            level = chain_levels[depth]
+            entry, parent_top = states[level.label].stack[entry_index]
+            chain = (entry,) + suffix
+            if depth == 0:
+                states[q.label].solutions.append(chain)
+                return
+            upper = chain_levels[depth - 1]
+            for ancestor_index in range(parent_top + 1):
+                ancestor = states[upper.label].stack[ancestor_index][0]
+                if not ancestor.contains(entry):
+                    continue
+                expand(depth - 1, ancestor_index, chain)
+
+        expand(
+            len(chain_levels) - 1,
+            len(states[q.label].stack) - 1,
+            (),
+        )
+
+    # ------------------------------------------------------------------
+    # phase 1: stream all lists once, buffering path solutions per leaf
+    # ------------------------------------------------------------------
+    while leaves_open(root):
+        q = get_next(root)
+        current = head(q)
+        if current is None:
+            break
+        parent = parents[q.label]
+        if parent is not None:
+            clean_stack(parent, current)
+        if parent is None or states[parent.label].stack:
+            clean_stack(q, current)
+            parent_top = (
+                len(states[parent.label].stack) - 1
+                if parent is not None
+                else -1
+            )
+            states[q.label].stack.append((current, parent_top))
+            if not q.children:
+                emit_path(q)
+                states[q.label].stack.pop()
+        advance(q)
+
+    # ------------------------------------------------------------------
+    # phase 2: merge the per-leaf path solutions on shared prefixes
+    # ------------------------------------------------------------------
+    return _merge_paths(root, states)
+
+
+def _spans(ancestor: NodeId, node: NodeId) -> bool:
+    return ancestor.doc == node.doc and node.start < ancestor.end
+
+
+def _merge_paths(
+    root: TwigNode, states: Dict[str, _State]
+) -> List[Dict[str, NodeId]]:
+    """Join per-leaf path solutions into full twig matches."""
+    leaves = root.leaves()
+    leaf_paths: List[Tuple[List[TwigNode], List[Tuple[NodeId, ...]]]] = []
+    for leaf in leaves:
+        levels: List[TwigNode] = []
+        node: Optional[TwigNode] = leaf
+        while node is not None:
+            levels.append(node)
+            node = _parent_of(root, node)
+        levels.reverse()
+        solutions = [
+            chain
+            for chain in states[leaf.label].solutions
+            if _axes_ok(levels, chain)
+        ]
+        leaf_paths.append((levels, solutions))
+
+    out: List[Dict[str, NodeId]] = []
+    seen = set()
+    for combo in itertools.product(
+        *(solutions for _, solutions in leaf_paths)
+    ):
+        assignment: Dict[str, NodeId] = {}
+        consistent = True
+        for (levels, _), chain in zip(leaf_paths, combo):
+            for level, node in zip(levels, chain):
+                existing = assignment.get(level.label)
+                if existing is None:
+                    assignment[level.label] = node
+                elif existing != node:
+                    consistent = False
+                    break
+            if not consistent:
+                break
+        if consistent:
+            key = tuple(sorted(assignment.items()))
+            if key not in seen:
+                seen.add(key)
+                out.append(assignment)
+    return out
+
+
+def _parent_of(root: TwigNode, target: TwigNode) -> Optional[TwigNode]:
+    for node in root.walk():
+        if target in node.children:
+            return node
+    return None
+
+
+def _axes_ok(levels: List[TwigNode], chain: Tuple[NodeId, ...]) -> bool:
+    """Enforce parent-child edges on one root-to-leaf chain."""
+    for depth in range(1, len(levels)):
+        if levels[depth].axis == "pc":
+            if chain[depth].level != chain[depth - 1].level + 1:
+                return False
+    return True
+
+
+def match_twig_holistic(
+    db,
+    doc_name: str,
+    root: TwigNode,
+    metrics: Optional[Metrics] = None,
+) -> List[Dict[str, NodeId]]:
+    """Convenience wrapper for twigs whose streams come from tag lookups.
+
+    TwigNodes with an empty stream get it filled from the document's tag
+    index using their label as the tag name.
+    """
+    for node in root.walk():
+        if not node.stream:
+            node.stream = db.tag_lookup(doc_name, node.label)
+    return twig_stack(root, metrics)

@@ -1,0 +1,186 @@
+"""Plan-analysis utilities for the Section 4 rewrite rules.
+
+The rewrite detectors need to know, for every operator, which logical
+classes it *uses* and which it *defines*; and they need to walk and edit
+the operator tree (parent links, chain extraction, label renames).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..core.aggregate import AggregateOp
+from ..core.base import Operator
+from ..core.construct import CClassRef, CElement, ConstructOp
+from ..core.dedup import DedupOp
+from ..core.filter import FilterOp, TreeFilterOp
+from ..core.flatten import FlattenOp
+from ..core.join import JoinOp
+from ..core.project import ProjectOp
+from ..core.select import SelectOp
+from ..core.shadow import IlluminateOp, ShadowOp
+from ..core.sort_op import SortOp
+from ..core.union import UnionOp
+
+
+def used_lcls(op: Operator) -> Set[int]:
+    """Classes whose members this operator reads."""
+    if isinstance(op, FilterOp):
+        return {op.predicate.lcl}
+    if isinstance(op, TreeFilterOp):
+        return set()  # opaque predicate: treated as using nothing known
+    if isinstance(op, JoinOp):
+        out: Set[int] = set()
+        for pred in op.predicates:
+            out.add(pred.left_lcl)
+            out.add(pred.right_lcl)
+        return out
+    if isinstance(op, ProjectOp):
+        return set(op.keep_lcls)
+    if isinstance(op, DedupOp):
+        return set(op.lcls)
+    if isinstance(op, AggregateOp):
+        return {op.lcl}
+    if isinstance(op, SortOp):
+        return set(op.lcls)
+    if isinstance(op, (FlattenOp, ShadowOp)):
+        return {op.parent_lcl, op.child_lcl}
+    if isinstance(op, IlluminateOp):
+        return {op.lcl}
+    if isinstance(op, SelectOp):
+        ref = op.apt.root.lc_ref
+        return {ref} if ref is not None else set()
+    if isinstance(op, ConstructOp):
+        return set(_construct_refs(op.ctree))
+    if isinstance(op, UnionOp):
+        return {op.dedup_lcl} if op.dedup_lcl is not None else set()
+    return set()
+
+
+def defined_lcls(op: Operator) -> Set[int]:
+    """Classes this operator introduces."""
+    if isinstance(op, AggregateOp):
+        return {op.new_lcl}
+    if isinstance(op, SelectOp):
+        return set(op.apt.lcls())
+    if isinstance(op, JoinOp):
+        return {op.root_lcl} if op.root_lcl else set()
+    if isinstance(op, ConstructOp):
+        return set(_construct_defs(op.ctree))
+    return set()
+
+
+def _construct_refs(spec) -> Iterator[int]:
+    if isinstance(spec, CClassRef):
+        yield spec.lcl
+        return
+    if isinstance(spec, CElement):
+        for _, value in spec.attrs:
+            if isinstance(value, CClassRef):
+                yield value.lcl
+        for child in spec.children:
+            yield from _construct_refs(child)
+
+
+def _construct_defs(spec) -> Iterator[int]:
+    if isinstance(spec, CElement):
+        if spec.lcl:
+            yield spec.lcl
+        for child in spec.children:
+            yield from _construct_defs(child)
+
+
+def parent_map(root: Operator) -> Dict[int, Operator]:
+    """Map ``id(op) -> consumer`` over an operator tree."""
+    parents: Dict[int, Operator] = {}
+    for op in root.walk():
+        for child in op.inputs:
+            parents[id(child)] = op
+    return parents
+
+
+def consumers_above(
+    root: Operator, start: Operator
+) -> List[Operator]:
+    """The chain of operators from ``start``'s consumer up to the root."""
+    parents = parent_map(root)
+    chain: List[Operator] = []
+    current = parents.get(id(start))
+    while current is not None:
+        chain.append(current)
+        current = parents.get(id(current))
+    return chain
+
+
+def rename_lcl(op: Operator, old: int, new: int) -> None:
+    """Rewrite references of class ``old`` to ``new`` in one operator."""
+    if isinstance(op, FilterOp) and op.predicate.lcl == old:
+        from ..core.base import ClassPredicate
+
+        op.predicate = ClassPredicate(
+            new, op.predicate.op, op.predicate.value
+        )
+    elif isinstance(op, JoinOp):
+        from ..core.base import JoinPredicate
+
+        op.predicates = [
+            JoinPredicate(
+                new if p.left_lcl == old else p.left_lcl,
+                p.op,
+                new if p.right_lcl == old else p.right_lcl,
+                p.by_id,
+            )
+            for p in op.predicates
+        ]
+    elif isinstance(op, ProjectOp):
+        op.keep_lcls = [new if l == old else l for l in op.keep_lcls]
+    elif isinstance(op, DedupOp):
+        op.lcls = [new if l == old else l for l in op.lcls]
+        if old in op.bases:
+            op.bases[new] = op.bases.pop(old)
+    elif isinstance(op, AggregateOp):
+        if op.lcl == old:
+            op.lcl = new
+    elif isinstance(op, SortOp):
+        op.lcls = [new if l == old else l for l in op.lcls]
+    elif isinstance(op, SelectOp):
+        if op.apt.root.lc_ref == old:
+            op.apt.root.lc_ref = new
+    elif isinstance(op, ConstructOp):
+        _rename_in_construct(op.ctree, old, new)
+
+
+def _rename_in_construct(spec, old: int, new: int) -> None:
+    if isinstance(spec, CClassRef):
+        if spec.lcl == old:
+            spec.lcl = new
+        return
+    if isinstance(spec, CElement):
+        for index, (name, value) in enumerate(spec.attrs):
+            if isinstance(value, CClassRef) and value.lcl == old:
+                value.lcl = new
+        for child in spec.children:
+            _rename_in_construct(child, old, new)
+
+
+def splice_above(
+    root: Operator,
+    below: Operator,
+    new_chain: List[Operator],
+) -> Operator:
+    """Insert operators between ``below`` and its consumer.
+
+    ``new_chain`` is ordered bottom-up; each element must accept its input
+    as ``inputs[0]`` (pre-wired by the caller except the first).  Returns
+    the (possibly new) plan root.
+    """
+    parents = parent_map(root)
+    consumer = parents.get(id(below))
+    current = below
+    for op in new_chain:
+        op.inputs = [current]
+        current = op
+    if consumer is None:
+        return current
+    consumer.replace_input(below, current)
+    return root

@@ -1,0 +1,148 @@
+"""The Flatten rewrite (Section 4.2).
+
+Detection (Phase 1): a leaf Select whose pattern has a node A with two
+edges to same-tag children — B under a nested edge (``+``/``*``, used by
+an aggregate) and C under a flat edge (``-``/``?``, used by a later
+operator such as a value join) — where tree(B) ⊆ tree(C), and B is not
+used above the aggregate chain.
+
+Transformation (Phase 2): drop C from the pattern (the select matches the
+``*`` side only once), run the aggregate chain, then **Flatten** on (A, B)
+to recover the one-pair-per-tree structure, and re-attach C's extra
+branches with an extension Select anchored at B.  The database is touched
+once for the shared tag instead of twice (Figure 10).
+
+When ``use_shadow`` is set, Shadow replaces Flatten (the hidden siblings
+can later be re-activated by Illuminate instead of re-fetched — the Q1
+combination the end of Section 4.3 describes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.base import Operator
+from ..core.flatten import FlattenOp
+from ..core.select import SelectOp
+from ..core.shadow import ShadowOp
+from ..errors import RewriteError
+from ..patterns.apt import APT, APTEdge, APTNode
+from ..patterns.predicates import NodeTest
+from .base import consumers_above, defined_lcls, splice_above, used_lcls
+
+
+@dataclass
+class FlattenSite:
+    """One detected opportunity for the Flatten rewrite."""
+
+    select: SelectOp
+    parent: APTNode  # A
+    nested_edge: APTEdge  # (A, B) with + / *
+    flat_edge: APTEdge  # (A, C) with - / ?
+    chain: List[Operator]  # the contiguous use[tree(B)] operators above
+
+
+def find_flatten_sites(root: Operator) -> List[FlattenSite]:
+    """Phase 1: all plan locations where the rewrite applies."""
+    sites: List[FlattenSite] = []
+    for op in root.walk():
+        if not isinstance(op, SelectOp) or op.apt.root.lc_ref is not None:
+            continue
+        for parent in op.apt.root.walk():
+            site = _match_node(root, op, parent)
+            if site is not None:
+                sites.append(site)
+    return sites
+
+
+def _match_node(
+    root: Operator, select: SelectOp, parent: APTNode
+) -> Optional[FlattenSite]:
+    nested = [e for e in parent.edges if e.mspec in ("+", "*")]
+    flat = [e for e in parent.edges if e.mspec in ("-", "?")]
+    for nested_edge in nested:
+        b_node = nested_edge.child
+        # tree(B) ⊆ tree(C): we support the common shape where B is a
+        # plain leaf — every C with the same tag/axis then contains it
+        if b_node.edges or b_node.test.comparisons:
+            continue
+        for flat_edge in flat:
+            c_node = flat_edge.child
+            if c_node.test.tag != b_node.test.tag:
+                continue
+            if flat_edge.axis != nested_edge.axis:
+                continue
+            chain = _aggregate_chain(root, select, b_node.lcl)
+            if chain is None:
+                continue
+            if _b_used_above(root, select, chain, b_node.lcl, c_node.lcl):
+                continue
+            return FlattenSite(select, parent, nested_edge, flat_edge, chain)
+    return None
+
+
+def _aggregate_chain(
+    root: Operator, select: SelectOp, b_lcl: int
+) -> Optional[List[Operator]]:
+    """The contiguous consumers of the select that only use B's classes."""
+    chain: List[Operator] = []
+    allowed = {b_lcl}
+    for op in consumers_above(root, select):
+        uses = used_lcls(op)
+        if uses and uses <= allowed:
+            chain.append(op)
+            allowed |= defined_lcls(op)
+            continue
+        break
+    return chain if chain else None
+
+
+def _b_used_above(
+    root: Operator,
+    select: SelectOp,
+    chain: List[Operator],
+    b_lcl: int,
+    c_lcl: int,
+) -> bool:
+    """notuse[tree(B)] check: B and C's root untouched above the chain."""
+    in_chain = {id(op) for op in chain} | {id(select)}
+    for op in consumers_above(root, select):
+        if id(op) in in_chain:
+            continue
+        uses = used_lcls(op)
+        if b_lcl in uses or c_lcl in uses:
+            return True
+    return False
+
+
+def apply_flatten(
+    root: Operator, site: FlattenSite, use_shadow: bool = False
+) -> Operator:
+    """Phase 2: perform the rewrite in place; returns the plan root."""
+    parent = site.parent
+    b_node = site.nested_edge.child
+    c_node = site.flat_edge.child
+    if site.flat_edge not in parent.edges:
+        raise RewriteError("flatten site is stale")
+    # drop tree(C) from the select's pattern
+    parent.edges = [e for e in parent.edges if e is not site.flat_edge]
+    # rebuild the dropped constraints as an extension below B:
+    # C's own predicate moves to the extension root test, C's subtree
+    # (tree(C) - tree(B)) keeps its labels so later operators still work
+    restructure: Operator = (
+        ShadowOp(parent.lcl, b_node.lcl)
+        if use_shadow
+        else FlattenOp(parent.lcl, b_node.lcl)
+    )
+    new_chain: List[Operator] = [restructure]
+    if c_node.edges or c_node.test.comparisons:
+        ext_root = APTNode(
+            NodeTest(None, c_node.test.comparisons),
+            0,
+            lc_ref=b_node.lcl,
+        )
+        ext_root.edges = list(c_node.edges)
+        new_chain.append(SelectOp(APT(ext_root)))
+    below = site.chain[-1] if site.chain else site.select
+    return splice_above(root, below, new_chain)

@@ -1,0 +1,103 @@
+"""The rewrite pipeline: apply all Section 4 rules to a TLC plan.
+
+Order matters and follows the paper's Q1 walk-through:
+
+1. share identical pattern matches (Section 4.1),
+2. restructure nested/flat same-tag pairs — with **Shadow** when a later
+   extension select re-fetches the same nodes (so step 3 can fire), with
+   **Flatten** otherwise (Section 4.2),
+3. replace redundant re-fetching selects with **Illuminate**
+   (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..core.base import Operator
+from ..core.select import SelectOp
+from ..xquery.translator import TranslationResult
+from .flatten_rewrite import apply_flatten, find_flatten_sites
+from .reuse import share_common_selects
+from .shadow_rewrite import apply_illuminate, find_illuminate_sites
+
+
+@dataclass
+class RewriteLog:
+    """What the optimizer did, for explainers and tests."""
+
+    shared_selects: int = 0
+    flattened: List[str] = field(default_factory=list)
+    shadowed: List[str] = field(default_factory=list)
+    illuminated: List[str] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(
+            self.shared_selects
+            or self.flattened
+            or self.shadowed
+            or self.illuminated
+        )
+
+
+def _has_refetch(root: Operator, parent_lcl: int, tag: str) -> bool:
+    """Is there an extension select re-fetching ``tag`` under the class?"""
+    for op in root.walk():
+        if not isinstance(op, SelectOp):
+            continue
+        apt_root = op.apt.root
+        if apt_root.lc_ref != parent_lcl or len(apt_root.edges) != 1:
+            continue
+        child = apt_root.edges[0].child
+        if (
+            apt_root.edges[0].mspec in ("+", "*")
+            and not child.edges
+            and not child.test.comparisons
+            and child.test.tag == tag
+        ):
+            return True
+    return False
+
+
+def optimize(root: Operator) -> tuple:
+    """Apply all rewrites; returns (new_root, RewriteLog)."""
+    log = RewriteLog()
+    log.shared_selects = share_common_selects(root)
+    # restructure: one site at a time (each apply invalidates detection)
+    for _ in range(8):  # a plan has few sites; bounded for safety
+        sites = find_flatten_sites(root)
+        if not sites:
+            break
+        site = sites[0]
+        b_node = site.nested_edge.child
+        use_shadow = _has_refetch(
+            root, site.parent.lcl, b_node.test.tag
+        )
+        root = apply_flatten(root, site, use_shadow=use_shadow)
+        record = (
+            f"({site.parent.lcl},{b_node.lcl})"
+        )
+        if use_shadow:
+            log.shadowed.append(record)
+        else:
+            log.flattened.append(record)
+    for _ in range(8):
+        sites = find_illuminate_sites(root)
+        if not sites:
+            break
+        site = sites[0]
+        root = apply_illuminate(root, site)
+        log.illuminated.append(
+            f"({site.refetch_lcl})->({site.shadowed_lcl})"
+        )
+    return root, log
+
+
+def optimize_plan(translation: TranslationResult) -> TranslationResult:
+    """Optimize a translation result (plan rewritten in place)."""
+    plan, _ = optimize(translation.plan)
+    return TranslationResult(
+        plan, translation.var_lcls, translation.class_tags
+    )

@@ -1,0 +1,101 @@
+"""The Shadow / Illuminate rewrite (Section 4.3).
+
+After the Shadow variant of the restructuring rewrite, all siblings of
+the chosen class member remain in the trees — merely shadowed.  A later
+extension Select that re-fetches the *same* nodes from the database
+(Figure 7's Selection 9, re-accessing every bidder for the RETURN clause)
+is therefore pure redundancy: it can be replaced by a single
+**Illuminate**, and downstream references to its fresh class relabelled
+to the shadowed class (Figure 12's transformation, and the combination
+for Q1 the paper sketches at the end of Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.base import Operator
+from ..core.project import ProjectOp
+from ..core.select import SelectOp
+from ..core.shadow import IlluminateOp, ShadowOp
+from .base import consumers_above, parent_map, rename_lcl
+
+
+@dataclass
+class IlluminateSite:
+    """One extension Select that can become an Illuminate."""
+
+    select: SelectOp  # the redundant re-fetching extension select
+    shadow: ShadowOp  # the Shadow that retained the nodes
+    shadowed_lcl: int  # B: the class Shadow hid
+    refetch_lcl: int  # C: the class the redundant select would create
+
+
+def find_illuminate_sites(root: Operator) -> List[IlluminateSite]:
+    """Find extension Selects whose target nodes a Shadow already holds."""
+    shadows = [op for op in root.walk() if isinstance(op, ShadowOp)]
+    if not shadows:
+        return []
+    sites: List[IlluminateSite] = []
+    for op in root.walk():
+        if not isinstance(op, SelectOp):
+            continue
+        apt_root = op.apt.root
+        if apt_root.lc_ref is None or len(apt_root.edges) != 1:
+            continue
+        edge = apt_root.edges[0]
+        child = edge.child
+        if edge.mspec not in ("+", "*") or child.edges:
+            continue
+        if child.test.comparisons:
+            continue
+        for shadow in shadows:
+            if shadow.parent_lcl != apt_root.lc_ref:
+                continue
+            if not _same_tag(root, shadow, child.test.tag):
+                continue
+            if op not in consumers_above(root, shadow):
+                continue  # the select must sit above the shadow
+            sites.append(
+                IlluminateSite(op, shadow, shadow.child_lcl, child.lcl)
+            )
+            break
+    return sites
+
+
+def _same_tag(root: Operator, shadow: ShadowOp, tag: Optional[str]) -> bool:
+    """Does the shadowed class match nodes of this tag?
+
+    The Shadow's child class comes from the pattern of the select feeding
+    it; find that pattern node and compare tags.
+    """
+    for op in root.walk():
+        if isinstance(op, SelectOp) and op.apt.root.lc_ref is None:
+            node = op.apt.root.find(shadow.child_lcl)
+            if node is not None:
+                return node.test.tag == tag
+    return False
+
+
+def apply_illuminate(root: Operator, site: IlluminateSite) -> Operator:
+    """Replace the redundant select with Illuminate; relabel upstream."""
+    parents = parent_map(root)
+    illuminate = IlluminateOp(site.shadowed_lcl, site.select.inputs[0])
+    consumer = parents.get(id(site.select))
+    if consumer is None:
+        root = illuminate
+    else:
+        consumer.replace_input(site.select, illuminate)
+    # everything that would have referenced the re-fetched class now
+    # addresses the illuminated one
+    for op in root.walk():
+        rename_lcl(op, site.refetch_lcl, site.shadowed_lcl)
+    # the shadowed members must ride through intermediate projections
+    for op in consumers_above(root, site.shadow):
+        if op is illuminate:
+            break
+        if isinstance(op, ProjectOp):
+            if site.shadowed_lcl not in op.keep_lcls:
+                op.keep_lcls.append(site.shadowed_lcl)
+    return root

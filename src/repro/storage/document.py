@@ -1,0 +1,211 @@
+"""Stored documents: interval-encoded node records behind the buffer pool.
+
+A document is a flat array of :class:`NodeRecord` in document (pre-) order —
+record index *i* is the *i*-th node of a depth-first walk, which means nodes
+are "clustered with their children" on pages exactly as TIMBER stores them
+(Section 6.3, footnote 8).  Interval ids are assigned with an enter/exit
+counter so strict containment tests work for leaves as well.
+
+Attributes are stored as child nodes tagged ``@name`` (preceding element
+children), matching the paper's pattern trees where ``@id`` and ``@person``
+appear as pattern nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import StorageError
+from ..model.node_id import NodeId
+from ..model.tree import TNode
+from .page import NODES_PER_PAGE, BufferPool
+from .stats import Metrics
+from .xml_parser import ParsedElement
+
+
+@dataclass
+class NodeRecord:
+    """On-"disk" representation of one node."""
+
+    tag: str
+    value: Optional[str]
+    start: int
+    end: int
+    level: int
+    parent: int  # record index of the parent; -1 for the root
+    children: Tuple[int, ...]  # record indexes of children, document order
+
+    __slots__ = ("tag", "value", "start", "end", "level", "parent", "children")
+
+
+class Document:
+    """One stored XML document with metered record access."""
+
+    def __init__(self, name: str, doc_id: int) -> None:
+        self.name = name
+        self.doc_id = doc_id
+        self.records: List[NodeRecord] = []
+        self._by_start: Dict[int, int] = {}
+        self._pool: Optional[BufferPool] = None
+        self._metrics: Optional[Metrics] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_parsed(
+        cls, name: str, doc_id: int, root: ParsedElement
+    ) -> "Document":
+        """Build a document from a parse tree, assigning interval ids.
+
+        The stored root is a synthetic ``doc_root`` element wrapping the
+        document element, mirroring the paper's plans whose pattern trees
+        start at ``doc_root``.
+        """
+        doc = cls(name, doc_id)
+        counter = [0]
+
+        def enter() -> int:
+            counter[0] += 1
+            return counter[0]
+
+        def store(
+            tag: str, value: Optional[str], level: int, parent: int
+        ) -> int:
+            idx = len(doc.records)
+            doc.records.append(
+                NodeRecord(tag, value, 0, 0, level, parent, ())
+            )
+            return idx
+
+        def build(element: ParsedElement, level: int, parent: int) -> int:
+            idx = store(element.tag, element.text, level, parent)
+            start = enter()
+            child_idxs: List[int] = []
+            for attr_name, attr_value in element.attrs.items():
+                attr_idx = store(
+                    "@" + attr_name, attr_value, level + 1, idx
+                )
+                attr_start = enter()
+                attr_end = enter()
+                rec = doc.records[attr_idx]
+                rec.start, rec.end = attr_start, attr_end
+                child_idxs.append(attr_idx)
+            for child in element.children:
+                child_idxs.append(build(child, level + 1, idx))
+            end = enter()
+            rec = doc.records[idx]
+            rec.start, rec.end = start, end
+            rec.children = tuple(child_idxs)
+            return idx
+
+        root_idx = store("doc_root", None, 0, -1)
+        root_start = enter()
+        child_idx = build(root, 1, root_idx)
+        root_end = enter()
+        rec = doc.records[root_idx]
+        rec.start, rec.end = root_start, root_end
+        rec.children = (child_idx,)
+        doc._by_start = {r.start: i for i, r in enumerate(doc.records)}
+        return doc
+
+    def attach(self, pool: BufferPool, metrics: Metrics) -> None:
+        """Connect this document to a database's buffer pool and metrics."""
+        self._pool = pool
+        self._metrics = metrics
+
+    # ------------------------------------------------------------------
+    # metered access
+    # ------------------------------------------------------------------
+    def _touch(self, record_idx: int) -> None:
+        if self._pool is not None:
+            self._pool.access((self.doc_id, record_idx // NODES_PER_PAGE))
+        if self._metrics is not None:
+            self._metrics.nodes_touched += 1
+
+    def node_id(self, record_idx: int) -> NodeId:
+        """Interval id of the record at ``record_idx`` (no page touch)."""
+        rec = self.records[record_idx]
+        return NodeId(self.doc_id, rec.start, rec.end, rec.level)
+
+    def index_of(self, nid: NodeId) -> int:
+        """Record index of a node id belonging to this document."""
+        if nid.doc != self.doc_id:
+            raise StorageError(
+                f"node {nid} does not belong to document {self.name}"
+            )
+        try:
+            return self._by_start[nid.start]
+        except KeyError:
+            raise StorageError(f"unknown node id {nid}") from None
+
+    def fetch(self, record_idx: int) -> NodeRecord:
+        """Read one record through the buffer pool."""
+        self._touch(record_idx)
+        return self.records[record_idx]
+
+    def fetch_by_id(self, nid: NodeId) -> NodeRecord:
+        """Read the record for a node id through the buffer pool."""
+        return self.fetch(self.index_of(nid))
+
+    @property
+    def root_id(self) -> NodeId:
+        """Id of the synthetic ``doc_root`` node."""
+        return self.node_id(0)
+
+    def children_ids(self, nid: NodeId) -> List[NodeId]:
+        """Ids of the children of ``nid``, in document order (metered)."""
+        rec = self.fetch_by_id(nid)
+        out = []
+        for child_idx in rec.children:
+            self._touch(child_idx)
+            out.append(self.node_id(child_idx))
+        return out
+
+    def parent_id(self, nid: NodeId) -> Optional[NodeId]:
+        """Id of the parent of ``nid`` or ``None`` for the root (metered)."""
+        rec = self.fetch_by_id(nid)
+        if rec.parent < 0:
+            return None
+        return self.node_id(rec.parent)
+
+    def value_of(self, nid: NodeId) -> Optional[str]:
+        """Atomic content of ``nid`` (metered)."""
+        return self.fetch_by_id(nid).value
+
+    def tag_of(self, nid: NodeId) -> str:
+        """Tag of ``nid`` (metered)."""
+        return self.fetch_by_id(nid).tag
+
+    def subtree(self, nid: NodeId, lcls=None) -> TNode:
+        """Materialise the full subtree rooted at ``nid`` as in-memory tree.
+
+        Every record in the subtree is read through the buffer pool — this
+        is the "data materialization cost" the paper discusses; TAX pays it
+        early for every bound variable, TLC/GTP only at Construct time.
+        """
+        root_idx = self.index_of(nid)
+
+        def build(idx: int) -> TNode:
+            rec = self.fetch(idx)
+            node = TNode(rec.tag, rec.value, self.node_id(idx))
+            for child_idx in rec.children:
+                node.add_child(build(child_idx))
+            return node
+
+        node = build(root_idx)
+        if lcls:
+            node.lcls.update(lcls)
+        return node
+
+    def iter_ids(self) -> Iterator[NodeId]:
+        """All node ids in document order (unmetered; used by index builds)."""
+        for idx in range(len(self.records)):
+            yield self.node_id(idx)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Document {self.name!r} nodes={len(self.records)}>"

@@ -1,0 +1,143 @@
+"""Tag-name and content-value indexes.
+
+The paper's setup (Section 6.2): "We used an index on element tag name for
+all the queries, which returns the node identifiers given a tag name.  On
+all queries that had a condition on content we used a value index, which
+returns the node ids given a content value."  No join-value index exists —
+a limitation the paper calls out and we keep.
+
+Index leaf pages are metered through the buffer pool so that index scans
+contribute to the I/O counts (one simulated page per ``ENTRIES_PER_PAGE``
+postings).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+from ..model.node_id import NodeId
+from ..model.value import sort_key
+from .document import Document
+from .page import BufferPool
+from .stats import Metrics
+
+#: Postings per simulated index leaf page.
+ENTRIES_PER_PAGE = 256
+
+
+class TagIndex:
+    """tag name -> node ids in document order."""
+
+    def __init__(self, document: Document) -> None:
+        self._doc = document
+        self._postings: Dict[str, List[NodeId]] = {}
+        for idx, rec in enumerate(document.records):
+            self._postings.setdefault(rec.tag, []).append(
+                document.node_id(idx)
+            )
+        # document order == record order, already sorted
+
+    def lookup(
+        self,
+        tag: str,
+        pool: Optional[BufferPool] = None,
+        metrics: Optional[Metrics] = None,
+    ) -> List[NodeId]:
+        """All nodes with the given tag, in document order (metered)."""
+        postings = self._postings.get(tag, [])
+        _meter(("tagidx", self._doc.doc_id, tag), len(postings), pool, metrics)
+        return list(postings)
+
+    def tags(self) -> List[str]:
+        """All distinct tags in the document."""
+        return sorted(self._postings)
+
+    def count(self, tag: str) -> int:
+        """Number of nodes with the given tag (no page touches)."""
+        return len(self._postings.get(tag, ()))
+
+
+class ValueIndex:
+    """(tag, content value) -> node ids; supports equality and ranges.
+
+    Postings for each tag are kept sorted by the total-order
+    :func:`~repro.model.value.sort_key` of the content, so equality uses
+    binary search and range predicates scan a contiguous run.
+    """
+
+    def __init__(self, document: Document) -> None:
+        self._doc = document
+        self._by_tag: Dict[str, List[Tuple[tuple, NodeId]]] = {}
+        for idx, rec in enumerate(document.records):
+            if rec.value is None:
+                continue
+            self._by_tag.setdefault(rec.tag, []).append(
+                (sort_key(rec.value), document.node_id(idx))
+            )
+        for entries in self._by_tag.values():
+            entries.sort(key=lambda pair: (pair[0], pair[1].order_key))
+
+    def lookup(
+        self,
+        tag: str,
+        op: str,
+        value,
+        pool: Optional[BufferPool] = None,
+        metrics: Optional[Metrics] = None,
+    ) -> List[NodeId]:
+        """Nodes whose tag is ``tag`` and content compares ``op value``.
+
+        Supported operators: ``=  !=  <  <=  >  >=``.  Results are returned
+        in document order.  ``!=`` degrades to a full scan of the tag's
+        postings (as a real B-tree would).
+        """
+        entries = self._by_tag.get(tag, [])
+        key = sort_key(value)
+        keys = [e[0] for e in entries]
+        if op == "=":
+            lo = bisect.bisect_left(keys, key)
+            hi = bisect.bisect_right(keys, key)
+            hits = entries[lo:hi]
+        elif op == "<":
+            hits = entries[: bisect.bisect_left(keys, key)]
+        elif op == "<=":
+            hits = entries[: bisect.bisect_right(keys, key)]
+        elif op == ">":
+            hits = entries[bisect.bisect_right(keys, key) :]
+        elif op == ">=":
+            hits = entries[bisect.bisect_left(keys, key) :]
+        elif op == "!=":
+            hits = [e for e in entries if e[0] != key]
+        else:
+            raise ValueError(f"unsupported index operator: {op!r}")
+        # range operators must not match non-numeric content against numbers
+        if op not in ("=", "!="):
+            hits = [e for e in hits if e[0][0] == key[0]]
+        _meter(
+            ("validx", self._doc.doc_id, tag),
+            max(len(hits), 1),
+            pool,
+            metrics,
+        )
+        return sorted((nid for _, nid in hits), key=lambda n: n.order_key)
+
+    def has_tag(self, tag: str) -> bool:
+        """Whether any node of this tag has content (is indexed)."""
+        return tag in self._by_tag
+
+
+def _meter(
+    key_prefix: tuple,
+    n_entries: int,
+    pool: Optional[BufferPool],
+    metrics: Optional[Metrics],
+) -> None:
+    """Account one index lookup touching ceil(n/ENTRIES_PER_PAGE) pages."""
+    if metrics is not None:
+        metrics.index_lookups += 1
+        metrics.index_entries_scanned += n_entries
+    if pool is not None:
+        n_pages = max(1, -(-n_entries // ENTRIES_PER_PAGE))
+        for page_no in range(n_pages):
+            pool.access(key_prefix + (page_no,))

@@ -1,0 +1,178 @@
+"""Binary persistence for the node store.
+
+TIMBER is a disk-resident database; this module gives the substrate a
+durable format so generated XMark documents (expensive to rebuild at
+large factors) can be saved once and reopened instantly.  The format is
+a compact little-endian layout:
+
+* header: magic ``TLCDB``, format version, document count;
+* per document: name, a string table (tags and values are interned),
+  then the record array — ``tag_ref, value_ref, start, end, level,
+  parent, n_children, children…`` as varint-free fixed 32-bit fields.
+
+Indexes are rebuilt on load (they derive from the records; rebuilding is
+linear and keeps the format minimal).
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from typing import BinaryIO, Dict, List, Union
+
+from ..errors import StorageError
+from .database import Database
+from .document import Document, NodeRecord
+
+MAGIC = b"TLCDB"
+VERSION = 1
+
+_U32 = struct.Struct("<I")
+_I32 = struct.Struct("<i")
+_HEADER = struct.Struct("<5sBI")
+_RECORD_FIXED = struct.Struct("<IiIIIiI")  # tag,value,start,end,level,parent,nkids
+
+
+def _write_u32(stream: BinaryIO, value: int) -> None:
+    stream.write(_U32.pack(value))
+
+
+def _read_u32(stream: BinaryIO) -> int:
+    data = stream.read(4)
+    if len(data) != 4:
+        raise StorageError("truncated database file")
+    return _U32.unpack(data)[0]
+
+
+def _write_str(stream: BinaryIO, text: str) -> None:
+    encoded = text.encode("utf-8")
+    _write_u32(stream, len(encoded))
+    stream.write(encoded)
+
+
+def _read_str(stream: BinaryIO) -> str:
+    length = _read_u32(stream)
+    data = stream.read(length)
+    if len(data) != length:
+        raise StorageError("truncated database file")
+    return data.decode("utf-8")
+
+
+def save_database(db: Database, path: Union[str, Path]) -> None:
+    """Write every document of ``db`` to ``path`` in the TLCDB format."""
+    names = db.document_names()
+    with open(path, "wb") as stream:
+        stream.write(_HEADER.pack(MAGIC, VERSION, len(names)))
+        for name in names:
+            _save_document(stream, db.document(name))
+
+
+def _save_document(stream: BinaryIO, document: Document) -> None:
+    _write_str(stream, document.name)
+    strings: Dict[str, int] = {}
+    order: List[str] = []
+
+    def intern(text: str) -> int:
+        if text not in strings:
+            strings[text] = len(order)
+            order.append(text)
+        return strings[text]
+
+    # first pass: build the string table (value index 0 = the None marker)
+    intern("")  # reserved: None values reference slot 0 via flag -1 below
+    encoded_records = []
+    for record in document.records:
+        tag_ref = intern(record.tag)
+        value_ref = -1 if record.value is None else intern(record.value)
+        encoded_records.append((tag_ref, value_ref, record))
+    _write_u32(stream, len(order))
+    for text in order:
+        _write_str(stream, text)
+    _write_u32(stream, len(encoded_records))
+    for tag_ref, value_ref, record in encoded_records:
+        stream.write(
+            _RECORD_FIXED.pack(
+                tag_ref,
+                value_ref,
+                record.start,
+                record.end,
+                record.level,
+                record.parent,
+                len(record.children),
+            )
+        )
+        for child in record.children:
+            _write_u32(stream, child)
+
+
+def load_database(
+    path: Union[str, Path], pool_pages: int = None
+) -> Database:
+    """Open a TLCDB file as a fresh :class:`Database` (indexes rebuilt)."""
+    from .database import DEFAULT_POOL_PAGES
+
+    db = Database(pool_pages or DEFAULT_POOL_PAGES)
+    with open(path, "rb") as stream:
+        header = stream.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise StorageError(f"{path}: not a TLCDB file")
+        magic, version, n_docs = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise StorageError(f"{path}: bad magic {magic!r}")
+        if version != VERSION:
+            raise StorageError(
+                f"{path}: unsupported format version {version}"
+            )
+        for _ in range(n_docs):
+            _load_document(stream, db)
+    return db
+
+
+def _load_document(stream: BinaryIO, db: Database) -> Document:
+    name = _read_str(stream)
+    n_strings = _read_u32(stream)
+    strings = [_read_str(stream) for _ in range(n_strings)]
+    n_records = _read_u32(stream)
+    records: List[NodeRecord] = []
+    for _ in range(n_records):
+        fixed = stream.read(_RECORD_FIXED.size)
+        if len(fixed) != _RECORD_FIXED.size:
+            raise StorageError("truncated record")
+        (tag_ref, value_ref, start, end, level, parent,
+         n_children) = _RECORD_FIXED.unpack(fixed)
+        children = tuple(_read_u32(stream) for _ in range(n_children))
+        records.append(
+            NodeRecord(
+                strings[tag_ref],
+                None if value_ref < 0 else strings[value_ref],
+                start,
+                end,
+                level,
+                parent,
+                children,
+            )
+        )
+    return _register_loaded(db, name, records)
+
+
+def _register_loaded(
+    db: Database, name: str, records: List[NodeRecord]
+) -> Document:
+    """Install a record array as a document and rebuild its indexes."""
+    from .indexes import TagIndex, ValueIndex
+
+    doc_id = (
+        db.document(name).doc_id
+        if name in db.document_names()
+        else len(db._by_id)
+    )
+    document = Document(name, doc_id)
+    document.records = records
+    document._by_start = {r.start: i for i, r in enumerate(records)}
+    document.attach(db.pool, db.metrics)
+    db._by_name[name] = document
+    db._by_id[doc_id] = document
+    db._tag_indexes[doc_id] = TagIndex(document)
+    db._value_indexes[doc_id] = ValueIndex(document)
+    return document

@@ -1,0 +1,81 @@
+"""Execution metrics for the storage and physical layers.
+
+The paper's experiments report wall-clock time on a specific 2004 machine.
+Our substrate is a Python simulation, so in addition to wall time the bench
+harness reports *work counters* that explain the shape of every result:
+page reads through the buffer pool, node records touched, structural joins
+executed, group-by restructurings (the expensive operation TAX/GTP rely on),
+and navigation steps (children fetched by the navigational baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class Metrics:
+    """Mutable counter bundle shared by a database and its evaluators."""
+
+    pages_read: int = 0
+    pages_written: int = 0
+    buffer_hits: int = 0
+    nodes_touched: int = 0
+    index_lookups: int = 0
+    index_entries_scanned: int = 0
+    structural_joins: int = 0
+    value_joins: int = 0
+    nest_joins: int = 0
+    groupby_ops: int = 0
+    pattern_matches: int = 0
+    navigation_steps: int = 0
+    trees_built: int = 0
+    sort_ops: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> dict:
+        """Immutable copy of the counters as a plain dict."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def diff(self, before: dict) -> dict:
+        """Counters accumulated since ``before`` (a prior snapshot)."""
+        return {
+            f.name: getattr(self, f.name) - before.get(f.name, 0)
+            for f in fields(self)
+        }
+
+    def __add__(self, other: "Metrics") -> "Metrics":
+        merged = Metrics()
+        for f in fields(self):
+            setattr(
+                merged, f.name, getattr(self, f.name) + getattr(other, f.name)
+            )
+        return merged
+
+
+@dataclass
+class QueryReport:
+    """One benchmark observation: timing plus the counter snapshot."""
+
+    engine: str
+    query: str
+    seconds: float
+    counters: dict = field(default_factory=dict)
+    result_trees: int = 0
+
+    def row(self) -> tuple:
+        """Compact tuple for tabular reports."""
+        return (
+            self.query,
+            self.engine,
+            round(self.seconds, 4),
+            self.result_trees,
+            self.counters.get("pages_read", 0),
+            self.counters.get("nodes_touched", 0),
+            self.counters.get("structural_joins", 0),
+            self.counters.get("groupby_ops", 0),
+        )

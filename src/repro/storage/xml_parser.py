@@ -1,0 +1,242 @@
+"""A small, dependency-free XML parser.
+
+The reproduction builds its own substrate, including parsing: this module
+turns XML text into a lightweight parse tree of :class:`ParsedElement`.
+Supported: elements, attributes, character data, entity references
+(named + numeric), comments, processing instructions, CDATA sections and an
+optional XML declaration.  Not supported (not needed for XMark):
+namespaces, DTDs, external entities.
+
+Whitespace-only text between elements is dropped; other text is attached to
+the enclosing element (concatenated if interleaved with children — the
+single-text-value node model used throughout the paper's figures).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import XMLParseError
+
+_NAME_RE = re.compile(r"[A-Za-z_][\w.\-]*")
+_ENTITIES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+
+
+@dataclass
+class ParsedElement:
+    """One element of the parse tree."""
+
+    tag: str
+    attrs: Dict[str, str] = field(default_factory=dict)
+    text: Optional[str] = None
+    children: List["ParsedElement"] = field(default_factory=list)
+
+    def find_all(self, tag: str) -> List["ParsedElement"]:
+        """All descendants (including self) with the given tag."""
+        found = []
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node.tag == tag:
+                found.append(node)
+            stack.extend(reversed(node.children))
+        return found
+
+    def size(self) -> int:
+        """Number of elements in this subtree (attributes not counted)."""
+        total = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            total += 1
+            stack.extend(node.children)
+        return total
+
+
+class _Scanner:
+    """Cursor over the XML text with line/column tracking for errors."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> XMLParseError:
+        line = self.text.count("\n", 0, self.pos) + 1
+        column = self.pos - self.text.rfind("\n", 0, self.pos)
+        return XMLParseError(message, line, column)
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, n: int = 1) -> str:
+        return self.text[self.pos : self.pos + n]
+
+    def startswith(self, prefix: str) -> bool:
+        return self.text.startswith(prefix, self.pos)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def expect(self, literal: str) -> None:
+        if not self.startswith(literal):
+            raise self.error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def read_name(self) -> str:
+        match = _NAME_RE.match(self.text, self.pos)
+        if not match:
+            raise self.error("expected a name")
+        self.pos = match.end()
+        return match.group()
+
+    def read_until(self, terminator: str) -> str:
+        idx = self.text.find(terminator, self.pos)
+        if idx < 0:
+            raise self.error(f"unterminated construct, expected {terminator!r}")
+        chunk = self.text[self.pos : idx]
+        self.pos = idx + len(terminator)
+        return chunk
+
+
+def decode_entities(text: str) -> str:
+    """Replace XML entity and character references with their characters."""
+    if "&" not in text:
+        return text
+
+    def _sub(match: "re.Match[str]") -> str:
+        body = match.group(1)
+        if body.startswith("#x") or body.startswith("#X"):
+            return chr(int(body[2:], 16))
+        if body.startswith("#"):
+            return chr(int(body[1:]))
+        if body in _ENTITIES:
+            return _ENTITIES[body]
+        raise XMLParseError(f"unknown entity &{body};")
+
+    return re.sub(r"&([^;&\s]+);", _sub, text)
+
+
+def parse_xml(text: str) -> ParsedElement:
+    """Parse XML text and return the root :class:`ParsedElement`."""
+    scanner = _Scanner(text)
+    _skip_prolog(scanner)
+    root = _parse_element(scanner)
+    _skip_misc(scanner)
+    if not scanner.eof():
+        raise scanner.error("content after document element")
+    return root
+
+
+def _skip_prolog(scanner: _Scanner) -> None:
+    scanner.skip_ws()
+    while True:
+        if scanner.startswith("<?"):
+            scanner.pos += 2
+            scanner.read_until("?>")
+        elif scanner.startswith("<!--"):
+            scanner.pos += 4
+            scanner.read_until("-->")
+        elif scanner.startswith("<!DOCTYPE"):
+            # skip a simple (bracket-free or internal-subset) doctype
+            depth = 0
+            while not scanner.eof():
+                ch = scanner.text[scanner.pos]
+                scanner.pos += 1
+                if ch == "[":
+                    depth += 1
+                elif ch == "]":
+                    depth -= 1
+                elif ch == ">" and depth <= 0:
+                    break
+        else:
+            break
+        scanner.skip_ws()
+
+
+def _skip_misc(scanner: _Scanner) -> None:
+    scanner.skip_ws()
+    while scanner.startswith("<!--") or scanner.startswith("<?"):
+        if scanner.startswith("<!--"):
+            scanner.pos += 4
+            scanner.read_until("-->")
+        else:
+            scanner.pos += 2
+            scanner.read_until("?>")
+        scanner.skip_ws()
+
+
+def _parse_attrs(scanner: _Scanner) -> Dict[str, str]:
+    attrs: Dict[str, str] = {}
+    while True:
+        scanner.skip_ws()
+        ch = scanner.peek()
+        if ch in (">", "/") or not ch:
+            return attrs
+        name = scanner.read_name()
+        scanner.skip_ws()
+        scanner.expect("=")
+        scanner.skip_ws()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise scanner.error("attribute value must be quoted")
+        scanner.pos += 1
+        value = scanner.read_until(quote)
+        attrs[name] = decode_entities(value)
+
+
+def _parse_element(scanner: _Scanner) -> ParsedElement:
+    scanner.expect("<")
+    tag = scanner.read_name()
+    attrs = _parse_attrs(scanner)
+    element = ParsedElement(tag, attrs)
+    scanner.skip_ws()
+    if scanner.startswith("/>"):
+        scanner.pos += 2
+        return element
+    scanner.expect(">")
+    _parse_content(scanner, element)
+    return element
+
+
+def _parse_content(scanner: _Scanner, element: ParsedElement) -> None:
+    text_parts: List[str] = []
+    while True:
+        if scanner.eof():
+            raise scanner.error(f"unclosed element <{element.tag}>")
+        if scanner.startswith("</"):
+            scanner.pos += 2
+            closing = scanner.read_name()
+            if closing != element.tag:
+                raise scanner.error(
+                    f"mismatched close tag </{closing}> for <{element.tag}>"
+                )
+            scanner.skip_ws()
+            scanner.expect(">")
+            break
+        if scanner.startswith("<!--"):
+            scanner.pos += 4
+            scanner.read_until("-->")
+            continue
+        if scanner.startswith("<![CDATA["):
+            scanner.pos += 9
+            text_parts.append(scanner.read_until("]]>"))
+            continue
+        if scanner.startswith("<?"):
+            scanner.pos += 2
+            scanner.read_until("?>")
+            continue
+        if scanner.startswith("<"):
+            element.children.append(_parse_element(scanner))
+            continue
+        idx = scanner.text.find("<", scanner.pos)
+        if idx < 0:
+            raise scanner.error(f"unclosed element <{element.tag}>")
+        raw = scanner.text[scanner.pos : idx]
+        scanner.pos = idx
+        if raw.strip():
+            text_parts.append(decode_entities(raw.strip()))
+    if text_parts:
+        element.text = " ".join(text_parts)

@@ -1,0 +1,26 @@
+"""XMark substrate: synthetic data generator and the benchmark queries."""
+
+from .generator import XMarkGenerator, load_xmark
+from .queries import (
+    FIGURE15_ORDER,
+    FIGURE16_QUERIES,
+    FIGURE17_QUERIES,
+    QUERIES,
+    BenchQuery,
+    query,
+)
+from .schema import FACTOR1_COUNTS, REGIONS, scaled
+
+__all__ = [
+    "XMarkGenerator",
+    "load_xmark",
+    "FIGURE15_ORDER",
+    "FIGURE16_QUERIES",
+    "FIGURE17_QUERIES",
+    "QUERIES",
+    "BenchQuery",
+    "query",
+    "FACTOR1_COUNTS",
+    "REGIONS",
+    "scaled",
+]

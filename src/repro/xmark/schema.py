@@ -1,0 +1,97 @@
+"""XMark schema constants: element ratios and value distributions.
+
+The paper evaluates on XMark documents (factor 1 ≈ 710 MB in TIMBER).  The
+original ``xmlgen`` C generator is not available offline, so the generator
+in this package is a synthetic equivalent that preserves what the queries
+actually exercise:
+
+* the element *ratios* of XMark factor 1 (persons : open auctions :
+  closed auctions : items : categories = 25500 : 12000 : 9750 : 21750 :
+  1000),
+* the optional elements the paper's heterogeneity discussion depends on
+  (``age``, ``reserve``, ``homepage`` … present for a fraction of nodes),
+* repeated sub-elements with skewed fan-out (``bidder`` per auction —
+  Q1/Q2 need a tail of auctions with more than 5 bidders),
+* the deep ``annotation/description/parlist/listitem`` chains of the
+  long-path queries (x15, x16), and ``keyword`` content for x14.
+"""
+
+from __future__ import annotations
+
+#: Element counts at XMark scale factor 1.
+FACTOR1_COUNTS = {
+    "person": 25500,
+    "open_auction": 12000,
+    "closed_auction": 9750,
+    "item": 21750,
+    "category": 1000,
+}
+
+#: The six XMark regions items are distributed over.
+REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+#: Relative share of items per region (Europe/N-America heavy, as XMark).
+REGION_WEIGHTS = (0.05, 0.15, 0.10, 0.30, 0.30, 0.10)
+
+#: Probability that an optional element is present.
+P_AGE = 0.5
+P_GENDER = 0.7
+P_INCOME = 0.6
+P_HOMEPAGE = 0.3
+P_CREDITCARD = 0.4
+P_ADDRESS = 0.6
+P_RESERVE = 0.45
+P_PHONE = 0.5
+P_EDUCATION = 0.35
+P_WATCHES = 0.5
+P_PARLIST = 0.5  # closed-auction annotation gets the deep parlist chain
+
+#: Bidder fan-out: geometric-ish tail so some auctions exceed 5 bidders
+#: even at small factors (Q1/Q2 filter on ``count(bidder) > 5``).
+BIDDER_MAX = 14
+BIDDER_P = 0.60  # continuation probability per extra bidder
+
+#: Interests / watches fan-outs.
+INTEREST_MAX = 5
+WATCH_MAX = 6
+KEYWORD_MAX = 3
+MAIL_MAX = 2
+
+#: Word pool for names and description text (small; content values matter
+#: more than prose for the queries).
+WORDS = (
+    "gold", "silver", "amber", "ivory", "jade", "linen", "cedar", "apple",
+    "river", "stone", "cloud", "ember", "falcon", "harbor", "meadow",
+    "north", "quill", "saddle", "tundra", "willow",
+)
+
+FIRST_NAMES = (
+    "Alice", "Bob", "Carol", "David", "Erika", "Frank", "Grace", "Henri",
+    "Ines", "Jack", "Karin", "Louis", "Mona", "Nils", "Olga", "Pavel",
+    "Quinn", "Rosa", "Sven", "Tara",
+)
+
+LAST_NAMES = (
+    "Abel", "Bauer", "Chen", "Dumas", "Evans", "Fischer", "Garcia", "Haas",
+    "Ito", "Jonsson", "Klein", "Lopez", "Moreau", "Novak", "Olsen",
+    "Pereira", "Qureshi", "Rossi", "Sato", "Toth",
+)
+
+CITIES = (
+    "Paris", "Ann Arbor", "Vancouver", "Berlin", "Kyoto", "Lagos",
+    "Santiago", "Sydney", "Mumbai", "Tromso",
+)
+
+COUNTRIES = (
+    "France", "United States", "Canada", "Germany", "Japan", "Nigeria",
+    "Chile", "Australia", "India", "Norway",
+)
+
+EDUCATIONS = ("High School", "College", "Graduate School", "Other")
+
+AUCTION_TYPES = ("Regular", "Featured", "Dutch")
+
+
+def scaled(count: int, factor: float) -> int:
+    """Scale a factor-1 count, keeping at least one element."""
+    return max(1, round(count * factor))

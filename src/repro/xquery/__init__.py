@@ -1,0 +1,48 @@
+"""XQuery front-end: Figure 5 fragment parser and Figure 6 translator."""
+
+from .ast_nodes import (
+    AggrExpr,
+    AggrPredicate,
+    BoolExpr,
+    ElementConstructor,
+    FLWOR,
+    ForClause,
+    LetClause,
+    OrderSpec,
+    PathExpr,
+    Quantifier,
+    SimplePredicate,
+    Step,
+    TextLiteral,
+    ValueJoin,
+)
+from .fuzz import QueryFuzzer, sample_queries
+from .parser import parse_query
+from .paths import FLIPPED_OP, graft_steps, sp_to_apt
+from .translator import TLCTranslator, TranslationResult, translate_query
+
+__all__ = [
+    "AggrExpr",
+    "AggrPredicate",
+    "BoolExpr",
+    "ElementConstructor",
+    "FLWOR",
+    "ForClause",
+    "LetClause",
+    "OrderSpec",
+    "PathExpr",
+    "Quantifier",
+    "SimplePredicate",
+    "Step",
+    "TextLiteral",
+    "ValueJoin",
+    "QueryFuzzer",
+    "sample_queries",
+    "parse_query",
+    "FLIPPED_OP",
+    "graft_steps",
+    "sp_to_apt",
+    "TLCTranslator",
+    "TranslationResult",
+    "translate_query",
+]

@@ -1,0 +1,173 @@
+"""Abstract syntax for the Figure 5 XQuery fragment.
+
+The fragment: FLWOR expressions with FOR/LET over simple paths or nested
+FLWORs, a WHERE of simple predicates / aggregate predicates / value joins /
+quantifiers combined with AND and OR, optional ORDER BY, and a RETURN of
+paths, aggregates, nested FLWORs or element constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Step:
+    """One path step: axis (``pc`` for ``/``, ``ad`` for ``//``) and name.
+
+    Attribute steps use the ``@name`` convention.
+    """
+
+    axis: str
+    name: str
+
+
+@dataclass
+class PathExpr:
+    """A Simple Path: ``document("d")//a/b`` or ``$var/a/@b`` (no branches).
+
+    ``text_fn`` marks a trailing ``/text()``.
+    """
+
+    doc: Optional[str]  # document name, or None when rooted at a variable
+    var: Optional[str]  # variable name (without $), or None
+    steps: List[Step] = field(default_factory=list)
+    text_fn: bool = False
+
+    def describe(self) -> str:
+        source = f'document("{self.doc}")' if self.doc else f"${self.var}"
+        body = "".join(
+            ("//" if s.axis == "ad" else "/") + s.name for s in self.steps
+        )
+        return f"{source}{body}" + ("/text()" if self.text_fn else "")
+
+
+Atom = Union[str, int, float]
+
+
+@dataclass
+class SimplePredicate:
+    """``<SP> <Predicate> <Value>`` — e.g. ``$p/age > 25``."""
+
+    path: PathExpr
+    op: str
+    value: Atom
+
+
+@dataclass
+class AggrPredicate:
+    """``Aggr(<SP>) <Predicate> <Value>`` — e.g. ``count($o/bidder) > 5``."""
+
+    fname: str
+    path: PathExpr
+    op: str
+    value: Atom
+
+
+@dataclass
+class ValueJoin:
+    """``<SP> <Predicate> <SP>`` — e.g. ``$p/@id = $o/bidder//@person``."""
+
+    left: PathExpr
+    op: str
+    right: PathExpr
+
+
+@dataclass
+class Quantifier:
+    """``EVERY|SOME $var IN <SP> SATISFIES <SimplePredicateExpr>``."""
+
+    kind: str  # "every" | "some"
+    var: str
+    path: PathExpr
+    predicate: SimplePredicate
+
+
+@dataclass
+class BoolExpr:
+    """``AND``/``OR`` combination of where expressions."""
+
+    op: str  # "and" | "or"
+    left: "WhereExpr"
+    right: "WhereExpr"
+
+
+WhereExpr = Union[SimplePredicate, AggrPredicate, ValueJoin, Quantifier, BoolExpr]
+
+
+@dataclass
+class ForClause:
+    """``FOR $var IN <SP | FLWOR>``."""
+
+    var: str
+    source: Union[PathExpr, "FLWOR"]
+
+
+@dataclass
+class LetClause:
+    """``LET $var := <SP | FLWOR>``."""
+
+    var: str
+    source: Union[PathExpr, "FLWOR"]
+
+
+@dataclass
+class AggrExpr:
+    """An aggregate used as a value: ``count($o/bidder)``."""
+
+    fname: str
+    path: PathExpr
+
+
+@dataclass
+class ElementConstructor:
+    """``<tag attr={path}...> content </tag>`` in a RETURN clause."""
+
+    tag: str
+    attrs: List[Tuple[str, Union[str, PathExpr, AggrExpr]]] = field(
+        default_factory=list
+    )
+    children: List["ReturnExpr"] = field(default_factory=list)
+
+
+@dataclass
+class TextLiteral:
+    """Literal text inside an element constructor."""
+
+    text: str
+
+
+ReturnExpr = Union[
+    PathExpr, AggrExpr, ElementConstructor, TextLiteral, "FLWOR"
+]
+
+
+@dataclass
+class OrderSpec:
+    """``ORDER BY <SP>, … <Mode>``."""
+
+    paths: List[PathExpr]
+    descending: bool = False
+
+
+@dataclass
+class FLWOR:
+    """A full FLWOR block."""
+
+    clauses: List[Union[ForClause, LetClause]]
+    where: Optional[WhereExpr] = None
+    order: Optional[OrderSpec] = None
+    ret: Optional[ReturnExpr] = None
+
+    def for_vars(self) -> List[str]:
+        """Names of FOR-bound variables, in clause order."""
+        return [
+            c.var for c in self.clauses if isinstance(c, ForClause)
+        ]
+
+    def let_vars(self) -> List[str]:
+        """Names of LET-bound variables, in clause order."""
+        return [
+            c.var for c in self.clauses if isinstance(c, LetClause)
+        ]

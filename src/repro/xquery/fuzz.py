@@ -1,0 +1,214 @@
+"""Random query generation inside the Figure 5 fragment.
+
+Generates syntactically valid, schema-aware FLWOR queries over the XMark
+vocabulary.  Used by the randomized cross-engine tests (four independent
+engines must agree on every generated query) and usable as a standalone
+workload generator for benchmarking::
+
+    from repro.xquery.fuzz import QueryFuzzer
+    fuzzer = QueryFuzzer(seed=7)
+    for _ in range(10):
+        print(fuzzer.query())
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+#: (path steps from a person/auction variable, value domain) — the paths
+#: the fuzzer draws predicates and returns from, with plausible constants.
+PERSON_PATHS: List[Tuple[str, List[object]]] = [
+    ("/name", ["gold", "Alice Abel"]),
+    ("//age", [25, 40, 60]),
+    ("/profile/gender", ["male", "female"]),
+    ("/profile/education", ["College", "Graduate School"]),
+    ("/emailaddress", ["mailto:u1@example.org"]),
+    ("/@id", ["person0", "person1", "person7"]),
+    ("/profile/@income", [50000, 100000, 150000]),
+]
+
+AUCTION_PATHS: List[Tuple[str, List[object]]] = [
+    ("/initial", [10, 50, 150]),
+    ("/reserve", [20, 100]),
+    ("/quantity", [1, 3, 5]),
+    ("/type", ["Regular", "Featured"]),
+    ("/@id", ["open_auction0", "open_auction3"]),
+    ("//increase", [5, 10, 20]),
+]
+
+#: Paths with repeated matches, used for counts and quantifiers.
+AUCTION_MULTI = ["/bidder", "/bidder/increase", "//increase"]
+PERSON_MULTI = ["/profile/interest", "/watches/watch"]
+
+
+class QueryFuzzer:
+    """Deterministic random generator of fragment queries over XMark."""
+
+    def __init__(self, seed: int = 0, doc: str = "auction.xml") -> None:
+        self.rng = random.Random(seed)
+        self.doc = doc
+
+    # ------------------------------------------------------------------
+    def query(self) -> str:
+        """One random FLWOR query."""
+        shape = self.rng.choice(
+            ("single", "single", "join", "nested", "order")
+        )
+        if shape == "single":
+            return self._single_source()
+        if shape == "join":
+            return self._two_source_join()
+        if shape == "nested":
+            return self._nested_let()
+        return self._order_by()
+
+    # ------------------------------------------------------------------
+    def _source(self) -> Tuple[str, str, list, list]:
+        """(var, tag, scalar paths, multi paths) for one source kind."""
+        if self.rng.random() < 0.5:
+            return "p", "person", PERSON_PATHS, PERSON_MULTI
+        return "o", "open_auction", AUCTION_PATHS, AUCTION_MULTI
+
+    def _predicate(self, var: str, paths, multi) -> str:
+        kind = self.rng.choice(("simple", "simple", "count", "quant"))
+        if kind == "simple":
+            path, domain = self.rng.choice(paths)
+            value = self.rng.choice(domain)
+            op = self.rng.choice(
+                ("=", "!=") if isinstance(value, str) else ("<", ">", ">=")
+            )
+            literal = f'"{value}"' if isinstance(value, str) else value
+            return f"${var}{path} {op} {literal}"
+        if kind == "count":
+            path = self.rng.choice(multi)
+            threshold = self.rng.randint(0, 4)
+            op = self.rng.choice((">", ">=", "<"))
+            return f"count(${var}{path}) {op} {threshold}"
+        path = self.rng.choice(multi)
+        quantifier = self.rng.choice(("EVERY", "SOME"))
+        inner = self.rng.choice(("q", "i2"))
+        return (
+            f"{quantifier} ${inner} IN ${var}{path} "
+            f"SATISFIES ${inner} != \"nothing\""
+        )
+
+    def _where(self, var: str, paths, multi, extra: str = "") -> str:
+        clauses = [
+            self._predicate(var, paths, multi)
+            for _ in range(self.rng.randint(0, 2))
+        ]
+        if extra:
+            clauses.append(extra)
+        if not clauses:
+            return ""
+        connective = " AND " if self.rng.random() < 0.8 else " OR "
+        if connective == " OR ":
+            # OR supports simple predicates only: regenerate as simple
+            clauses = [
+                self._simple_only(var, paths)
+                for _ in range(max(2, len(clauses)))
+            ]
+            if extra:
+                return (
+                    f"WHERE ({' OR '.join(clauses)}) AND {extra}"
+                )
+            return "WHERE " + " OR ".join(clauses)
+        return "WHERE " + " AND ".join(clauses)
+
+    def _simple_only(self, var: str, paths) -> str:
+        path, domain = self.rng.choice(paths)
+        value = self.rng.choice(domain)
+        literal = f'"{value}"' if isinstance(value, str) else value
+        op = "=" if isinstance(value, str) else ">"
+        return f"${var}{path} {op} {literal}"
+
+    def _return(self, var: str, paths, multi) -> str:
+        kind = self.rng.choice(("text", "splice", "count", "element"))
+        if kind == "text":
+            path, _ = self.rng.choice(paths)
+            return f"RETURN <out>{{${var}{path}/text()}}</out>"
+        if kind == "splice":
+            path = self.rng.choice(multi)
+            return f"RETURN <out>{{${var}{path}}}</out>"
+        if kind == "count":
+            path = self.rng.choice(multi)
+            return f"RETURN <n>{{count(${var}{path})}}</n>"
+        path_a, _ = self.rng.choice(paths)
+        path_b = self.rng.choice(multi)
+        return (
+            f"RETURN <r a={{${var}{path_a}/text()}}>"
+            f"<b>{{${var}{path_b}}}</b></r>"
+        )
+
+    # ------------------------------------------------------------------
+    def _single_source(self) -> str:
+        var, tag, paths, multi = self._source()
+        return "\n".join(
+            part
+            for part in (
+                f'FOR ${var} IN document("{self.doc}")//{tag}',
+                self._where(var, paths, multi),
+                self._return(var, paths, multi),
+            )
+            if part
+        )
+
+    def _two_source_join(self) -> str:
+        join = (
+            "$p/@id = $o/bidder//@person"
+            if self.rng.random() < 0.6
+            else "$o/seller/@person = $p/@id"
+        )
+        where = self._where("o", AUCTION_PATHS, AUCTION_MULTI, extra=join)
+        return "\n".join(
+            part
+            for part in (
+                f'FOR $p IN document("{self.doc}")//person',
+                f'FOR $o IN document("{self.doc}")//open_auction',
+                where,
+                self._return("p", PERSON_PATHS, PERSON_MULTI),
+            )
+            if part
+        )
+
+    def _nested_let(self) -> str:
+        correlate = self.rng.choice(
+            ("$t/buyer/@person = $p/@id", "$t/seller/@person = $p/@id")
+        )
+        inner_where = f"WHERE {correlate}"
+        if self.rng.random() < 0.4:
+            inner_where += " AND $t/price > 50"
+        return "\n".join(
+            (
+                f'FOR $p IN document("{self.doc}")//person',
+                f'LET $a := FOR $t IN document("{self.doc}")'
+                "//closed_auction",
+                f"          {inner_where}",
+                "          RETURN <t>{$t/price/text()}</t>",
+                "RETURN <row name={$p/name/text()}>{count($a)}</row>",
+            )
+        )
+
+    def _order_by(self) -> str:
+        var, tag, paths, multi = self._source()
+        path, _ = self.rng.choice(paths)
+        if path.startswith("/@") or "//" in path:
+            path = "/name" if tag == "person" else "/initial"
+        mode = self.rng.choice(("Ascending", "Descending"))
+        return "\n".join(
+            part
+            for part in (
+                f'FOR ${var} IN document("{self.doc}")//{tag}',
+                self._where(var, paths, multi),
+                f"ORDER BY ${var}{path} {mode}",
+                self._return(var, paths, multi),
+            )
+            if part
+        )
+
+
+def sample_queries(n: int, seed: int = 0) -> List[str]:
+    """A reproducible batch of ``n`` fuzzed queries."""
+    fuzzer = QueryFuzzer(seed)
+    return [fuzzer.query() for _ in range(n)]

@@ -1,0 +1,76 @@
+"""Unit tests for the GTP baseline's characteristic behaviours."""
+
+from repro.baselines.gtp import translate_gtp
+from repro.baselines.ops import GroupByOp, MergeOp
+from repro.baselines.tax import translate_tax
+from repro.core import Context, ProjectOp, evaluate
+from repro.xquery import translate_query
+
+COUNTING = (
+    'FOR $o IN document("auction.xml")//open_auction '
+    "WHERE count($o/bidder) > 2 "
+    "RETURN <x>{$o/quantity/text()}</x>"
+)
+
+NESTED = '''
+FOR $p IN document("auction.xml")//person
+LET $a := FOR $o IN document("auction.xml")//open_auction
+          WHERE $p/@id = $o/bidder//@person
+          RETURN <t>{$o/quantity/text()}</t>
+RETURN <r name={$p/name/text()}>{count($a)}</r>
+'''
+
+
+def ops_of(plan, op_type):
+    return [op for op in plan.walk() if isinstance(op, op_type)]
+
+
+class TestPlanStructure:
+    def test_grouping_with_merge_not_join(self):
+        plan = translate_gtp(COUNTING).plan
+        assert ops_of(plan, GroupByOp)
+        assert ops_of(plan, MergeOp)
+        from repro.core import JoinOp
+
+        id_joins = [
+            join
+            for join in ops_of(plan, JoinOp)
+            if any(p.by_id for p in join.predicates)
+        ]
+        assert id_joins == []  # identity joins are TAX's vice
+
+    def test_no_early_materialization(self):
+        plan = translate_gtp(COUNTING).plan
+        assert not any(p.with_subtrees for p in ops_of(plan, ProjectOp))
+
+    def test_nested_let_regrouped(self):
+        from repro.baselines.ops import NestJoinResultsOp
+
+        plan = translate_gtp(NESTED).plan
+        assert ops_of(plan, NestJoinResultsOp)
+
+
+class TestCostProfile:
+    def test_gtp_groups_more_than_tlc(self, tiny_db):
+        """TLC nest-joins; GTP pays group-bys (Section 6.3 (i))."""
+        ctx = Context(tiny_db)
+        evaluate(translate_query(COUNTING).plan, ctx)
+        tlc_groups = tiny_db.metrics.groupby_ops
+        tiny_db.reset_metrics()
+        evaluate(translate_gtp(COUNTING).plan, Context(tiny_db))
+        assert tiny_db.metrics.groupby_ops > tlc_groups
+
+    def test_gtp_cheaper_than_tax_on_materialization(self, tiny_db):
+        evaluate(translate_gtp(COUNTING).plan, Context(tiny_db))
+        gtp_touches = tiny_db.metrics.nodes_touched
+        tiny_db.reset_metrics()
+        evaluate(translate_tax(COUNTING).plan, Context(tiny_db))
+        assert tiny_db.metrics.nodes_touched > gtp_touches
+
+    def test_results_match_tlc(self, tiny_db):
+        for query in (COUNTING, NESTED):
+            tlc = evaluate(translate_query(query).plan, Context(tiny_db))
+            gtp = evaluate(translate_gtp(query).plan, Context(tiny_db))
+            assert sorted(
+                repr(t.canonical(True)) for t in tlc
+            ) == sorted(repr(t.canonical(True)) for t in gtp)

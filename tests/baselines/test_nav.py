@@ -1,0 +1,108 @@
+"""Unit tests for the navigational evaluator."""
+
+import pytest
+
+from repro.baselines.nav import NavEvaluator
+from repro.core import Context, evaluate
+from repro.errors import EvaluationError
+from repro.xquery import translate_query
+
+
+class TestBasics:
+    def test_simple_query(self, tiny_db):
+        result = NavEvaluator(tiny_db).run(
+            'FOR $p IN document("auction.xml")//person '
+            "RETURN <o>{$p/name/text()}</o>"
+        )
+        assert sorted(t.to_xml() for t in result) == [
+            "<o>Alice</o>", "<o>Bob</o>", "<o>Carol</o>",
+        ]
+
+    def test_where_filtering(self, tiny_db):
+        result = NavEvaluator(tiny_db).run(
+            'FOR $p IN document("auction.xml")//person '
+            "WHERE $p//age > 25 RETURN $p/name"
+        )
+        assert len(result) == 2
+
+    def test_count_predicate(self, tiny_db):
+        result = NavEvaluator(tiny_db).run(
+            'FOR $o IN document("auction.xml")//open_auction '
+            "WHERE count($o/bidder) > 2 RETURN $o/quantity"
+        )
+        assert len(result) == 1
+        assert result[0].root.value == "5"
+
+    def test_value_join_is_nested_loop(self, tiny_db):
+        tiny_db.reset_metrics()
+        result = NavEvaluator(tiny_db).run(
+            'FOR $p IN document("auction.xml")//person '
+            'FOR $o IN document("auction.xml")//open_auction '
+            "WHERE $p/@id = $o/bidder//@person "
+            "RETURN <hit>{$p/name/text()}</hit>"
+        )
+        assert len(result) == 3  # (p1,a1), (p3,a1), (p3,a2)
+        assert tiny_db.metrics.navigation_steps > 0
+        assert tiny_db.metrics.structural_joins == 0
+        assert tiny_db.metrics.index_lookups == 0
+
+    def test_quantifiers(self, tiny_db):
+        every = NavEvaluator(tiny_db).run(
+            'FOR $o IN document("auction.xml")//open_auction '
+            "WHERE EVERY $i IN $o/bidder/increase SATISFIES $i > 2 "
+            "RETURN $o/quantity"
+        )
+        # a1 passes (3,25,7), a2 fails (1), a3 passes vacuously
+        assert len(every) == 2
+        some = NavEvaluator(tiny_db).run(
+            'FOR $o IN document("auction.xml")//open_auction '
+            "WHERE SOME $i IN $o/bidder/increase SATISFIES $i > 20 "
+            "RETURN $o/quantity"
+        )
+        assert len(some) == 1
+
+    def test_nested_let(self, tiny_db):
+        result = NavEvaluator(tiny_db).run(
+            'FOR $p IN document("auction.xml")//person '
+            'LET $a := FOR $o IN document("auction.xml")//open_auction '
+            "          WHERE $p/@id = $o/bidder//@person "
+            "          RETURN <t/> "
+            "RETURN <n c={count($a)}>{$p/name/text()}</n>"
+        )
+        counts = sorted(
+            (t.root.value, t.root.children[0].value) for t in result
+        )
+        assert counts == [("Alice", "1"), ("Bob", "0"), ("Carol", "2")]
+
+    def test_order_by(self, tiny_db):
+        result = NavEvaluator(tiny_db).run(
+            'FOR $o IN document("auction.xml")//open_auction '
+            "ORDER BY $o/initial Descending RETURN $o/initial"
+        )
+        values = [float(t.root.value) for t in result]
+        assert values == [100.0, 50.0, 10.0]
+
+    def test_unbound_variable(self, tiny_db):
+        with pytest.raises(EvaluationError):
+            NavEvaluator(tiny_db).run(
+                'FOR $a IN document("auction.xml")//person '
+                "WHERE $b/y = 1 RETURN $a"
+            )
+
+
+class TestAgainstTLC:
+    QUERIES = (
+        'FOR $p IN document("auction.xml")//person RETURN $p/name',
+        'FOR $o IN document("auction.xml")//open_auction '
+        "WHERE $o/initial >= 50 RETURN <r>{$o/initial/text()}</r>",
+        'FOR $o IN document("auction.xml")//open_auction '
+        "RETURN <c>{count($o/bidder)}</c>",
+    )
+
+    def test_results_match_tlc(self, tiny_db):
+        for query in self.QUERIES:
+            tlc = evaluate(translate_query(query).plan, Context(tiny_db))
+            nav = NavEvaluator(tiny_db).run(query)
+            assert sorted(
+                repr(t.canonical(True)) for t in tlc
+            ) == sorted(repr(t.canonical(True)) for t in nav), query

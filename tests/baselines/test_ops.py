@@ -1,0 +1,103 @@
+"""Unit tests for the baseline restructuring operators."""
+
+from repro.baselines.ops import GroupByOp, MergeOp, NestJoinResultsOp
+from repro.core import Context
+from repro.core.base import Operator
+from repro.model import NodeId, TNode, TreeSequence, XTree
+
+
+class Const(Operator):
+    name = "Const"
+
+    def __init__(self, sequence):
+        super().__init__([])
+        self.sequence = sequence
+
+    def execute(self, ctx, inputs):
+        return self.sequence
+
+
+def flat_tree(auction_start: int, bid_value) -> XTree:
+    auction = TNode(
+        "auction", None, NodeId(0, auction_start, auction_start + 50, 2), [1]
+    )
+    auction.add_child(
+        TNode("bid", bid_value,
+              NodeId(0, auction_start + 1, auction_start + 2, 3), [2])
+    )
+    return XTree(auction)
+
+
+def join_root_tree(person_start: int, right_values) -> XTree:
+    root = TNode("join_root", lcls=[9])
+    person = TNode(
+        "person", None, NodeId(0, person_start, person_start + 5, 2), [1]
+    )
+    root.add_child(person)
+    for value in right_values:
+        root.add_child(TNode("t", value, lcls=[2]))
+    return XTree(root)
+
+
+class TestGroupByOp:
+    def test_groups(self, tiny_db):
+        trees = TreeSequence(
+            [flat_tree(100, "a"), flat_tree(100, "b"), flat_tree(200, "c")]
+        )
+        # same auction identity requires equal nids
+        trees[1].root.nid = trees[0].root.nid
+        trees[1].invalidate()
+        op = GroupByOp(1, 2, Const(trees))
+        result = op.execute(Context(tiny_db), [trees])
+        assert len(result) == 2
+        assert len(result[0].nodes_in_class(2)) == 2
+
+    def test_meters_groupby(self, tiny_db):
+        trees = TreeSequence([flat_tree(100, "a")])
+        ctx = Context(tiny_db)
+        GroupByOp(1, 2).execute(ctx, [trees])
+        assert ctx.metrics.groupby_ops == 1
+
+    def test_params(self):
+        assert GroupByOp(1, 2).params() == "group (1) members (2)"
+
+
+class TestMergeOp:
+    def test_params(self):
+        left, right = Const(TreeSequence()), Const(TreeSequence())
+        assert MergeOp(left, right, 1, 7).params() == "on (1) = (7)"
+
+    def test_merge_is_identity_keyed(self, tiny_db):
+        main = TreeSequence([flat_tree(100, "x")])
+        branch_host = TNode("auction", None, NodeId(0, 100, 150, 2), [7])
+        branch_host.add_child(TNode("count", 3, lcls=[8]))
+        branch = TreeSequence([XTree(branch_host)])
+        op = MergeOp(Const(main), Const(branch), 1, 7)
+        result = op.execute(Context(tiny_db), [main, branch])
+        assert result[0].nodes_in_class(8)[0].value == 3
+
+
+class TestNestJoinResultsOp:
+    def test_regroups_flat_join_output(self, tiny_db):
+        trees = TreeSequence([
+            join_root_tree(10, ["a"]),
+            join_root_tree(10, ["b"]),
+            join_root_tree(30, ["c"]),
+        ])
+        # same person identity for the first two
+        trees[1].root.children[0].nid = trees[0].root.children[0].nid
+        trees[1].invalidate()
+        op = NestJoinResultsOp(1, 9, Const(trees))
+        result = op.execute(Context(tiny_db), [trees])
+        assert len(result) == 2
+        sizes = sorted(len(t.nodes_in_class(2)) for t in result)
+        assert sizes == [1, 2]
+
+    def test_keyless_trees_dropped(self, tiny_db):
+        orphan = XTree(TNode("join_root", lcls=[9]))
+        op = NestJoinResultsOp(1, 9, Const(TreeSequence([orphan])))
+        result = op.execute(Context(tiny_db), [TreeSequence([orphan])])
+        assert len(result) == 0
+
+    def test_params(self):
+        assert NestJoinResultsOp(1, 9).params() == "by (1) root (9)"

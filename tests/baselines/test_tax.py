@@ -1,0 +1,70 @@
+"""Unit tests for the TAX baseline's characteristic behaviours."""
+
+from repro.core import Context, DedupOp, JoinOp, ProjectOp, evaluate
+from repro.baselines.ops import GroupByOp
+from repro.baselines.tax import translate_tax
+from repro.xquery import translate_query
+
+SIMPLE = (
+    'FOR $p IN document("auction.xml")//person '
+    "RETURN <o>{$p/name/text()}</o>"
+)
+
+COUNTING = (
+    'FOR $o IN document("auction.xml")//open_auction '
+    "WHERE count($o/bidder) > 2 "
+    "RETURN <x>{$o/quantity/text()}</x>"
+)
+
+
+def ops_of(plan, op_type):
+    return [op for op in plan.walk() if isinstance(op, op_type)]
+
+
+class TestPlanStructure:
+    def test_early_materialization_projection(self):
+        plan = translate_tax(SIMPLE).plan
+        projects = ops_of(plan, ProjectOp)
+        assert any(p.with_subtrees for p in projects)
+
+    def test_dedup_follows_source_projection(self):
+        plan = translate_tax(SIMPLE).plan
+        assert ops_of(plan, DedupOp)
+
+    def test_return_path_stitched_by_id_join(self):
+        plan = translate_tax(SIMPLE).plan
+        joins = ops_of(plan, JoinOp)
+        assert any(
+            pred.by_id for join in joins for pred in join.predicates
+        )
+
+    def test_aggregate_uses_grouping_branch(self):
+        plan = translate_tax(COUNTING).plan
+        assert ops_of(plan, GroupByOp)
+
+    def test_flat_patterns_only(self):
+        from repro.core import SelectOp
+
+        plan = translate_tax(COUNTING).plan
+        for op in ops_of(plan, SelectOp):
+            for node in op.apt.nodes():
+                for edge in node.edges:
+                    assert edge.mspec in ("-", "?")
+
+
+class TestCostProfile:
+    def test_tax_touches_more_data_than_tlc(self, tiny_db):
+        """Early materialization costs I/O (Section 6.3)."""
+        ctx = Context(tiny_db)
+        evaluate(translate_query(SIMPLE).plan, ctx)
+        tlc_touches = tiny_db.metrics.nodes_touched
+        tiny_db.reset_metrics()
+        evaluate(translate_tax(SIMPLE).plan, Context(tiny_db))
+        assert tiny_db.metrics.nodes_touched > tlc_touches
+
+    def test_tax_matches_tlc_results(self, tiny_db):
+        tlc = evaluate(translate_query(COUNTING).plan, Context(tiny_db))
+        tax = evaluate(translate_tax(COUNTING).plan, Context(tiny_db))
+        assert sorted(repr(t.canonical(True)) for t in tlc) == sorted(
+            repr(t.canonical(True)) for t in tax
+        )

@@ -1,0 +1,124 @@
+"""Unit tests for the benchmark harness and reporting."""
+
+import math
+
+import pytest
+
+from repro.bench import (
+    Harness,
+    counters_table,
+    figure15_speedups,
+    figure15_table,
+    figure16_table,
+    figure17_table,
+    linear_r2,
+)
+from repro.storage.stats import QueryReport
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness()
+
+
+class TestHarness:
+    def test_engine_cached_per_factor(self, harness):
+        assert harness.engine_for(0.001) is harness.engine_for(0.001)
+
+    def test_run_query_reports_counters(self, harness):
+        report = harness.run_query("x1", "tlc", factor=0.001)
+        assert report.query == "x1"
+        assert report.engine == "tlc"
+        assert report.seconds > 0
+        assert report.counters["index_lookups"] >= 1
+
+    def test_repeats_drop_extremes(self, harness):
+        report = harness.run_query("x1", "tlc", 0.001, repeats=5)
+        assert report.seconds > 0
+
+    def test_optimized_run(self, harness):
+        report = harness.run_query(
+            "Q1", "tlc", 0.001, optimize=True
+        )
+        assert report.engine == "tlc+opt"
+
+    def test_figure16_pairs(self, harness):
+        reports = harness.figure16(factor=0.001, queries=("x5",))
+        assert [r.engine for r in reports] == ["tlc", "tlc+opt"]
+
+    def test_figure17_tags_factor(self, harness):
+        reports = harness.figure17(
+            factors=(0.001,), queries=("x1",)
+        )
+        assert reports[0].counters["factor"] == 0.001
+
+    def test_figure15_subset(self, harness):
+        reports = harness.figure15(
+            factor=0.001, queries=("x1",), engines=("tlc", "nav")
+        )
+        assert len(reports) == 2
+
+
+class TestReporting:
+    def rows(self):
+        return [
+            QueryReport("tlc", "x1", 0.01, {"pages_read": 3}, 1),
+            QueryReport("gtp", "x1", 0.02, {"pages_read": 5}, 1),
+            QueryReport("tax", "x1", 0.05, {}, 1),
+            QueryReport("nav", "x1", float("nan"), {}, 0),
+        ]
+
+    def test_figure15_table_renders(self):
+        table = figure15_table(self.rows())
+        assert "x1" in table
+        assert "DNF" in table  # the NaN row
+        assert "TLC" in table
+
+    def test_speedups(self):
+        text = figure15_speedups(self.rows())
+        assert "2.0x" in text
+        assert "5.0x" in text
+
+    def test_figure16_table(self):
+        reports = [
+            QueryReport("tlc", "Q1", 0.04, {}, 1),
+            QueryReport("tlc+opt", "Q1", 0.02, {}, 1),
+        ]
+        table = figure16_table(reports)
+        assert "2.00x" in table
+
+    def test_figure17_table_and_r2(self):
+        reports = [
+            QueryReport("tlc", "x5", 0.01, {"factor": 0.001}, 1),
+            QueryReport("tlc", "x5", 0.02, {"factor": 0.002}, 1),
+            QueryReport("tlc", "x5", 0.04, {"factor": 0.004}, 1),
+        ]
+        table = figure17_table(reports)
+        assert "R²" in table
+        assert "x5" in table
+
+    def test_linear_r2_perfect_line(self):
+        assert linear_r2([(1, 2), (2, 4), (3, 6)]) == pytest.approx(1.0)
+
+    def test_linear_r2_degenerate(self):
+        assert math.isnan(linear_r2([(1, 1)]))
+
+    def test_counters_table(self):
+        table = counters_table(self.rows())
+        assert "pages" in table
+        assert "x1" in table
+
+
+class TestBudget:
+    def test_slow_cell_not_repeated(self):
+        """A first run over a tenth of the DNF budget is the result."""
+        harness = Harness(budget_seconds=0.0000001)
+        report = harness.run_query("x1", "tlc", factor=0.001, repeats=5)
+        assert report.seconds > 0  # single cold run returned
+
+    def test_figure15_marks_dnf(self):
+        harness = Harness(budget_seconds=0.0000001)
+        reports = harness.figure15(
+            factor=0.001, queries=("x1",), engines=("tlc",)
+        )
+        assert reports[0].counters.get("dnf") is True

@@ -1,0 +1,67 @@
+"""Shared fixtures: a tiny hand-written auction database and XMark data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine
+from repro.storage import Database
+from repro.xmark import load_xmark
+
+#: A small auction document exercising every feature the queries need:
+#: repeated bidders, optional age/reserve, attributes, nesting.
+TINY_AUCTION = """
+<site>
+ <people>
+  <person id="p1"><name>Alice</name><profile><age>30</age></profile></person>
+  <person id="p2"><name>Bob</name><profile></profile></person>
+  <person id="p3"><name>Carol</name><profile><age>40</age></profile></person>
+ </people>
+ <open_auctions>
+  <open_auction id="a1">
+    <initial>10</initial>
+    <bidder><personref person="p1"/><increase>3</increase></bidder>
+    <bidder><personref person="p3"/><increase>25</increase></bidder>
+    <bidder><personref person="p1"/><increase>7</increase></bidder>
+    <quantity>5</quantity>
+  </open_auction>
+  <open_auction id="a2">
+    <initial>100</initial>
+    <reserve>150</reserve>
+    <bidder><personref person="p3"/><increase>1</increase></bidder>
+    <quantity>1</quantity>
+  </open_auction>
+  <open_auction id="a3">
+    <initial>50</initial>
+    <quantity>2</quantity>
+  </open_auction>
+ </open_auctions>
+</site>
+"""
+
+
+@pytest.fixture
+def tiny_db() -> Database:
+    """A fresh database loaded with the tiny auction document."""
+    db = Database()
+    db.load_xml("auction.xml", TINY_AUCTION)
+    return db
+
+
+@pytest.fixture
+def tiny_engine(tiny_db) -> Engine:
+    """An engine over the tiny auction document."""
+    return Engine(tiny_db)
+
+
+@pytest.fixture(scope="session")
+def xmark_engine() -> Engine:
+    """A session-wide engine with XMark data at a small factor."""
+    engine = Engine()
+    load_xmark(engine.db, factor=0.002)
+    return engine
+
+
+def canonical_sorted(sequence):
+    """Order-insensitive content fingerprint of a result forest."""
+    return sorted(repr(tree.canonical(True)) for tree in sequence)

@@ -1,0 +1,112 @@
+"""Unit tests for the Construct operator."""
+
+from repro.core import (
+    CClassRef,
+    CElement,
+    CText,
+    ConstructOp,
+    Context,
+    SelectOp,
+    evaluate,
+)
+from repro.patterns import APT, pattern_node
+
+
+def person_select() -> SelectOp:
+    root = pattern_node("doc_root", 1)
+    person = pattern_node("person", 2)
+    name = pattern_node("name", 3)
+    pid = pattern_node("@id", 4)
+    root.add_edge(person, "ad", "-")
+    person.add_edge(name, "pc", "-")
+    person.add_edge(pid, "pc", "-")
+    return SelectOp(APT(root, "auction.xml"))
+
+
+class TestElementConstruction:
+    def test_basic_element(self, tiny_db):
+        ctree = CElement(
+            "who", 10, attrs=[("label", CClassRef(3, text_only=True))]
+        )
+        plan = ConstructOp(ctree, person_select())
+        result = evaluate(plan, Context(tiny_db))
+        assert len(result) == 3
+        assert result[0].to_xml() == '<who label="Alice"/>'
+        assert 10 in result[0].root.lcls
+
+    def test_literal_attribute_and_text(self, tiny_db):
+        ctree = CElement(
+            "who", 10, attrs=[("kind", "bidder")],
+            children=[CText("hello")],
+        )
+        plan = ConstructOp(ctree, person_select())
+        result = evaluate(plan, Context(tiny_db))
+        assert result[0].to_xml() == '<who kind="bidder">hello</who>'
+
+    def test_splice_materializes_subtrees(self, tiny_db):
+        ctree = CElement("wrap", 10, children=[CClassRef(2)])
+        plan = ConstructOp(ctree, person_select())
+        result = evaluate(plan, Context(tiny_db))
+        assert "<name>Alice</name>" in result[0].to_xml()
+
+    def test_splice_preserves_class_markings(self, tiny_db):
+        ctree = CElement("wrap", 10, children=[CClassRef(2)])
+        plan = ConstructOp(ctree, person_select())
+        result = evaluate(plan, Context(tiny_db))
+        assert len(result[0].nodes_in_class(2)) == 1
+
+    def test_splice_pays_materialization_io(self, tiny_db):
+        ctx = Context(tiny_db)
+        select = person_select()
+        base = evaluate(select, ctx)
+        tiny_db.reset_metrics()
+        ConstructOp(CElement("w", 9, children=[CClassRef(2)])).execute(
+            ctx, [base]
+        )
+        assert tiny_db.metrics.nodes_touched > 0
+
+    def test_nested_elements(self, tiny_db):
+        ctree = CElement(
+            "outer", 10,
+            children=[
+                CElement(
+                    "inner", 11,
+                    children=[CClassRef(3, text_only=True)],
+                )
+            ],
+        )
+        plan = ConstructOp(ctree, person_select())
+        result = evaluate(plan, Context(tiny_db))
+        assert result[0].to_xml() == "<outer><inner>Alice</inner></outer>"
+
+    def test_empty_class_attribute_is_blank(self, tiny_db):
+        ctree = CElement(
+            "who", 10, attrs=[("x", CClassRef(99, text_only=True))]
+        )
+        plan = ConstructOp(ctree, person_select())
+        result = evaluate(plan, Context(tiny_db))
+        assert result[0].to_xml() == '<who x=""/>'
+
+    def test_hidden_splice_is_shadowed(self, tiny_db):
+        ctree = CElement(
+            "w", 10, children=[CClassRef(4, hidden=True)]
+        )
+        plan = ConstructOp(ctree, person_select())
+        result = evaluate(plan, Context(tiny_db))
+        assert result[0].to_xml() == "<w/>"  # invisible in output
+        hidden = result[0].nodes_in_class(4, include_shadowed=True)
+        assert len(hidden) == 1 and hidden[0].shadowed
+
+
+class TestBareClassRoot:
+    def test_splice_root_yields_one_tree_per_member(self, tiny_db):
+        plan = ConstructOp(CClassRef(3), person_select())
+        result = evaluate(plan, Context(tiny_db))
+        assert len(result) == 3
+        assert {t.root.tag for t in result} == {"name"}
+
+    def test_text_root(self, tiny_db):
+        plan = ConstructOp(CClassRef(3, text_only=True), person_select())
+        result = evaluate(plan, Context(tiny_db))
+        values = sorted(t.root.value for t in result)
+        assert values == ["Alice", "Bob", "Carol"]

@@ -1,0 +1,117 @@
+"""Unit tests for Duplicate-Elimination, Sort and Union."""
+
+import pytest
+
+from repro.core import Context, DedupOp, SelectOp, SortOp, UnionOp, evaluate
+from repro.errors import CardinalityError
+from repro.patterns import APT, pattern_node
+
+
+def ref_select() -> SelectOp:
+    """One witness per (auction, @person) pair."""
+    root = pattern_node("doc_root", 1)
+    auction = pattern_node("open_auction", 2)
+    ref = pattern_node("@person", 3)
+    root.add_edge(auction, "ad", "-")
+    auction.add_edge(ref, "ad", "-")
+    return SelectOp(APT(root, "auction.xml"))
+
+
+def person_select() -> SelectOp:
+    root = pattern_node("doc_root", 1)
+    person = pattern_node("person", 2)
+    name = pattern_node("name", 3)
+    root.add_edge(person, "ad", "-")
+    person.add_edge(name, "pc", "-")
+    return SelectOp(APT(root, "auction.xml"))
+
+
+class TestDedup:
+    def test_id_dedup(self, tiny_db):
+        # 4 (auction, ref) pairs; by auction id only a1, a2 remain
+        plan = DedupOp([2], "id", ref_select())
+        result = evaluate(plan, Context(tiny_db))
+        assert len(result) == 2
+
+    def test_content_dedup(self, tiny_db):
+        # by @person content: (a1,p1), (a1,p3), (a2,p3)
+        plan = DedupOp([2, 3], "id", ref_select(), bases={3: "content"})
+        result = evaluate(plan, Context(tiny_db))
+        assert len(result) == 3
+
+    def test_id_key_distinguishes_same_content(self, tiny_db):
+        plan = DedupOp([2, 3], "id", ref_select())
+        result = evaluate(plan, Context(tiny_db))
+        assert len(result) == 4  # two distinct p1 refs in a1
+
+    def test_first_occurrence_wins(self, tiny_db):
+        plan = DedupOp([2], "id", ref_select())
+        result = evaluate(plan, Context(tiny_db))
+        keys = [t.order_key for t in result]
+        assert keys == sorted(keys)
+
+    def test_empty_class_contributes_null(self, tiny_db):
+        plan = DedupOp([99], "id", ref_select())
+        result = evaluate(plan, Context(tiny_db))
+        assert len(result) == 1  # all trees share the null key
+
+    def test_cardinality_enforced(self, tiny_db):
+        root = pattern_node("doc_root", 1)
+        auction = pattern_node("open_auction", 2)
+        bidder = pattern_node("bidder", 3)
+        root.add_edge(auction, "ad", "-")
+        auction.add_edge(bidder, "pc", "*")
+        plan = DedupOp([3], "id", SelectOp(APT(root, "auction.xml")))
+        with pytest.raises(CardinalityError):
+            evaluate(plan, Context(tiny_db))
+
+    def test_invalid_basis_rejected(self):
+        with pytest.raises(ValueError):
+            DedupOp([1], by="vibes")
+
+
+class TestSort:
+    def test_ascending_by_value(self, tiny_db):
+        plan = SortOp([3], False, person_select())
+        result = evaluate(plan, Context(tiny_db))
+        names = [t.nodes_in_class(3)[0].value for t in result]
+        assert names == ["Alice", "Bob", "Carol"]
+
+    def test_descending(self, tiny_db):
+        plan = SortOp([3], True, person_select())
+        result = evaluate(plan, Context(tiny_db))
+        names = [t.nodes_in_class(3)[0].value for t in result]
+        assert names == ["Carol", "Bob", "Alice"]
+
+    def test_numeric_keys_sort_numerically(self, tiny_db):
+        root = pattern_node("doc_root", 1)
+        initial = pattern_node("initial", 2)
+        root.add_edge(initial, "ad", "-")
+        plan = SortOp([2], False, SelectOp(APT(root, "auction.xml")))
+        result = evaluate(plan, Context(tiny_db))
+        values = [float(t.nodes_in_class(2)[0].value) for t in result]
+        assert values == [10.0, 50.0, 100.0]
+
+    def test_missing_keys_order_first(self, tiny_db):
+        root = pattern_node("doc_root", 1)
+        auction = pattern_node("open_auction", 2)
+        reserve = pattern_node("reserve", 3)
+        root.add_edge(auction, "ad", "-")
+        auction.add_edge(reserve, "pc", "*")
+        plan = SortOp([3], False, SelectOp(APT(root, "auction.xml")))
+        result = evaluate(plan, Context(tiny_db))
+        assert result[0].nodes_in_class(3) == []
+
+
+class TestUnion:
+    def test_concatenates_in_document_order(self, tiny_db):
+        plan = UnionOp([person_select(), ref_select()])
+        result = evaluate(plan, Context(tiny_db))
+        assert len(result) == 3 + 4
+        keys = [t.order_key for t in result]
+        assert keys == sorted(keys)
+
+    def test_dedup_by_shared_class(self, tiny_db):
+        plan = UnionOp([person_select(), person_select()], dedup_lcl=2)
+        result = evaluate(plan, Context(tiny_db))
+        assert len(result) == 3

@@ -1,0 +1,96 @@
+"""Unit tests for the evaluator (memoisation) and Select's three modes."""
+
+import pytest
+
+from repro.core import Context, SelectOp, evaluate, evaluate_on
+from repro.core.base import Operator
+from repro.errors import AlgebraError
+from repro.patterns import APT, pattern_node
+
+
+class CountingSelect(SelectOp):
+    """A select that counts how many times it executes."""
+
+    def __init__(self, apt):
+        super().__init__(apt)
+        self.executions = 0
+
+    def execute(self, ctx, inputs):
+        self.executions += 1
+        return super().execute(ctx, inputs)
+
+
+def person_apt() -> APT:
+    root = pattern_node("doc_root", 1)
+    root.add_edge(pattern_node("person", 2), "ad", "-")
+    return APT(root, "auction.xml")
+
+
+class TestEvaluator:
+    def test_shared_subplan_runs_once(self, tiny_db):
+        """Pattern-tree reuse: a shared operator executes exactly once."""
+        from repro.core import UnionOp
+
+        shared = CountingSelect(person_apt())
+        plan = UnionOp([shared, shared])
+        result = evaluate(plan, Context(tiny_db))
+        assert shared.executions == 1
+        assert len(result) == 6  # both union arms saw the 3 persons
+
+    def test_evaluate_on_convenience(self, tiny_db):
+        result = evaluate_on(SelectOp(person_apt()), tiny_db)
+        assert len(result) == 3
+
+
+class TestSelectModes:
+    def test_leaf_select_requires_document(self, tiny_db):
+        apt = person_apt()
+        apt.doc = None
+        with pytest.raises(AlgebraError):
+            evaluate(SelectOp(apt), Context(tiny_db))
+
+    def test_extension_select_requires_input(self, tiny_db):
+        ext = pattern_node(None, 0, lc_ref=2)
+        ext.add_edge(pattern_node("name", 9), "pc", "-")
+        with pytest.raises(AlgebraError):
+            evaluate(SelectOp(APT(ext)), Context(tiny_db))
+
+    def test_in_memory_select_mode(self, tiny_db):
+        """A pattern without lc_ref over an input: TAX-style matching."""
+        base = SelectOp(person_apt())
+        inner = pattern_node("name", 9)
+        plan = SelectOp(APT(pattern_node("person", 8)), base)
+        # witness trees carry only matched nodes: person has no name in
+        # the witness (name wasn't part of the base pattern), so matching
+        # person alone still succeeds per input tree
+        result = evaluate(plan, Context(tiny_db))
+        assert len(result) == 3
+
+    def test_describe_modes(self):
+        leaf = SelectOp(person_apt())
+        assert "doc=" in leaf.params()
+        ext_root = pattern_node(None, 0, lc_ref=2)
+        extension = SelectOp(APT(ext_root))
+        assert "extend" in extension.params()
+
+
+class TestPlanUtilities:
+    def test_walk_and_describe(self, tiny_db):
+        from repro.core import FilterOp, ClassPredicate
+
+        plan = FilterOp(
+            ClassPredicate(2, "=", "x"), "ALO", SelectOp(person_apt())
+        )
+        ops = list(plan.walk())
+        assert len(ops) == 2
+        text = plan.describe()
+        assert "Filter" in text and "Select" in text
+
+    def test_replace_input(self, tiny_db):
+        from repro.core import FilterOp, ClassPredicate
+
+        old = SelectOp(person_apt())
+        new = SelectOp(person_apt())
+        plan = FilterOp(ClassPredicate(2, "=", "x"), "ALO", old)
+        plan.replace_input(old, new)
+        assert plan.inputs == [new]

@@ -1,0 +1,128 @@
+"""Unit tests for Filter, TreeFilter and the predicate helpers."""
+
+import pytest
+
+from repro.core import ClassPredicate, Context, FilterOp, SelectOp, evaluate
+from repro.core.filter import (
+    TreeFilterOp,
+    cross_class_predicate,
+    disjunctive_predicate,
+)
+from repro.errors import AlgebraError
+from repro.patterns import APT, pattern_node
+
+
+def bidder_select() -> SelectOp:
+    """open_auction(2) with all bidders' increases as class 3 ('*')."""
+    root = pattern_node("doc_root", 1)
+    auction = pattern_node("open_auction", 2)
+    increase = pattern_node("increase", 3)
+    root.add_edge(auction, "ad", "-")
+    auction.add_edge(increase, "ad", "*")
+    return SelectOp(APT(root, "auction.xml"))
+
+
+class TestModes:
+    def test_every_mode(self, tiny_db):
+        # a1 increases: 3, 25, 7 -> not all > 2? all are > 2.  a2: 1 fails.
+        plan = FilterOp(
+            ClassPredicate(3, ">", 2), "E", bidder_select()
+        )
+        result = evaluate(plan, Context(tiny_db))
+        # a1 passes (all > 2), a2 fails (1), a3 passes vacuously (empty)
+        assert len(result) == 2
+
+    def test_every_passes_empty_class(self, tiny_db):
+        """Footnote 2: Every lets through trees with an empty class."""
+        plan = FilterOp(
+            ClassPredicate(3, ">", 1000), "E", bidder_select()
+        )
+        result = evaluate(plan, Context(tiny_db))
+        assert len(result) == 1  # only the bidder-less a3
+
+    def test_alo_mode(self, tiny_db):
+        plan = FilterOp(
+            ClassPredicate(3, ">", 20), "ALO", bidder_select()
+        )
+        result = evaluate(plan, Context(tiny_db))
+        assert len(result) == 1  # only a1 has an increase > 20
+
+    def test_alo_rejects_empty_class(self, tiny_db):
+        plan = FilterOp(
+            ClassPredicate(3, ">", -1), "ALO", bidder_select()
+        )
+        result = evaluate(plan, Context(tiny_db))
+        assert len(result) == 2  # a3's empty class fails ALO
+
+    def test_ex_mode(self, tiny_db):
+        plan = FilterOp(
+            ClassPredicate(3, ">", 5), "EX", bidder_select()
+        )
+        result = evaluate(plan, Context(tiny_db))
+        # a1 has two increases > 5 (25, 7) -> fails EX; a2 has none
+        assert len(result) == 0
+
+    def test_ex_mode_accepts_exactly_one(self, tiny_db):
+        plan = FilterOp(
+            ClassPredicate(3, ">", 10), "EX", bidder_select()
+        )
+        result = evaluate(plan, Context(tiny_db))
+        assert len(result) == 1  # a1: only 25 exceeds 10
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(AlgebraError):
+            FilterOp(ClassPredicate(1, "=", 1), "SOMETIMES")
+
+
+class TestTreeFilter:
+    def test_cross_class_predicate(self, tiny_db):
+        root = pattern_node("doc_root", 1)
+        auction = pattern_node("open_auction", 2)
+        initial = pattern_node("initial", 3)
+        increase = pattern_node("increase", 4)
+        root.add_edge(auction, "ad", "-")
+        auction.add_edge(initial, "pc", "-")
+        auction.add_edge(increase, "ad", "*")
+        select = SelectOp(APT(root, "auction.xml"))
+        plan = TreeFilterOp(
+            cross_class_predicate(4, ">", 3), "(4) > (3)", select
+        )
+        result = evaluate(plan, Context(tiny_db))
+        # a1: increase 25 > initial 10 -> passes; a2: 1 < 100; a3: none
+        assert len(result) == 1
+
+    def test_disjunctive_predicate(self, tiny_db):
+        root = pattern_node("doc_root", 1)
+        auction = pattern_node("open_auction", 2)
+        reserve = pattern_node("reserve", 3)
+        quantity = pattern_node("quantity", 4)
+        root.add_edge(auction, "ad", "-")
+        auction.add_edge(reserve, "pc", "*")
+        auction.add_edge(quantity, "pc", "*")
+        select = SelectOp(APT(root, "auction.xml"))
+        predicate = disjunctive_predicate(
+            [ClassPredicate(3, ">", 100), ClassPredicate(4, "=", 5)]
+        )
+        plan = TreeFilterOp(predicate, "or", select)
+        result = evaluate(plan, Context(tiny_db))
+        # a1 via quantity=5, a2 via reserve=150
+        assert len(result) == 2
+
+
+class TestFirstMode:
+    def test_first_mode_checks_earliest_node(self, tiny_db):
+        from repro.core import FilterOp, ClassPredicate, Context, evaluate
+
+        # a1's first increase in document order is 3
+        plan = FilterOp(ClassPredicate(3, "=", 3), "FIRST", bidder_select())
+        result = evaluate(plan, Context(tiny_db))
+        assert len(result) == 1
+
+    def test_first_mode_rejects_empty_class(self, tiny_db):
+        from repro.core import FilterOp, ClassPredicate, Context, evaluate
+
+        plan = FilterOp(
+            ClassPredicate(3, ">", -999), "FIRST", bidder_select()
+        )
+        result = evaluate(plan, Context(tiny_db))
+        assert len(result) == 2  # a3 (no bidders) fails FIRST

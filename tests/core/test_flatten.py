@@ -1,0 +1,101 @@
+"""Reproduction of Figure 9: the Flatten operator's semantics."""
+
+import pytest
+
+from repro.core import Context, FlattenOp, evaluate
+from repro.core.base import Operator
+from repro.errors import AlgebraError, CardinalityError
+from repro.model import TNode, TreeSequence, XTree
+
+
+class Const(Operator):
+    """Leaf operator returning a fixed sequence."""
+
+    name = "Const"
+
+    def __init__(self, sequence):
+        super().__init__([])
+        self.sequence = sequence
+
+    def execute(self, ctx, inputs):
+        return self.sequence
+
+
+def figure9_tree() -> XTree:
+    """B1 with nested classes E = {E1, E2} and A = {A1, A2}."""
+    b1 = TNode("B", "B1", lcls=[1])
+    b1.add_child(TNode("E", "E1", lcls=[2]))
+    b1.add_child(TNode("E", "E2", lcls=[2]))
+    b1.add_child(TNode("A", "A1", lcls=[3]))
+    b1.add_child(TNode("A", "A2", lcls=[3]))
+    return XTree(b1)
+
+
+class TestFigure9:
+    def test_first_flatten_doubles(self, tiny_db):
+        """FL[B, E] on the nested tree gives two trees (Figure 9.b)."""
+        plan = FlattenOp(1, 2, Const(TreeSequence([figure9_tree()])))
+        result = evaluate(plan, Context(tiny_db))
+        assert len(result) == 2
+        for tree in result:
+            assert len(tree.nodes_in_class(2)) == 1
+            assert len(tree.nodes_in_class(3)) == 2  # A untouched
+
+    def test_chained_flatten_gives_four(self, tiny_db):
+        """FL[B, A] after FL[B, E] gives four trees (Figure 9.c)."""
+        plan = FlattenOp(
+            1, 3, FlattenOp(1, 2, Const(TreeSequence([figure9_tree()])))
+        )
+        result = evaluate(plan, Context(tiny_db))
+        assert len(result) == 4
+        combos = sorted(
+            (
+                t.nodes_in_class(2)[0].value,
+                t.nodes_in_class(3)[0].value,
+            )
+            for t in result
+        )
+        assert combos == [
+            ("E1", "A1"), ("E1", "A2"), ("E2", "A1"), ("E2", "A2"),
+        ]
+
+    def test_dropped_members_lose_subtrees(self, tiny_db):
+        tree = figure9_tree()
+        tree.nodes_in_class(2)[0].add_child(TNode("deep", "d"))
+        tree.invalidate()
+        plan = FlattenOp(1, 2, Const(TreeSequence([tree])))
+        result = evaluate(plan, Context(tiny_db))
+        with_deep = [
+            t
+            for t in result
+            if any(n.tag == "deep" for n in t.root.walk())
+        ]
+        assert len(with_deep) == 1
+
+    def test_parent_must_be_singleton(self, tiny_db):
+        tree = figure9_tree()
+        tree.root.children[0].lcls.add(1)  # second member of class 1
+        tree.invalidate()
+        plan = FlattenOp(1, 2, Const(TreeSequence([tree])))
+        with pytest.raises(CardinalityError):
+            evaluate(plan, Context(tiny_db))
+
+    def test_members_must_be_children(self, tiny_db):
+        tree = figure9_tree()
+        grand = tree.root.children[0].add_child(TNode("E", "E9", lcls=[2]))
+        tree.invalidate()
+        plan = FlattenOp(1, 2, Const(TreeSequence([tree])))
+        with pytest.raises(AlgebraError):
+            evaluate(plan, Context(tiny_db))
+
+    def test_empty_class_produces_no_output(self, tiny_db):
+        plan = FlattenOp(1, 99, Const(TreeSequence([figure9_tree()])))
+        result = evaluate(plan, Context(tiny_db))
+        assert len(result) == 0
+
+    def test_input_not_mutated(self, tiny_db):
+        tree = figure9_tree()
+        before = tree.canonical()
+        plan = FlattenOp(1, 2, Const(TreeSequence([tree])))
+        evaluate(plan, Context(tiny_db))
+        assert tree.canonical() == before

@@ -1,0 +1,106 @@
+"""Every operator renders meaningful plan descriptions (explainability)."""
+
+from repro.core import (
+    AggregateOp,
+    CClassRef,
+    CElement,
+    ClassPredicate,
+    ConstructOp,
+    DedupOp,
+    FilterOp,
+    FlattenOp,
+    IlluminateOp,
+    JoinOp,
+    JoinPredicate,
+    ProjectOp,
+    SelectOp,
+    ShadowOp,
+    SortOp,
+    UnionOp,
+)
+from repro.core.filter import TreeFilterOp
+from repro.patterns import APT, pattern_node
+
+
+def leaf():
+    root = pattern_node("doc_root", 1)
+    root.add_edge(pattern_node("person", 2), "ad", "-")
+    return SelectOp(APT(root, "d.xml"))
+
+
+class TestParams:
+    def test_select(self):
+        assert "doc='d.xml'" in leaf().params()
+
+    def test_filter(self):
+        op = FilterOp(ClassPredicate(5, ">", 2), "ALO", leaf())
+        assert op.params() == "ALO (5) > 2"
+
+    def test_tree_filter(self):
+        op = TreeFilterOp(lambda t: True, "(1) = (2)", leaf())
+        assert op.params() == "(1) = (2)"
+
+    def test_join(self):
+        op = JoinOp(leaf(), leaf(), [JoinPredicate(1, "=", 2)], 9, "*")
+        assert "(1) = (2)" in op.params()
+        assert "'*'" in op.params()
+
+    def test_join_id_predicate(self):
+        op = JoinOp(
+            leaf(), leaf(), [JoinPredicate(1, "=", 2, by_id=True)], 9
+        )
+        assert "=id" in op.params()
+
+    def test_project(self):
+        assert ProjectOp([3, 1], leaf()).params() == "keep [1, 3]"
+        assert "+subtrees" in ProjectOp(
+            [1], leaf(), with_subtrees=True
+        ).params()
+
+    def test_dedup(self):
+        op = DedupOp([2, 1], "id", leaf(), bases={2: "content"})
+        assert "(2:content)" in op.params()
+
+    def test_aggregate(self):
+        op = AggregateOp("count", 6, 11, leaf())
+        assert op.params() == "count((6)) -> (11)"
+
+    def test_sort(self):
+        assert "desc" in SortOp([4], True, leaf()).params()
+
+    def test_flatten_shadow_illuminate(self):
+        assert FlattenOp(1, 2, leaf()).params() == "(1, 2)"
+        assert ShadowOp(1, 2, leaf()).params() == "(1, 2)"
+        assert IlluminateOp(2, leaf()).params() == "(2)"
+
+    def test_union(self):
+        assert UnionOp([leaf(), leaf()], dedup_lcl=3).params() == "dedup (3)"
+
+    def test_construct(self):
+        ctree = CElement(
+            "p", 9, attrs=[("n", CClassRef(3, text_only=True))],
+            children=[CClassRef(4)],
+        )
+        op = ConstructOp(ctree, leaf())
+        assert "<p>" in op.params()
+        splice = ConstructOp(CClassRef(4, hidden=True), leaf())
+        assert "splice" in splice.params()
+        assert "hidden" in splice.params()
+
+    def test_construct_tree_describe(self):
+        ctree = CElement(
+            "p", 9, attrs=[("n", CClassRef(3, text_only=True))],
+            children=[CClassRef(4)],
+        )
+        text = ctree.describe()
+        assert "@n=(3).text()" in text
+        assert "(4)" in text
+
+
+class TestDescribeTree:
+    def test_full_plan_renders_nested(self):
+        plan = FilterOp(ClassPredicate(2, "=", "x"), "E", leaf())
+        text = plan.describe()
+        lines = text.splitlines()
+        assert lines[0].startswith("Filter")
+        assert lines[1].startswith("  Select")

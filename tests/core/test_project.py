@@ -1,0 +1,124 @@
+"""Unit tests for the Project operator."""
+
+from repro.core import Context, ProjectOp, SelectOp, evaluate
+from repro.patterns import APT, pattern_node
+
+
+def full_auction_select() -> SelectOp:
+    """auction(2) with bidder(3,*), quantity(4,-), @person(5,ad *)."""
+    root = pattern_node("doc_root", 1)
+    auction = pattern_node("open_auction", 2)
+    bidder = pattern_node("bidder", 3)
+    quantity = pattern_node("quantity", 4)
+    ref = pattern_node("@person", 5)
+    root.add_edge(auction, "ad", "-")
+    auction.add_edge(bidder, "pc", "*")
+    bidder.add_edge(ref, "ad", "*")
+    auction.add_edge(quantity, "pc", "-")
+    return SelectOp(APT(root, "auction.xml"))
+
+
+class TestProjection:
+    def test_keeps_only_listed_classes(self, tiny_db):
+        plan = ProjectOp([2, 4], full_auction_select())
+        result = evaluate(plan, Context(tiny_db))
+        for tree in result:
+            assert tree.root.tag == "open_auction"
+            tags = {n.tag for n in tree.root.walk()}
+            assert "bidder" not in tags
+            assert "quantity" in tags
+
+    def test_hierarchy_preserved_across_gaps(self, tiny_db):
+        """Dropped intermediates reattach children to retained ancestors."""
+        plan = ProjectOp([2, 5], full_auction_select())
+        result = evaluate(plan, Context(tiny_db))
+        a1 = result[0]
+        # @person nodes (below dropped bidders) hang off the auction now
+        refs = a1.nodes_in_class(5)
+        assert refs
+        assert all(
+            any(c is r for c in a1.root.children) for r in refs
+        )
+
+    def test_root_retained_when_output_is_forest(self, tiny_db):
+        """Two surviving siblings force the input root to be kept."""
+        plan = ProjectOp([3, 4], full_auction_select())
+        result = evaluate(plan, Context(tiny_db))
+        a1 = result[0]
+        assert a1.root.tag == "doc_root"
+
+    def test_single_survivor_becomes_root(self, tiny_db):
+        plan = ProjectOp([4], full_auction_select())
+        result = evaluate(plan, Context(tiny_db))
+        assert all(t.root.tag == "quantity" for t in result)
+
+    def test_root_in_keep_list(self, tiny_db):
+        plan = ProjectOp([1, 2], full_auction_select())
+        result = evaluate(plan, Context(tiny_db))
+        assert all(t.root.tag == "doc_root" for t in result)
+
+    def test_empty_projection_keeps_bare_root(self, tiny_db):
+        plan = ProjectOp([999], full_auction_select())
+        result = evaluate(plan, Context(tiny_db))
+        assert all(not t.root.children for t in result)
+
+
+class TestEarlyMaterialization:
+    def test_with_subtrees_fetches_content(self, tiny_db):
+        plan = ProjectOp([2], full_auction_select(), with_subtrees=True)
+        result = evaluate(plan, Context(tiny_db))
+        a1 = result[0]
+        tags = {n.tag for n in a1.root.walk()}
+        # the full stored subtree is back, including unmatched children
+        assert {"bidder", "initial", "personref", "increase"} <= tags
+
+    def test_with_subtrees_pays_io(self, tiny_db):
+        ctx = Context(tiny_db)
+        evaluate(ProjectOp([2], full_auction_select()), ctx)
+        cheap = ctx.metrics.nodes_touched
+        tiny_db.reset_metrics()
+        evaluate(
+            ProjectOp([2], full_auction_select(), with_subtrees=True),
+            Context(tiny_db),
+        )
+        assert tiny_db.metrics.nodes_touched > cheap
+
+    def test_with_subtrees_remarks_descendant_classes(self, tiny_db):
+        """Witness class markings transfer onto the fetched copies."""
+        plan = ProjectOp(
+            [2, 5], full_auction_select(), with_subtrees=True
+        )
+        result = evaluate(plan, Context(tiny_db))
+        a1 = result[0]
+        assert a1.nodes_in_class(5)
+
+
+class TestShadowInteraction:
+    def test_shadowed_children_ride_through(self, tiny_db):
+        ctx = Context(tiny_db)
+        trees = evaluate(full_auction_select(), ctx)
+        tree = trees[0]
+        bidders = tree.nodes_in_class(3)
+        assert bidders
+        for bidder in bidders:
+            bidder.shadowed = True
+        tree.invalidate()
+        projected = evaluate(
+            ProjectOp([2, 4], _const(trees)), ctx
+        )
+        kept = projected[0].nodes_in_class(3, include_shadowed=True)
+        assert len(kept) == len(bidders)
+        assert all(n.shadowed for n in kept)
+
+
+def _const(sequence):
+    """A leaf operator returning a fixed sequence (test helper)."""
+    from repro.core.base import Operator
+
+    class Const(Operator):
+        name = "Const"
+
+        def execute(self, ctx, inputs):
+            return sequence
+
+    return Const()

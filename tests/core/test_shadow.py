@@ -1,0 +1,108 @@
+"""Reproduction of Figure 11: Shadow vs Flatten, plus Illuminate."""
+
+from repro.core import Context, FlattenOp, IlluminateOp, ShadowOp, evaluate
+from repro.core.base import Operator
+from repro.model import TNode, TreeSequence, XTree
+
+
+class Const(Operator):
+    name = "Const"
+
+    def __init__(self, sequence):
+        super().__init__([])
+        self.sequence = sequence
+
+    def execute(self, ctx, inputs):
+        return self.sequence
+
+
+def figure11_tree() -> XTree:
+    """B1 with A = {A1, A2, A3}."""
+    b1 = TNode("B", "B1", lcls=[1])
+    for name in ("A1", "A2", "A3"):
+        b1.add_child(TNode("A", name, lcls=[2]))
+    return XTree(b1)
+
+
+def fresh(op_cls, tiny_db):
+    plan = op_cls(1, 2, Const(TreeSequence([figure11_tree()])))
+    return evaluate(plan, Context(tiny_db))
+
+
+class TestFigure11:
+    def test_both_multiply_the_same_way(self, tiny_db):
+        assert len(fresh(FlattenOp, tiny_db)) == 3
+        assert len(fresh(ShadowOp, tiny_db)) == 3
+
+    def test_flatten_drops_shadow_retains(self, tiny_db):
+        flattened = fresh(FlattenOp, tiny_db)
+        shadowed = fresh(ShadowOp, tiny_db)
+        for tree in flattened:
+            assert len(tree.root.children) == 1
+        for tree in shadowed:
+            assert len(tree.root.children) == 3  # retained, hidden
+            visible = [c for c in tree.root.children if not c.shadowed]
+            assert len(visible) == 1
+
+    def test_shadowed_members_invisible_to_class_lookup(self, tiny_db):
+        for tree in fresh(ShadowOp, tiny_db):
+            assert len(tree.nodes_in_class(2)) == 1
+            assert len(tree.nodes_in_class(2, include_shadowed=True)) == 3
+
+    def test_each_member_gets_a_turn(self, tiny_db):
+        visible = sorted(
+            t.nodes_in_class(2)[0].value for t in fresh(ShadowOp, tiny_db)
+        )
+        assert visible == ["A1", "A2", "A3"]
+
+
+class TestIlluminate:
+    def test_restores_visibility(self, tiny_db):
+        plan = IlluminateOp(
+            2, ShadowOp(1, 2, Const(TreeSequence([figure11_tree()])))
+        )
+        result = evaluate(plan, Context(tiny_db))
+        assert len(result) == 3  # tree count unchanged (paper's note)
+        for tree in result:
+            assert len(tree.nodes_in_class(2)) == 3
+
+    def test_only_the_named_class(self, tiny_db):
+        tree = figure11_tree()
+        other = tree.root.add_child(TNode("X", "x", lcls=[5]))
+        other.shadowed = True
+        tree.invalidate()
+        plan = IlluminateOp(2, Const(TreeSequence([tree])))
+        result = evaluate(plan, Context(tiny_db))
+        hidden = [
+            n
+            for n in result[0].root.walk(include_shadowed=True)
+            if n.shadowed
+        ]
+        assert [n.tag for n in hidden] == ["X"]
+
+    def test_subtrees_of_illuminated_nodes_are_active(self, tiny_db):
+        tree = figure11_tree()
+        tree.root.children[1].add_child(TNode("deep", "d"))
+        tree.invalidate()
+        shadow = ShadowOp(1, 2, Const(TreeSequence([tree])))
+        plan = IlluminateOp(2, shadow)
+        result = evaluate(plan, Context(tiny_db))
+        for out in result:
+            deep = [n for n in out.root.walk() if n.tag == "deep"]
+            assert len(deep) == 1
+
+    def test_input_not_mutated(self, tiny_db):
+        tree = figure11_tree()
+        shadow_out = evaluate(
+            ShadowOp(1, 2, Const(TreeSequence([tree]))), Context(tiny_db)
+        )
+        hidden_before = [
+            n.shadowed
+            for n in shadow_out[0].root.walk(include_shadowed=True)
+        ]
+        evaluate(IlluminateOp(2, Const(shadow_out)), Context(tiny_db))
+        hidden_after = [
+            n.shadowed
+            for n in shadow_out[0].root.walk(include_shadowed=True)
+        ]
+        assert hidden_before == hidden_after

@@ -1,0 +1,69 @@
+"""Integration: all four engines agree on every benchmark query.
+
+This is the repository's strongest correctness check — TLC, TAX, GTP and
+the navigational interpreter are four independent implementations of the
+same query semantics, so content-identical output on the full XMark suite
+cross-validates all of them.
+"""
+
+import pytest
+
+from repro.xmark import FIGURE15_ORDER, QUERIES
+from tests.conftest import canonical_sorted
+
+#: x9 under NAV is cubic (nested loops over three sources); keep it out of
+#: the every-commit matrix and cover it in the slow marker test below.
+_FAST = [name for name in FIGURE15_ORDER if name != "x9"]
+
+
+@pytest.mark.parametrize("name", _FAST)
+def test_engines_agree(xmark_engine, name):
+    query = QUERIES[name].text
+    reference = canonical_sorted(xmark_engine.run(query, engine="tlc"))
+    assert reference == canonical_sorted(
+        xmark_engine.run(query, engine="gtp")
+    ), f"{name}: GTP diverges from TLC"
+    assert reference == canonical_sorted(
+        xmark_engine.run(query, engine="tax")
+    ), f"{name}: TAX diverges from TLC"
+    assert reference == canonical_sorted(
+        xmark_engine.run(query, engine="nav")
+    ), f"{name}: NAV diverges from TLC"
+
+
+@pytest.mark.parametrize("name", FIGURE15_ORDER)
+def test_tlc_produces_output_or_valid_empty(xmark_engine, name):
+    """Every query runs; empty results only where selectivity explains it."""
+    result = xmark_engine.run(QUERIES[name].text, engine="tlc")
+    assert result is not None
+    if name not in ("x1", "x4", "x10a", "Q1", "x16"):  # selective ones
+        assert len(result) > 0, f"{name} unexpectedly empty"
+
+
+def test_x9_all_engines_agree(xmark_engine):
+    """The cubic NAV case, run once."""
+    query = QUERIES["x9"].text
+    reference = canonical_sorted(xmark_engine.run(query, engine="tlc"))
+    for engine in ("gtp", "tax", "nav"):
+        assert reference == canonical_sorted(
+            xmark_engine.run(query, engine=engine)
+        )
+
+
+def test_document_order_of_tlc_output(xmark_engine):
+    """x19's ORDER BY must order by the key across engines."""
+    query = QUERIES["x19"].text
+    result = xmark_engine.run(query, engine="tlc")
+    locations = [
+        tree.nodes_in_class_values
+        if hasattr(tree, "nodes_in_class_values")
+        else [
+            c.value
+            for n in tree.root.walk()
+            for c in [n]
+            if c.tag == "loc"
+        ]
+        for tree in result
+    ]
+    flat = [loc[0] for loc in locations if loc]
+    assert flat == sorted(flat)

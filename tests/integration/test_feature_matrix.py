@@ -1,0 +1,122 @@
+"""Feature × engine matrix: each fragment feature, all four engines.
+
+One focused query per grammar feature, executed under every engine and
+compared content-wise — a finer-grained complement to the XMark suite.
+"""
+
+import pytest
+
+from tests.conftest import canonical_sorted
+
+FEATURES = {
+    "simple_eq": (
+        'FOR $p IN document("auction.xml")//person '
+        'WHERE $p/@id = "p2" RETURN $p/name'
+    ),
+    "simple_range": (
+        'FOR $o IN document("auction.xml")//open_auction '
+        "WHERE $o/initial >= 50 RETURN <r>{$o/initial/text()}</r>"
+    ),
+    "count_gt": (
+        'FOR $o IN document("auction.xml")//open_auction '
+        "WHERE count($o/bidder) > 0 RETURN <n>{count($o/bidder)}</n>"
+    ),
+    "sum_aggregate": (
+        'FOR $o IN document("auction.xml")//open_auction '
+        "WHERE sum($o/bidder/increase) > 10 "
+        "RETURN <s>{$o/quantity/text()}</s>"
+    ),
+    "avg_aggregate_return": (
+        'FOR $o IN document("auction.xml")//open_auction '
+        "RETURN <avg>{avg($o/bidder/increase)}</avg>"
+    ),
+    "min_max": (
+        'FOR $o IN document("auction.xml")//open_auction '
+        "WHERE max($o/bidder/increase) >= 25 "
+        "RETURN <m>{min($o/bidder/increase)}</m>"
+    ),
+    "value_join": (
+        'FOR $p IN document("auction.xml")//person '
+        'FOR $o IN document("auction.xml")//open_auction '
+        "WHERE $p/@id = $o/bidder//@person "
+        "RETURN <j>{$p/name/text()}</j>"
+    ),
+    "theta_join": (
+        'FOR $p IN document("auction.xml")//person '
+        'FOR $o IN document("auction.xml")//open_auction '
+        "WHERE $o/initial < $o/quantity RETURN <t/>"
+    ),
+    "every_quantifier": (
+        'FOR $o IN document("auction.xml")//open_auction '
+        "WHERE EVERY $i IN $o/bidder/increase SATISFIES $i > 2 "
+        "RETURN <q>{$o/quantity/text()}</q>"
+    ),
+    "some_quantifier": (
+        'FOR $o IN document("auction.xml")//open_auction '
+        "WHERE SOME $i IN $o/bidder/increase SATISFIES $i > 20 "
+        "RETURN <q>{$o/quantity/text()}</q>"
+    ),
+    "disjunction": (
+        'FOR $o IN document("auction.xml")//open_auction '
+        'WHERE $o/@id = "a1" OR $o/@id = "a3" '
+        "RETURN <h>{$o/initial/text()}</h>"
+    ),
+    "contains_fn": (
+        'FOR $p IN document("auction.xml")//person '
+        'WHERE contains($p/name, "aro") RETURN $p/name'
+    ),
+    "order_by_desc": (
+        'FOR $o IN document("auction.xml")//open_auction '
+        "ORDER BY $o/initial Descending "
+        "RETURN <o>{$o/initial/text()}</o>"
+    ),
+    "nested_let_count": (
+        'FOR $p IN document("auction.xml")//person '
+        'LET $a := FOR $o IN document("auction.xml")//open_auction '
+        "          WHERE $o/bidder//@person = $p/@id RETURN <t/> "
+        "RETURN <row c={count($a)}>{$p/name/text()}</row>"
+    ),
+    "return_flwor": (
+        'FOR $p IN document("auction.xml")//person '
+        "RETURN <person name={$p/name/text()}>"
+        '{FOR $o IN document("auction.xml")//open_auction '
+        "WHERE $o/bidder//@person = $p/@id "
+        "RETURN <won>{$o/quantity/text()}</won>}</person>"
+    ),
+    "bare_variable_return": (
+        'FOR $q IN document("auction.xml")//quantity RETURN $q'
+    ),
+    "text_return": (
+        'FOR $p IN document("auction.xml")//person '
+        "RETURN $p/name/text()"
+    ),
+    "var_chain": (
+        'FOR $o IN document("auction.xml")//open_auction '
+        "FOR $b IN $o/bidder "
+        "RETURN <i>{$b/increase/text()}</i>"
+    ),
+    "deep_descendant": (
+        'FOR $r IN document("auction.xml")//open_auctions '
+        "RETURN <total>{count($r//increase)}</total>"
+    ),
+}
+
+
+@pytest.mark.parametrize("feature", sorted(FEATURES))
+def test_feature_across_engines(tiny_engine, feature):
+    query = FEATURES[feature]
+    reference = canonical_sorted(tiny_engine.run(query, engine="tlc"))
+    for engine in ("gtp", "tax", "nav"):
+        assert reference == canonical_sorted(
+            tiny_engine.run(query, engine=engine)
+        ), f"{engine} diverged on feature {feature}"
+
+
+@pytest.mark.parametrize("feature", sorted(FEATURES))
+def test_feature_rewrite_stable(tiny_engine, feature):
+    query = FEATURES[feature]
+    plain = canonical_sorted(tiny_engine.run(query, engine="tlc"))
+    optimized = canonical_sorted(
+        tiny_engine.run(query, engine="tlc", optimize=True)
+    )
+    assert plain == optimized, feature

@@ -1,0 +1,104 @@
+"""Property test: the four engines agree on randomly generated data.
+
+Hypothesis generates small random auction documents (random bidder
+fan-outs, optional elements, random content values); a fixed set of
+queries covering each WHERE/RETURN feature must produce content-identical
+results under TLC, TAX, GTP and navigation.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Engine
+from tests.conftest import canonical_sorted
+
+QUERIES = [
+    # simple predicate + text return
+    'FOR $p IN document("a.xml")//person '
+    "WHERE $p/age > 30 RETURN <o>{$p/name/text()}</o>",
+    # aggregate predicate + nested return
+    'FOR $o IN document("a.xml")//auction '
+    "WHERE count($o/bid) > 1 RETURN <h>{$o/bid}</h>",
+    # value join
+    'FOR $p IN document("a.xml")//person '
+    'FOR $o IN document("a.xml")//auction '
+    "WHERE $p/@id = $o/bid/@by RETURN <j>{$p/name/text()}</j>",
+    # quantifier
+    'FOR $o IN document("a.xml")//auction '
+    "WHERE EVERY $i IN $o/bid SATISFIES $i > 10 "
+    "RETURN <q>{count($o/bid)}</q>",
+    # correlated LET + count
+    'FOR $p IN document("a.xml")//person '
+    'LET $a := FOR $o IN document("a.xml")//auction '
+    "          WHERE $o/bid/@by = $p/@id RETURN <t/> "
+    "RETURN <n c={count($a)}>{$p/name/text()}</n>",
+]
+
+
+@st.composite
+def auction_documents(draw):
+    n_persons = draw(st.integers(1, 5))
+    n_auctions = draw(st.integers(0, 5))
+    persons = []
+    for number in range(n_persons):
+        age = draw(st.one_of(st.none(), st.integers(18, 60)))
+        age_xml = f"<age>{age}</age>" if age is not None else ""
+        persons.append(
+            f'<person id="p{number}"><name>n{number}</name>{age_xml}'
+            "</person>"
+        )
+    auctions = []
+    for number in range(n_auctions):
+        n_bids = draw(st.integers(0, 4))
+        bids = "".join(
+            f'<bid by="p{draw(st.integers(0, n_persons - 1))}">'
+            f"{draw(st.integers(1, 40))}</bid>"
+            for _ in range(n_bids)
+        )
+        auctions.append(f'<auction id="a{number}">{bids}</auction>')
+    return (
+        "<site><people>"
+        + "".join(persons)
+        + "</people><auctions>"
+        + "".join(auctions)
+        + "</auctions></site>"
+    )
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(auction_documents())
+def test_engines_agree_on_random_documents(xml):
+    engine = Engine()
+    engine.load_xml("a.xml", xml)
+    for query in QUERIES:
+        reference = canonical_sorted(engine.run(query, engine="tlc"))
+        for name in ("gtp", "tax", "nav"):
+            assert reference == canonical_sorted(
+                engine.run(query, engine=name)
+            ), f"{name} diverged on: {query}\n{xml}"
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(auction_documents())
+def test_rewrites_preserve_results_on_random_documents(xml):
+    engine = Engine()
+    engine.load_xml("a.xml", xml)
+    query = (
+        'FOR $p IN document("a.xml")//person '
+        'FOR $o IN document("a.xml")//auction '
+        "WHERE count($o/bid) > 1 AND $p/@id = $o/bid/@by "
+        "RETURN <r name={$p/name/text()}> $o/bid </r>"
+    )
+    plain = canonical_sorted(engine.run(query, engine="tlc"))
+    optimized = canonical_sorted(
+        engine.run(query, engine="tlc", optimize=True)
+    )
+    assert plain == optimized

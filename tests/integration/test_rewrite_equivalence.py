@@ -1,0 +1,37 @@
+"""Integration: the Section 4 rewrites preserve results on every query."""
+
+import pytest
+
+from repro.xmark import FIGURE15_ORDER, FIGURE16_QUERIES, QUERIES
+from repro.rewrites import optimize
+from repro.xquery import translate_query
+from tests.conftest import canonical_sorted
+
+
+@pytest.mark.parametrize("name", FIGURE15_ORDER)
+def test_optimized_plan_is_equivalent(xmark_engine, name):
+    query = QUERIES[name].text
+    plain = xmark_engine.run(query, engine="tlc")
+    optimized = xmark_engine.run(query, engine="tlc", optimize=True)
+    assert canonical_sorted(plain) == canonical_sorted(optimized), name
+
+
+@pytest.mark.parametrize("name", FIGURE16_QUERIES)
+def test_rewrites_fire_on_figure16_queries(name):
+    """The paper applies the rewrites to x3, x5, Q1, Q2."""
+    plan, log = optimize(translate_query(QUERIES[name].text).plan)
+    assert log.changed, f"no rewrite fired on {name}"
+    assert log.flattened or log.shadowed
+
+
+@pytest.mark.parametrize("name", FIGURE16_QUERIES)
+def test_rewrites_reduce_data_access(xmark_engine, name):
+    """OPT plans touch no more stored nodes than plain plans."""
+    query = QUERIES[name].text
+    xmark_engine.db.reset_metrics()
+    xmark_engine.run(query, engine="tlc")
+    plain_touches = xmark_engine.db.metrics.nodes_touched
+    xmark_engine.db.reset_metrics()
+    xmark_engine.run(query, engine="tlc", optimize=True)
+    opt_touches = xmark_engine.db.metrics.nodes_touched
+    assert opt_touches <= plain_touches, name

@@ -1,0 +1,65 @@
+"""Unit tests for tree sequences."""
+
+from repro.model.node_id import NodeId
+from repro.model.sequence import TreeSequence
+from repro.model.tree import TNode, XTree
+
+
+def make_tree(start: int, tag: str = "t", value=None) -> XTree:
+    return XTree(TNode(tag, value, NodeId(0, start, start + 1, 1)))
+
+
+class TestContainerProtocol:
+    def test_iteration_and_len(self):
+        seq = TreeSequence([make_tree(1), make_tree(3)])
+        assert len(seq) == 2
+        assert [t.root.nid.start for t in seq] == [1, 3]
+
+    def test_indexing_and_slicing(self):
+        seq = TreeSequence([make_tree(i) for i in (1, 3, 5)])
+        assert seq[1].root.nid.start == 3
+        sliced = seq[1:]
+        assert isinstance(sliced, TreeSequence)
+        assert len(sliced) == 2
+
+    def test_bool(self):
+        assert not TreeSequence()
+        assert TreeSequence([make_tree(1)])
+
+    def test_append_extend(self):
+        seq = TreeSequence()
+        seq.append(make_tree(1))
+        seq.extend([make_tree(2), make_tree(3)])
+        assert len(seq) == 3
+
+
+class TestBulkHelpers:
+    def test_sorted_by_root_restores_document_order(self):
+        seq = TreeSequence([make_tree(9), make_tree(1), make_tree(5)])
+        ordered = seq.sorted_by_root()
+        assert [t.root.nid.start for t in ordered] == [1, 5, 9]
+        # original untouched
+        assert [t.root.nid.start for t in seq] == [9, 1, 5]
+
+    def test_sorted_by_custom_key(self):
+        seq = TreeSequence(
+            [make_tree(1, value="b"), make_tree(2, value="a")]
+        )
+        ordered = seq.sorted_by(lambda t: t.root.value)
+        assert [t.root.value for t in ordered] == ["a", "b"]
+
+    def test_map_trees_drops_none(self):
+        seq = TreeSequence([make_tree(1), make_tree(2)])
+        kept = seq.map_trees(
+            lambda t: t if t.root.nid.start == 2 else None
+        )
+        assert len(kept) == 1
+
+    def test_roots(self):
+        seq = TreeSequence([make_tree(1), make_tree(2)])
+        assert [r.nid.start for r in seq.roots()] == [1, 2]
+
+    def test_canonical_and_to_xml(self):
+        seq = TreeSequence([make_tree(1, "a", "x"), make_tree(2, "b")])
+        assert len(seq.canonical()) == 2
+        assert seq.to_xml() == "<a>x</a>\n<b/>"

@@ -1,0 +1,138 @@
+"""Unit tests for untyped-atomic value semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.value import (
+    COMPARISON_OPS,
+    atomize,
+    coerce_number,
+    compare,
+    sort_key,
+)
+
+
+class TestCoerceNumber:
+    def test_integer_string(self):
+        assert coerce_number("42") == 42.0
+
+    def test_decimal_string(self):
+        assert coerce_number("3.5") == 3.5
+
+    def test_scientific_notation(self):
+        assert coerce_number("1e3") == 1000.0
+
+    def test_surrounding_whitespace(self):
+        assert coerce_number("  7 ") == 7.0
+
+    def test_plain_number_passthrough(self):
+        assert coerce_number(25) == 25.0
+        assert coerce_number(2.5) == 2.5
+
+    def test_non_numeric_is_none(self):
+        assert coerce_number("person0") is None
+
+    def test_empty_is_none(self):
+        assert coerce_number("") is None
+        assert coerce_number("   ") is None
+
+    def test_none_is_none(self):
+        assert coerce_number(None) is None
+
+
+class TestCompare:
+    def test_numeric_comparison_of_strings(self):
+        assert compare("30", ">", "25")
+        assert compare("30", ">", 25)
+        assert not compare("20", ">", 25)
+
+    def test_numeric_beats_lexicographic(self):
+        # lexicographically "9" > "10"; numerically it is not
+        assert not compare("9", "<", "10") is False
+        assert compare("9", "<", "10")
+
+    def test_string_equality(self):
+        assert compare("person0", "=", "person0")
+        assert not compare("person0", "=", "person1")
+
+    def test_mixed_falls_back_to_string(self):
+        assert not compare("abc", "=", "5")
+
+    def test_none_fails_everything(self):
+        for op in COMPARISON_OPS:
+            assert not compare(None, op, "x")
+            assert not compare("x", op, None)
+            assert not compare(None, op, None)
+
+    def test_not_equal(self):
+        assert compare("a", "!=", "b")
+        assert not compare("7", "!=", "7.0")
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ValueError):
+            compare("1", "~", "2")
+
+    def test_less_equal_and_greater_equal(self):
+        assert compare("5", "<=", "5")
+        assert compare("5", ">=", "5")
+        assert compare("4", "<=", "5")
+        assert not compare("6", "<=", "5")
+
+
+class TestAtomize:
+    def test_numeric_strings_collapse(self):
+        assert atomize("07") == atomize("7.0") == 7.0
+
+    def test_plain_strings_pass(self):
+        assert atomize("gold") == "gold"
+
+    def test_none_passes(self):
+        assert atomize(None) is None
+
+
+class TestSortKey:
+    def test_none_orders_first(self):
+        assert sort_key(None) < sort_key("0") < sort_key("a")
+
+    def test_numbers_before_strings(self):
+        assert sort_key("99999") < sort_key("apple")
+
+    def test_numeric_order(self):
+        assert sort_key("2") < sort_key("10")
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=32),
+       st.floats(allow_nan=False, allow_infinity=False, width=32))
+def test_compare_matches_python_on_numbers(a, b):
+    """Property: numeric strings compare exactly like Python floats."""
+    assert compare(str(a), "<", str(b)) == (a < b)
+    assert compare(str(a), "=", str(b)) == (a == b)
+
+
+@given(st.text(max_size=20), st.text(max_size=20))
+def test_compare_total_on_strings(a, b):
+    """Property: exactly one of <, =, > holds for any two values."""
+    outcomes = [compare(a, op, b) for op in ("<", "=", ">")]
+    assert sum(outcomes) == 1
+
+
+@given(st.one_of(st.none(), st.text(max_size=12),
+                 st.integers(-10**6, 10**6)))
+def test_sort_key_is_self_consistent(value):
+    """Property: sort_key is deterministic and tuple-shaped."""
+    assert sort_key(value) == sort_key(value)
+    assert len(sort_key(value)) == 3
+
+
+class TestContains:
+    def test_substring_match(self):
+        assert compare("gold rope", "contains", "gold")
+        assert not compare("silver", "contains", "gold")
+
+    def test_numbers_compared_as_text(self):
+        assert compare("12.50", "contains", 2)
+        assert not compare("13", "contains", 2)
+
+    def test_none_never_contains(self):
+        assert not compare(None, "contains", "x")

@@ -1,0 +1,111 @@
+"""Unit tests for annotated pattern tree structures."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.patterns import APT, APTEdge, APTNode, NodeTest, pattern_node
+from repro.patterns.logical_class import LCLAllocator
+
+
+class TestNodeTest:
+    def test_tag_match(self):
+        test = NodeTest("person")
+        assert test.matches("person", None)
+        assert not test.matches("item", None)
+
+    def test_wildcard(self):
+        test = NodeTest(None)
+        assert test.matches("anything", None)
+
+    def test_content_comparisons(self):
+        test = NodeTest("age", (( ">", 25),))
+        assert test.matches("age", "30")
+        assert not test.matches("age", "20")
+        assert not test.matches("age", None)
+
+    def test_with_comparison_is_pure(self):
+        base = NodeTest("age")
+        extended = base.with_comparison(">", 25)
+        assert base.comparisons == ()
+        assert extended.comparisons == ((">", 25),)
+
+    def test_describe(self):
+        assert NodeTest("age", ((">", 25),)).describe() == "age[>25]"
+        assert NodeTest(None).describe() == "*"
+
+
+class TestAPTStructure:
+    def test_edge_validation(self):
+        with pytest.raises(PatternError):
+            APTEdge(pattern_node("a", 1), axis="sideways")
+        with pytest.raises(PatternError):
+            APTEdge(pattern_node("a", 1), mspec="!")
+
+    def test_edge_flags(self):
+        child = pattern_node("a", 1)
+        assert APTEdge(child, mspec="?").optional
+        assert APTEdge(child, mspec="*").optional
+        assert APTEdge(child, mspec="+").nested
+        assert not APTEdge(child, mspec="-").optional
+
+    def test_walk_and_find(self):
+        root = pattern_node("r", 1)
+        a = pattern_node("a", 2)
+        b = pattern_node("b", 3)
+        root.add_edge(a)
+        a.add_edge(b, "ad", "*")
+        apt = APT(root, "d.xml")
+        assert [n.lcl for n in apt.nodes()] == [1, 2, 3]
+        assert apt.node_by_lcl(3) is b
+        with pytest.raises(PatternError):
+            apt.node_by_lcl(99)
+
+    def test_clone_is_deep(self):
+        root = pattern_node("r", 1)
+        root.add_edge(pattern_node("a", 2), "ad", "+")
+        apt = APT(root, "d.xml")
+        copy = apt.clone()
+        copy.root.edges[0].child.test = NodeTest("changed")
+        assert apt.root.edges[0].child.test.tag == "a"
+        assert copy.root.edges[0].mspec == "+"
+
+    def test_validate_rejects_duplicate_lcls(self):
+        root = pattern_node("r", 1)
+        root.add_edge(pattern_node("a", 1))
+        with pytest.raises(PatternError):
+            APT(root).validate()
+
+    def test_validate_rejects_inner_references(self):
+        root = pattern_node("r", 1)
+        root.add_edge(pattern_node(None, 2, lc_ref=5))
+        with pytest.raises(PatternError):
+            APT(root).validate()
+
+    def test_lcls_excludes_references(self):
+        root = pattern_node(None, 0, lc_ref=5)
+        root.add_edge(pattern_node("a", 2))
+        assert APT(root).lcls() == [2]
+
+    def test_describe_renders_axes_and_mspecs(self):
+        root = pattern_node("r", 1)
+        root.add_edge(pattern_node("a", 2), "ad", "+")
+        text = APT(root, "d.xml").describe()
+        assert "//+" in text
+        assert "[lcl=2]" in text
+
+
+class TestLCLAllocator:
+    def test_monotonic(self):
+        allocator = LCLAllocator()
+        assert allocator.allocate() == 1
+        assert allocator.allocate() == 2
+
+    def test_reserve(self):
+        allocator = LCLAllocator()
+        allocator.reserve(10)
+        assert allocator.allocate() == 11
+
+    def test_reserve_below_high_water_is_noop(self):
+        allocator = LCLAllocator(start=5)
+        allocator.reserve(2)
+        assert allocator.allocate() == 5

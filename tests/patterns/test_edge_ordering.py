@@ -1,0 +1,95 @@
+"""Unit tests for selectivity-based edge ordering (reference [19])."""
+
+import pytest
+
+from repro.patterns import APT, PatternMatcher, pattern_node
+from repro.xmark import load_xmark
+from repro.storage import Database
+
+
+def star_pattern() -> APT:
+    """open_auction with three mandatory children of varying selectivity."""
+    root = pattern_node("doc_root", 1)
+    auction = pattern_node("open_auction", 2)
+    bidder = pattern_node("bidder", 3)  # many candidates
+    quantity = pattern_node("quantity", 4)  # one per auction
+    reserve = pattern_node("reserve", 5)  # ~half the auctions
+    root.add_edge(auction, "ad", "-")
+    auction.add_edge(bidder, "pc", "-")
+    auction.add_edge(quantity, "pc", "-")
+    auction.add_edge(reserve, "pc", "-")
+    return APT(root, "auction.xml")
+
+
+@pytest.fixture(scope="module")
+def xmark_db():
+    db = Database()
+    load_xmark(db, factor=0.002)
+    return db
+
+
+class TestEquivalence:
+    def test_same_witnesses_both_orders(self, xmark_db):
+        plain = PatternMatcher(xmark_db, order_edges=False)
+        ordered = PatternMatcher(xmark_db, order_edges=True)
+        a = sorted(
+            repr(t.canonical(False)) for t in plain.match(star_pattern())
+        )
+        b = sorted(
+            repr(t.canonical(False)) for t in ordered.match(star_pattern())
+        )
+        assert a == b
+
+    def test_slot_order_restored(self, xmark_db):
+        """Witness children must follow the pattern's edge order, not the
+        processing order."""
+        ordered = PatternMatcher(xmark_db, order_edges=True)
+        result = ordered.match(star_pattern())
+        assert len(result) > 0
+        for tree in result:
+            auction = tree.nodes_in_class(2)[0]
+            tags = [c.tag for c in auction.children]
+            assert tags == ["bidder", "quantity", "reserve"]
+
+    def test_mixed_mspecs_equivalent(self, xmark_db):
+        root = pattern_node("doc_root", 1)
+        auction = pattern_node("open_auction", 2)
+        root.add_edge(auction, "ad", "-")
+        auction.add_edge(pattern_node("bidder", 3), "pc", "*")
+        auction.add_edge(pattern_node("reserve", 4), "pc", "-")
+        auction.add_edge(pattern_node("privacy", 5), "pc", "?")
+        apt = APT(root, "auction.xml")
+        plain = PatternMatcher(xmark_db).match(apt)
+        ordered = PatternMatcher(xmark_db, order_edges=True).match(apt)
+        assert sorted(repr(t.canonical(False)) for t in plain) == sorted(
+            repr(t.canonical(False)) for t in ordered
+        )
+
+
+class TestOrderingEffect:
+    def test_mandatory_edges_run_first(self, xmark_db):
+        matcher = PatternMatcher(xmark_db, order_edges=True)
+        root = pattern_node("doc_root", 1)
+        auction = pattern_node("open_auction", 2)
+        root.add_edge(auction, "ad", "-")
+        optional = auction.add_edge(pattern_node("bidder", 3), "pc", "*")
+        mandatory = auction.add_edge(pattern_node("reserve", 4), "pc", "-")
+        plan = matcher._edge_plan(auction, "auction.xml")
+        assert plan[0] is mandatory
+        assert plan[-1] is optional
+
+    def test_cheapest_mandatory_first(self, xmark_db):
+        matcher = PatternMatcher(xmark_db, order_edges=True)
+        auction = pattern_node("open_auction", 2)
+        many = auction.add_edge(pattern_node("bidder", 3), "pc", "-")
+        few = auction.add_edge(pattern_node("reserve", 4), "pc", "-")
+        plan = matcher._edge_plan(auction, "auction.xml")
+        index = xmark_db.tag_index("auction.xml")
+        assert index.count("reserve") < index.count("bidder")
+        assert plan[0] is few
+
+    def test_single_edge_untouched(self, xmark_db):
+        matcher = PatternMatcher(xmark_db, order_edges=True)
+        auction = pattern_node("open_auction", 2)
+        only = auction.add_edge(pattern_node("bidder", 3), "pc", "-")
+        assert matcher._edge_plan(auction, "auction.xml") == [only]

@@ -1,0 +1,95 @@
+"""Reproduction of the Figure 4 matching semantics (E4 in DESIGN.md).
+
+An annotated pattern with ``+`` edges clusters sibling matches into one
+witness tree (heterogeneity in width), while a ``?`` edge both multiplies
+witness trees per optional match and lets through trees with no match at
+all (heterogeneity in height) — the two behaviours the figure illustrates.
+"""
+
+from repro.model import TNode, XTree
+from repro.patterns import APT, match_in_tree, pattern_node
+
+
+def figure4_pattern() -> APT:
+    """B with A(+)//E(+) and C(-)/D(?) children."""
+    b = pattern_node("B", 1)
+    a = pattern_node("A", 2)
+    e = pattern_node("E", 3)
+    c = pattern_node("C", 4)
+    d = pattern_node("D", 5)
+    b.add_edge(a, "pc", "+")
+    a.add_edge(e, "ad", "+")
+    b.add_edge(c, "pc", "-")
+    c.add_edge(d, "pc", "?")
+    return APT(b)
+
+
+def first_input_tree() -> XTree:
+    """B1 with A1(E1), A2(E2, E3), C1(D1, D2)."""
+    b1 = TNode("B")
+    a1 = b1.add_child(TNode("A", "A1"))
+    a1.add_child(TNode("E", "E1"))
+    a2 = b1.add_child(TNode("A", "A2"))
+    deep = a2.add_child(TNode("X"))  # E under A via a deeper level (ad)
+    deep.add_child(TNode("E", "E2"))
+    a2.add_child(TNode("E", "E3"))
+    c1 = b1.add_child(TNode("C", "C1"))
+    c1.add_child(TNode("D", "D1"))
+    c1.add_child(TNode("D", "D2"))
+    return XTree(b1)
+
+
+def second_input_tree() -> XTree:
+    """B2 with A3(E4) and C3 — no D anywhere."""
+    b2 = TNode("B")
+    a3 = b2.add_child(TNode("A", "A3"))
+    a3.add_child(TNode("E", "E4"))
+    b2.add_child(TNode("C", "C3"))
+    return XTree(b2)
+
+
+class TestFigure4:
+    def test_first_tree_yields_two_witnesses(self):
+        """Two D matches under the ? edge -> two witness trees."""
+        result = match_in_tree(figure4_pattern(), first_input_tree())
+        assert len(result) == 2
+        d_values = sorted(t.nodes_in_class(5)[0].value for t in result)
+        assert d_values == ["D1", "D2"]
+
+    def test_plus_edges_cluster_siblings(self):
+        """A1, A2 (and E2, E3) are clustered into every witness tree."""
+        result = match_in_tree(figure4_pattern(), first_input_tree())
+        for tree in result:
+            a_values = sorted(n.value for n in tree.nodes_in_class(2))
+            assert a_values == ["A1", "A2"]
+            e_values = sorted(n.value for n in tree.nodes_in_class(3))
+            assert e_values == ["E1", "E2", "E3"]
+
+    def test_second_tree_let_through_without_d(self):
+        """The ? edge lets the D-less input through (Figure 4's note)."""
+        result = match_in_tree(figure4_pattern(), second_input_tree())
+        assert len(result) == 1
+        assert result[0].nodes_in_class(5) == []
+        assert result[0].nodes_in_class(4)[0].value == "C3"
+
+    def test_reduction_is_homogeneous(self):
+        """Every witness has exactly one node set per pattern class."""
+        pattern = figure4_pattern()
+        for tree in (first_input_tree(), second_input_tree()):
+            for witness in match_in_tree(pattern, tree):
+                assert len(witness.nodes_in_class(1)) == 1
+                assert len(witness.nodes_in_class(4)) == 1
+                assert len(witness.nodes_in_class(2)) >= 1
+
+    def test_plus_drops_hosts_without_match(self):
+        """B without any A is rejected when the edge is +."""
+        lone = XTree(TNode("B"))
+        lone.root.add_child(TNode("C", "Cx"))
+        assert len(match_in_tree(figure4_pattern(), lone)) == 0
+
+    def test_mandatory_c_edge_drops(self):
+        """B without C is rejected (the - edge)."""
+        lone = XTree(TNode("B"))
+        a = lone.root.add_child(TNode("A", "Ax"))
+        a.add_child(TNode("E", "Ex"))
+        assert len(match_in_tree(figure4_pattern(), lone)) == 0

@@ -1,0 +1,88 @@
+"""Unit tests for the holistic match strategy in the pattern matcher."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.patterns import APT, PatternMatcher, pattern_node
+from repro.patterns.match import _holistic_eligible
+from repro.storage import Database
+from repro.xmark import load_xmark
+
+
+@pytest.fixture(scope="module")
+def xmark_db():
+    db = Database()
+    load_xmark(db, factor=0.002)
+    return db
+
+
+def dash_pattern() -> APT:
+    """doc_root//open_auction with bidder(-) and quantity(-)."""
+    root = pattern_node("doc_root", 1)
+    auction = pattern_node("open_auction", 2)
+    bidder = pattern_node("bidder", 3)
+    quantity = pattern_node("quantity", 4)
+    root.add_edge(auction, "ad", "-")
+    auction.add_edge(bidder, "pc", "-")
+    auction.add_edge(quantity, "pc", "-")
+    return APT(root, "auction.xml")
+
+
+class TestEligibility:
+    def test_dash_only_is_eligible(self):
+        assert _holistic_eligible(dash_pattern().root)
+
+    def test_nested_edges_ineligible(self):
+        apt = dash_pattern()
+        apt.root.edges[0].child.edges[0].mspec = "*"
+        assert not _holistic_eligible(apt.root)
+
+    def test_predicates_ineligible(self):
+        apt = dash_pattern()
+        node = apt.root.edges[0].child.edges[1].child
+        node.test = node.test.with_comparison(">", 2)
+        assert not _holistic_eligible(apt.root)
+
+    def test_unknown_strategy_rejected(self, xmark_db):
+        with pytest.raises(PatternError):
+            PatternMatcher(xmark_db, strategy="psychic")
+
+
+class TestEquivalence:
+    def test_same_witnesses_both_strategies(self, xmark_db):
+        binary = PatternMatcher(xmark_db, strategy="binary")
+        holistic = PatternMatcher(xmark_db, strategy="holistic")
+        a = sorted(
+            repr(t.canonical(False))
+            for t in binary.match(dash_pattern())
+        )
+        b = sorted(
+            repr(t.canonical(False))
+            for t in holistic.match(dash_pattern())
+        )
+        assert a == b and a
+
+    def test_holistic_output_in_document_order(self, xmark_db):
+        holistic = PatternMatcher(xmark_db, strategy="holistic")
+        result = holistic.match(dash_pattern())
+        keys = [t.order_key for t in result]
+        assert keys == sorted(keys)
+
+    def test_witness_classes_marked(self, xmark_db):
+        holistic = PatternMatcher(xmark_db, strategy="holistic")
+        result = holistic.match(dash_pattern())
+        for tree in result:
+            assert len(tree.nodes_in_class(2)) == 1
+            assert len(tree.nodes_in_class(3)) == 1
+            assert len(tree.nodes_in_class(4)) == 1
+
+    def test_ineligible_falls_back_to_binary(self, xmark_db):
+        apt = dash_pattern()
+        apt.root.edges[0].child.edges[0].mspec = "*"
+        binary = PatternMatcher(xmark_db).match(apt.clone())
+        holistic = PatternMatcher(
+            xmark_db, strategy="holistic"
+        ).match(apt.clone())
+        assert sorted(
+            repr(t.canonical(False)) for t in binary
+        ) == sorted(repr(t.canonical(False)) for t in holistic)

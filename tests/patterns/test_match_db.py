@@ -1,0 +1,214 @@
+"""Unit tests for database-backed APT matching (Definition 3)."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.patterns import APT, PatternMatcher, pattern_node
+
+
+@pytest.fixture
+def matcher(tiny_db):
+    return PatternMatcher(tiny_db)
+
+
+def auction_pattern(mspec: str) -> APT:
+    """doc_root//open_auction with a bidder edge under ``mspec``."""
+    root = pattern_node("doc_root", 1)
+    auction = pattern_node("open_auction", 2)
+    bidder = pattern_node("bidder", 3)
+    root.add_edge(auction, "ad", "-")
+    auction.add_edge(bidder, "pc", mspec)
+    return APT(root, "auction.xml")
+
+
+class TestMatchingSpecifications:
+    """The four mSpec semantics of Definition 1, against 3/1/0 bidders."""
+
+    def test_dash_multiplies_and_drops(self, matcher):
+        result = matcher.match(auction_pattern("-"))
+        # a1 has 3 bidders, a2 has 1, a3 has 0 -> 4 witness trees
+        assert len(result) == 4
+        for tree in result:
+            assert len(tree.nodes_in_class(3)) == 1
+
+    def test_question_multiplies_and_keeps(self, matcher):
+        result = matcher.match(auction_pattern("?"))
+        # 3 + 1 + (a3 passes with empty class)
+        assert len(result) == 5
+        empties = [t for t in result if not t.nodes_in_class(3)]
+        assert len(empties) == 1
+
+    def test_plus_nests_and_drops(self, matcher):
+        result = matcher.match(auction_pattern("+"))
+        assert len(result) == 2
+        sizes = sorted(len(t.nodes_in_class(3)) for t in result)
+        assert sizes == [1, 3]
+
+    def test_star_nests_and_keeps(self, matcher):
+        result = matcher.match(auction_pattern("*"))
+        assert len(result) == 3
+        sizes = sorted(len(t.nodes_in_class(3)) for t in result)
+        assert sizes == [0, 1, 3]
+
+
+class TestAxes:
+    def test_pc_vs_ad(self, matcher):
+        # age is under profile: pc from person fails, ad succeeds
+        root = pattern_node("doc_root", 1)
+        person = pattern_node("person", 2)
+        age = pattern_node("age", 3)
+        root.add_edge(person, "ad", "-")
+        person.add_edge(age, "pc", "-")
+        assert len(matcher.match(APT(root, "auction.xml"))) == 0
+        person.edges[0].axis = "ad"
+        assert len(matcher.match(APT(root, "auction.xml"))) == 2
+
+    def test_deep_ad_from_root(self, matcher):
+        root = pattern_node("doc_root", 1)
+        increase = pattern_node("increase", 2)
+        root.add_edge(increase, "ad", "-")
+        assert len(matcher.match(APT(root, "auction.xml"))) == 4
+
+
+class TestPredicates:
+    def test_content_predicate_via_value_index(self, matcher, tiny_db):
+        root = pattern_node("doc_root", 1)
+        age = pattern_node("age", 2, comparisons=((">", 25),))
+        root.add_edge(age, "ad", "-")
+        tiny_db.reset_metrics()
+        result = matcher.match(APT(root, "auction.xml"))
+        assert len(result) == 2
+        assert tiny_db.metrics.index_lookups >= 1
+
+    def test_attribute_predicate(self, matcher):
+        root = pattern_node("doc_root", 1)
+        pid = pattern_node("@id", 2, comparisons=(("=", "p2"),))
+        root.add_edge(pid, "ad", "-")
+        assert len(matcher.match(APT(root, "auction.xml"))) == 1
+
+    def test_multiple_comparisons(self, matcher):
+        root = pattern_node("doc_root", 1)
+        initial = pattern_node(
+            "initial", 2, comparisons=((">", 5), ("<", 60))
+        )
+        root.add_edge(initial, "ad", "-")
+        # initial values: 10, 100, 50 -> 10 and 50 qualify
+        assert len(matcher.match(APT(root, "auction.xml"))) == 2
+
+    def test_wildcard_tag_scans(self, matcher):
+        root = pattern_node("doc_root", 1)
+        any_node = pattern_node(None, 2, comparisons=(("=", "Alice"),))
+        root.add_edge(any_node, "ad", "-")
+        result = matcher.match(APT(root, "auction.xml"))
+        assert len(result) == 1
+        assert result[0].nodes_in_class(2)[0].tag == "name"
+
+
+class TestCrossProducts:
+    def test_two_dash_edges_multiply(self, matcher):
+        root = pattern_node("doc_root", 1)
+        auction = pattern_node("open_auction", 2)
+        bidder = pattern_node("bidder", 3)
+        quantity = pattern_node("quantity", 4)
+        root.add_edge(auction, "ad", "-")
+        auction.add_edge(bidder, "pc", "-")
+        auction.add_edge(quantity, "pc", "-")
+        result = matcher.match(APT(root, "auction.xml"))
+        # 3 bidders × 1 quantity + 1 × 1 = 4
+        assert len(result) == 4
+
+    def test_mixed_star_and_dash(self, matcher):
+        """The Figure 7 Selection 2 shape: one nested + one flat edge."""
+        root = pattern_node("doc_root", 1)
+        auction = pattern_node("open_auction", 2)
+        all_bidders = pattern_node("bidder", 3)
+        one_bidder = pattern_node("bidder", 4)
+        ref = pattern_node("@person", 5)
+        root.add_edge(auction, "ad", "-")
+        auction.add_edge(all_bidders, "pc", "*")
+        auction.add_edge(one_bidder, "pc", "-")
+        one_bidder.add_edge(ref, "ad", "-")
+        result = matcher.match(APT(root, "auction.xml"))
+        assert len(result) == 4  # one per (auction, bidder, @person)
+        for tree in result:
+            n_all = len(tree.nodes_in_class(3))
+            assert n_all in (1, 3)  # the full cluster rides along
+            assert len(tree.nodes_in_class(4)) == 1
+
+
+class TestWitnessTrees:
+    def test_isomorphic_reduction(self, matcher):
+        """Logical class reduction: every class present exactly once
+        (Definition 4: heterogeneous trees, homogeneous reductions)."""
+        result = matcher.match(auction_pattern("*"))
+        for tree in result:
+            assert len(tree.nodes_in_class(1)) == 1
+            assert len(tree.nodes_in_class(2)) == 1
+            # class 3 varies in size but exists as a (possibly empty) set
+            assert isinstance(tree.nodes_in_class(3), list)
+
+    def test_witness_carries_values(self, matcher):
+        root = pattern_node("doc_root", 1)
+        name = pattern_node("name", 2)
+        root.add_edge(name, "ad", "-")
+        result = matcher.match(APT(root, "auction.xml"))
+        values = sorted(t.nodes_in_class(2)[0].value for t in result)
+        assert values == ["Alice", "Bob", "Carol"]
+
+    def test_document_order(self, matcher):
+        result = matcher.match(auction_pattern("-"))
+        keys = [t.order_key for t in result]
+        assert keys == sorted(keys)
+
+
+class TestExtension:
+    def base(self, matcher):
+        return matcher.match(auction_pattern("*"))
+
+    def test_extend_attaches_new_class(self, matcher):
+        base = self.base(matcher)
+        ext = pattern_node(None, 0, lc_ref=2)
+        ext.add_edge(pattern_node("quantity", 9), "pc", "-")
+        result = matcher.extend(APT(ext), base)
+        assert len(result) == 3
+        values = sorted(t.nodes_in_class(9)[0].value for t in result)
+        assert values == ["1", "2", "5"]
+
+    def test_extend_with_dash_drops_nonmatching(self, matcher):
+        base = self.base(matcher)
+        ext = pattern_node(None, 0, lc_ref=2)
+        ext.add_edge(pattern_node("reserve", 9), "pc", "-")
+        result = matcher.extend(APT(ext), base)
+        assert len(result) == 1  # only a2 has a reserve
+
+    def test_extend_with_star_keeps_all(self, matcher):
+        base = self.base(matcher)
+        ext = pattern_node(None, 0, lc_ref=2)
+        ext.add_edge(pattern_node("reserve", 9), "pc", "*")
+        result = matcher.extend(APT(ext), base)
+        assert len(result) == 3
+
+    def test_extend_multiplies_on_dash(self, matcher):
+        base = self.base(matcher)
+        ext = pattern_node(None, 0, lc_ref=2)
+        ext.add_edge(pattern_node("bidder", 9), "pc", "-")
+        result = matcher.extend(APT(ext), base)
+        assert len(result) == 4  # 3 + 1; a3 dropped
+
+    def test_extend_requires_reference(self, matcher):
+        base = self.base(matcher)
+        with pytest.raises(PatternError):
+            matcher.extend(auction_pattern("-"), base)
+
+    def test_match_rejects_reference_root(self, matcher):
+        ext = pattern_node(None, 0, lc_ref=2)
+        with pytest.raises(PatternError):
+            matcher.match(APT(ext, "auction.xml"))
+
+    def test_original_trees_not_mutated(self, matcher):
+        base = self.base(matcher)
+        before = [t.canonical() for t in base]
+        ext = pattern_node(None, 0, lc_ref=2)
+        ext.add_edge(pattern_node("quantity", 9), "pc", "-")
+        matcher.extend(APT(ext), base)
+        assert [t.canonical() for t in base] == before

@@ -1,0 +1,89 @@
+"""Unit tests for the baselines' group-by restructuring primitives."""
+
+from repro.model.node_id import NodeId
+from repro.model.sequence import TreeSequence
+from repro.model.tree import TNode, XTree
+from repro.physical.grouping import group_by_node, group_merge, split_by_class
+from repro.storage.stats import Metrics
+
+
+def flat_pair(auction_start: int, bidder_start: int, bid_value) -> XTree:
+    """One flat witness tree: auction(1) with a single bidder(2)."""
+    auction = TNode(
+        "open_auction", None, NodeId(0, auction_start, auction_start + 90, 2),
+        [1],
+    )
+    auction.add_child(
+        TNode("bidder", bid_value, NodeId(0, bidder_start, bidder_start + 1, 3), [2])
+    )
+    return XTree(auction)
+
+
+class TestGroupByNode:
+    def test_groups_by_identity(self):
+        trees = TreeSequence(
+            [flat_pair(100, 101, "a"), flat_pair(100, 103, "b"),
+             flat_pair(300, 301, "c")]
+        )
+        metrics = Metrics()
+        grouped = group_by_node(trees, 1, 2, metrics)
+        assert len(grouped) == 2
+        sizes = [len(t.nodes_in_class(2)) for t in grouped]
+        assert sizes == [2, 1]
+        assert metrics.groupby_ops == 1
+
+    def test_members_not_duplicated_from_host(self):
+        """The host clone must not retain its own member copy (the x2
+        triple-increase regression)."""
+        trees = TreeSequence(
+            [flat_pair(100, 101, "a"), flat_pair(100, 103, "b")]
+        )
+        grouped = group_by_node(trees, 1, 2)
+        values = sorted(n.value for n in grouped[0].nodes_in_class(2))
+        assert values == ["a", "b"]
+
+    def test_deep_members_pruned_from_host(self):
+        """Members nested below intermediate nodes are pruned too."""
+        auction = TNode("open_auction", None, NodeId(0, 1, 90, 2), [1])
+        wrapper = auction.add_child(TNode("wrap", None, NodeId(0, 2, 9, 3)))
+        wrapper.add_child(TNode("inc", "x", NodeId(0, 3, 4, 4), [2]))
+        trees = TreeSequence([XTree(auction)])
+        grouped = group_by_node(trees, 1, 2)
+        assert len(grouped[0].nodes_in_class(2)) == 1
+
+    def test_trees_without_group_skipped(self):
+        orphan = XTree(TNode("x", None, NodeId(0, 500, 501, 1)))
+        grouped = group_by_node(TreeSequence([orphan]), 1, 2)
+        assert len(grouped) == 0
+
+
+class TestGroupMerge:
+    def test_merge_attaches_branch_content(self):
+        main = TreeSequence([flat_pair(100, 101, "main")])
+        branch_host = TNode(
+            "open_auction", None, NodeId(0, 100, 190, 2), [7]
+        )
+        branch_host.add_child(
+            TNode("count", 5, NodeId(0, 150, 151, 3), [8])
+        )
+        branch = TreeSequence([XTree(branch_host)])
+        merged = group_merge(main, [branch], 1, [7])
+        assert len(merged) == 1
+        assert merged[0].nodes_in_class(8)[0].value == 5
+
+    def test_unmatched_main_passes_through(self):
+        main = TreeSequence([flat_pair(100, 101, "x")])
+        branch = TreeSequence([])
+        merged = group_merge(main, [branch], 1, [7])
+        assert len(merged) == 1
+        assert merged[0].nodes_in_class(8) == []
+
+
+class TestSplitByClass:
+    def test_prunes_rejected_children(self):
+        tree = flat_pair(100, 101, "a")
+        out = split_by_class(
+            TreeSequence([tree]), keep=lambda n: 2 not in n.lcls
+        )
+        assert out[0].nodes_in_class(2) == []
+        assert len(out[0].nodes_in_class(1)) == 1

@@ -1,0 +1,125 @@
+"""Unit and property tests for the holistic PathStack algorithm."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.physical.holistic import match_path_holistic, path_stack
+from repro.physical.structural_join import pair_join
+from repro.storage import Database
+from repro.storage.stats import Metrics
+
+
+def build_db(xml: str) -> Database:
+    db = Database()
+    db.load_xml("t.xml", xml)
+    return db
+
+
+class TestPathStack:
+    def test_simple_chain(self):
+        db = build_db("<r><a><b><c/></b></a></r>")
+        solutions = match_path_holistic(
+            db, "t.xml", [("ad", "a"), ("ad", "b"), ("ad", "c")]
+        )
+        assert len(solutions) == 1
+
+    def test_multiple_solutions(self):
+        db = build_db("<r><a><b/><b/></a><a><b/></a></r>")
+        solutions = match_path_holistic(
+            db, "t.xml", [("ad", "a"), ("ad", "b")]
+        )
+        assert len(solutions) == 3
+
+    def test_nested_ancestors_multiply(self):
+        db = build_db("<r><a><a><b/></a></a></r>")
+        solutions = match_path_holistic(
+            db, "t.xml", [("ad", "a"), ("ad", "b")]
+        )
+        assert len(solutions) == 2  # both a's pair with the b
+
+    def test_pc_axis(self):
+        db = build_db("<r><a><x><b/></x><b/></a></r>")
+        ad = match_path_holistic(db, "t.xml", [("ad", "a"), ("ad", "b")])
+        pc = match_path_holistic(db, "t.xml", [("ad", "a"), ("pc", "b")])
+        assert len(ad) == 2
+        assert len(pc) == 1
+
+    def test_leaf_document_order(self):
+        db = build_db("<r><a><b/></a><a><b/></a></r>")
+        solutions = match_path_holistic(
+            db, "t.xml", [("ad", "a"), ("ad", "b")]
+        )
+        leaf_starts = [s[-1].start for s in solutions]
+        assert leaf_starts == sorted(leaf_starts)
+
+    def test_no_candidates(self):
+        db = build_db("<r><a/></r>")
+        assert match_path_holistic(
+            db, "t.xml", [("ad", "a"), ("ad", "zz")]
+        ) == []
+
+    def test_empty_pattern(self):
+        assert path_stack([], []) == []
+
+    def test_axis_count_validated(self):
+        with pytest.raises(ValueError):
+            path_stack([[]], [])
+
+    def test_metrics(self):
+        db = build_db("<r><a><b/></a></r>")
+        metrics = Metrics()
+        match_path_holistic(
+            db, "t.xml", [("ad", "a"), ("ad", "b")], metrics
+        )
+        assert metrics.structural_joins == 1
+
+
+# ----------------------------------------------------------------------
+# property: PathStack == cascaded binary structural joins
+# ----------------------------------------------------------------------
+@st.composite
+def random_document(draw):
+    def element(depth):
+        tag = draw(st.sampled_from("pqz"))
+        if depth >= 4:
+            return f"<{tag}/>"
+        kids = "".join(
+            element(depth + 1) for _ in range(draw(st.integers(0, 3)))
+        )
+        return f"<{tag}>{kids}</{tag}>"
+
+    return f"<r>{element(0)}{element(0)}</r>"
+
+
+def binary_join_path(db, steps):
+    """Reference: evaluate the chain with per-edge binary joins."""
+    root = db.document("t.xml").root_id
+    partials = [(root,)]
+    for axis, tag in steps:
+        candidates = db.tag_lookup("t.xml", tag)
+        pairs = pair_join(
+            partials,
+            candidates,
+            axis,
+            parent_id=lambda chain: chain[-1],
+        )
+        partials = [chain + (child,) for chain, child in pairs]
+    return {tuple(n.start for n in chain[1:]) for chain in partials}
+
+
+@given(
+    random_document(),
+    st.lists(
+        st.tuples(st.sampled_from(["ad", "pc"]), st.sampled_from("pqz")),
+        min_size=1,
+        max_size=3,
+    ),
+)
+def test_pathstack_matches_binary_joins(xml, steps):
+    db = build_db(xml)
+    holistic = {
+        tuple(n.start for n in solution)
+        for solution in match_path_holistic(db, "t.xml", steps)
+    }
+    assert holistic == binary_join_path(db, steps)

@@ -1,0 +1,72 @@
+"""Unit tests for the navigation primitives."""
+
+from repro.physical.navigation import (
+    child_step,
+    descendant_step,
+    navigate_path,
+)
+from repro.storage import Database
+
+XML = """
+<site>
+  <people>
+    <person><name>Alice</name></person>
+    <person><name>Bob</name></person>
+  </people>
+  <auctions>
+    <auction><bidder><name>deep</name></bidder></auction>
+  </auctions>
+</site>
+"""
+
+
+def build():
+    db = Database()
+    doc = db.load_xml("t.xml", XML)
+    return db, doc
+
+
+class TestSteps:
+    def test_child_step_filters_by_tag(self):
+        db, doc = build()
+        site = db.children(doc.root_id)[0]
+        assert len(child_step(db, site, "people")) == 1
+        assert len(child_step(db, site, "nothing")) == 0
+
+    def test_child_step_no_tag_returns_all(self):
+        db, doc = build()
+        site = db.children(doc.root_id)[0]
+        assert len(child_step(db, site)) == 2
+
+    def test_descendant_step(self):
+        db, doc = build()
+        names = descendant_step(db, doc.root_id, "name")
+        assert len(names) == 3
+
+    def test_descendant_order(self):
+        db, doc = build()
+        names = descendant_step(db, doc.root_id, "name")
+        starts = [n.start for n in names]
+        assert starts == sorted(starts)
+
+    def test_navigation_is_metered(self):
+        db, doc = build()
+        db.reset_metrics()
+        descendant_step(db, doc.root_id, "name")
+        # one step per node whose children were fetched
+        assert db.metrics.navigation_steps > 5
+
+    def test_navigate_path(self):
+        db, doc = build()
+        people_names = navigate_path(
+            db, doc.root_id, [("ad", "person"), ("pc", "name")]
+        )
+        assert len(people_names) == 2
+
+    def test_navigate_path_dedupes(self):
+        db, doc = build()
+        # // then // can reach a node twice; must not duplicate
+        names = navigate_path(
+            db, doc.root_id, [("ad", "site"), ("ad", "name")]
+        )
+        assert len(names) == 3

@@ -1,0 +1,50 @@
+"""Reproduction of Figure 14: structural join vs nest-structural-join."""
+
+from repro.physical.structural_join import nest_join, pair_join
+from repro.storage import Database
+
+
+def figure14_db() -> Database:
+    """Sample data of Figure 14: A1 containing D1, D2 (E1, B1 besides)."""
+    db = Database()
+    db.load_xml(
+        "f14.xml",
+        "<root><E/><A><D/><D/></A><B/></root>",
+    )
+    return db
+
+
+class TestFigure14:
+    def test_structural_join_one_tree_per_pair(self):
+        """Regular SJ: an output per matching (A, D) pair."""
+        db = figure14_db()
+        pairs = pair_join(
+            db.tag_lookup("f14.xml", "A"),
+            db.tag_lookup("f14.xml", "D"),
+            "pc",
+        )
+        assert len(pairs) == 2
+        a_nodes = {p[0] for p in pairs}
+        assert len(a_nodes) == 1  # the same A appears twice
+
+    def test_nest_join_one_tree_per_left(self):
+        """NSJ (Definition 8): one output clustering all matches."""
+        db = figure14_db()
+        nested = nest_join(
+            db.tag_lookup("f14.xml", "A"),
+            db.tag_lookup("f14.xml", "D"),
+            "pc",
+        )
+        assert len(nested) == 1
+        parent, cluster = nested[0]
+        assert len(cluster) == 2
+
+    def test_cluster_preserves_document_order(self):
+        db = figure14_db()
+        nested = nest_join(
+            db.tag_lookup("f14.xml", "A"),
+            db.tag_lookup("f14.xml", "D"),
+            "pc",
+        )
+        starts = [d.start for d in nested[0][1]]
+        assert starts == sorted(starts)

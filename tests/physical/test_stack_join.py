@@ -1,0 +1,96 @@
+"""Unit and property tests for the stack-based structural join."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.physical.stack_join import stack_tree_desc
+from repro.physical.structural_join import pair_join
+from repro.storage import Database
+from repro.storage.stats import Metrics
+
+
+def build_db(xml: str) -> Database:
+    db = Database()
+    db.load_xml("t.xml", xml)
+    return db
+
+
+class TestStackTreeDesc:
+    def test_basic_ad(self):
+        db = build_db("<r><a><b/><a><b/></a></a><b/></r>")
+        pairs = stack_tree_desc(
+            db.tag_lookup("t.xml", "a"), db.tag_lookup("t.xml", "b"), "ad"
+        )
+        # outer a contains 2 b's, inner a contains 1; the last b is free
+        assert len(pairs) == 3
+
+    def test_pc_level_filter(self):
+        db = build_db("<r><a><b/><x><b/></x></a></r>")
+        pairs = stack_tree_desc(
+            db.tag_lookup("t.xml", "a"), db.tag_lookup("t.xml", "b"), "pc"
+        )
+        assert len(pairs) == 1
+
+    def test_nested_ancestors_all_report(self):
+        db = build_db("<r><a><a><a><b/></a></a></a></r>")
+        pairs = stack_tree_desc(
+            db.tag_lookup("t.xml", "a"), db.tag_lookup("t.xml", "b"), "ad"
+        )
+        assert len(pairs) == 3
+
+    def test_output_in_descendant_order(self):
+        db = build_db("<r><a><b/><b/></a><a><b/></a></r>")
+        pairs = stack_tree_desc(
+            db.tag_lookup("t.xml", "a"), db.tag_lookup("t.xml", "b"), "ad"
+        )
+        starts = [d.start for _, d in pairs]
+        assert starts == sorted(starts)
+
+    def test_empty_inputs(self):
+        db = build_db("<r><a/></r>")
+        assert stack_tree_desc([], db.tag_lookup("t.xml", "a"), "ad") == []
+        assert stack_tree_desc(db.tag_lookup("t.xml", "a"), [], "ad") == []
+
+    def test_metrics(self):
+        db = build_db("<r><a><b/></a></r>")
+        metrics = Metrics()
+        stack_tree_desc(
+            db.tag_lookup("t.xml", "a"),
+            db.tag_lookup("t.xml", "b"),
+            "ad",
+            metrics=metrics,
+        )
+        assert metrics.structural_joins == 1
+
+
+# ----------------------------------------------------------------------
+# property: stack join == probe join on random trees
+# ----------------------------------------------------------------------
+@st.composite
+def random_document(draw):
+    def element(depth):
+        tag = draw(st.sampled_from("pq"))
+        if depth >= 4:
+            return f"<{tag}/>"
+        kids = "".join(
+            element(depth + 1) for _ in range(draw(st.integers(0, 3)))
+        )
+        return f"<{tag}>{kids}</{tag}>"
+
+    return f"<r>{element(0)}{element(0)}</r>"
+
+
+@given(random_document(), st.sampled_from(["pc", "ad"]))
+def test_stack_join_matches_probe_join(xml, axis):
+    db = build_db(xml)
+    ancestors = db.tag_lookup("t.xml", "p")
+    descendants = db.tag_lookup("t.xml", "q")
+    stack = {
+        (a.start, d.start)
+        for a, d in stack_tree_desc(ancestors, descendants, axis)
+    }
+    probe = {
+        (a.start, d.start)
+        for a, d in pair_join(ancestors, descendants, axis)
+    }
+    assert stack == probe

@@ -1,0 +1,182 @@
+"""Unit and property tests for the structural join primitives."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.node_id import NodeId
+from repro.physical.structural_join import join_for_mspec, nest_join, pair_join
+from repro.storage import Database
+from repro.storage.stats import Metrics
+
+
+def ids_of(db, doc, tag):
+    return db.tag_lookup(doc, tag)
+
+
+def build_db():
+    db = Database()
+    db.load_xml(
+        "t.xml",
+        """
+        <r>
+          <a><b/><b/><c><b/></c></a>
+          <a><c/></a>
+          <a/>
+        </r>
+        """,
+    )
+    return db
+
+
+class TestPairJoin:
+    def test_parent_child(self):
+        db = build_db()
+        pairs = pair_join(
+            ids_of(db, "t.xml", "a"), ids_of(db, "t.xml", "b"), "pc"
+        )
+        assert len(pairs) == 2  # only the direct b children of the first a
+
+    def test_ancestor_descendant(self):
+        db = build_db()
+        pairs = pair_join(
+            ids_of(db, "t.xml", "a"), ids_of(db, "t.xml", "b"), "ad"
+        )
+        assert len(pairs) == 3
+
+    def test_outer_keeps_unmatched(self):
+        db = build_db()
+        pairs = pair_join(
+            ids_of(db, "t.xml", "a"),
+            ids_of(db, "t.xml", "b"),
+            "ad",
+            outer=True,
+        )
+        unmatched = [p for p in pairs if p[1] is None]
+        assert len(unmatched) == 2
+        assert len(pairs) == 5
+
+    def test_metrics(self):
+        db = build_db()
+        metrics = Metrics()
+        pair_join(
+            ids_of(db, "t.xml", "a"),
+            ids_of(db, "t.xml", "b"),
+            "pc",
+            metrics=metrics,
+        )
+        assert metrics.structural_joins == 1
+
+
+class TestNestJoin:
+    def test_clusters_per_parent(self):
+        db = build_db()
+        nested = nest_join(
+            ids_of(db, "t.xml", "a"), ids_of(db, "t.xml", "b"), "ad"
+        )
+        assert len(nested) == 1
+        assert len(nested[0][1]) == 3
+
+    def test_outer_keeps_empty_clusters(self):
+        db = build_db()
+        nested = nest_join(
+            ids_of(db, "t.xml", "a"),
+            ids_of(db, "t.xml", "b"),
+            "ad",
+            outer=True,
+        )
+        assert len(nested) == 3
+        sizes = sorted(len(cluster) for _, cluster in nested)
+        assert sizes == [0, 0, 3]
+
+    def test_metrics_count_nest(self):
+        db = build_db()
+        metrics = Metrics()
+        nest_join(
+            ids_of(db, "t.xml", "a"),
+            ids_of(db, "t.xml", "b"),
+            "pc",
+            metrics=metrics,
+        )
+        assert metrics.nest_joins == 1
+
+
+class TestJoinForMspec:
+    def test_all_four_shapes(self):
+        db = build_db()
+        parents = ids_of(db, "t.xml", "a")
+        children = ids_of(db, "t.xml", "b")
+        by_mspec = {
+            m: join_for_mspec(parents, children, "ad", m)
+            for m in "-?+*"
+        }
+        # '-': only the parent with matches, one alternative per child
+        assert len(by_mspec["-"]) == 1
+        assert len(by_mspec["-"][0][1]) == 3
+        # '?': parents without matches get one empty alternative
+        assert len(by_mspec["?"]) == 3
+        # '+': one cluster alternative, match-less parents dropped
+        assert len(by_mspec["+"]) == 1
+        assert len(by_mspec["+"][0][1]) == 1
+        assert len(by_mspec["+"][0][1][0]) == 3
+        # '*': like '+' but empty clusters kept
+        assert len(by_mspec["*"]) == 3
+
+
+# ----------------------------------------------------------------------
+# property: join output equals the naive quadratic algorithm
+# ----------------------------------------------------------------------
+@st.composite
+def random_document(draw):
+    """A random 2-tag tree as XML text."""
+
+    def element(depth):
+        tag = draw(st.sampled_from("pq"))
+        if depth >= 4:
+            return f"<{tag}/>"
+        kids = "".join(
+            element(depth + 1) for _ in range(draw(st.integers(0, 3)))
+        )
+        return f"<{tag}>{kids}</{tag}>"
+
+    return f"<r>{element(0)}</r>"
+
+
+@given(random_document(), st.sampled_from(["pc", "ad"]))
+def test_pair_join_matches_naive(xml, axis):
+    db = Database()
+    db.load_xml("t.xml", xml)
+    parents = db.tag_lookup("t.xml", "p")
+    children = db.tag_lookup("t.xml", "q")
+    fast = {
+        (p.start, c.start) for p, c in pair_join(parents, children, axis)
+    }
+    if axis == "pc":
+        naive = {
+            (p.start, c.start)
+            for p in parents
+            for c in children
+            if p.is_parent_of(c)
+        }
+    else:
+        naive = {
+            (p.start, c.start)
+            for p in parents
+            for c in children
+            if p.contains(c)
+        }
+    assert fast == naive
+
+
+@given(random_document())
+def test_nest_join_partitions_pairs(xml):
+    """Property: nest output is exactly the pair output grouped."""
+    db = Database()
+    db.load_xml("t.xml", xml)
+    parents = db.tag_lookup("t.xml", "p")
+    children = db.tag_lookup("t.xml", "q")
+    pairs = pair_join(parents, children, "ad")
+    nested = nest_join(parents, children, "ad")
+    flattened = {
+        (p.start, c.start) for p, cluster in nested for c in cluster
+    }
+    assert flattened == {(p.start, c.start) for p, c in pairs}

@@ -1,0 +1,176 @@
+"""Unit and property tests for the TwigStack holistic twig join."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physical.twigstack import TwigNode, match_twig_holistic, twig_stack
+from repro.storage import Database
+
+
+def build_db(xml: str) -> Database:
+    db = Database()
+    db.load_xml("t.xml", xml)
+    return db
+
+
+def twig(db, spec) -> TwigNode:
+    """Build a TwigNode tree from a nested spec: (tag, axis, [children])."""
+    tag, axis, children = spec
+    node = TwigNode(tag, db.tag_lookup("t.xml", tag), axis)
+    for child in children:
+        node.children.append(twig(db, child))
+    return node
+
+
+class TestTwigStack:
+    def test_linear_twig(self):
+        db = build_db("<r><a><b><c/></b></a></r>")
+        matches = twig_stack(
+            twig(db, ("a", "ad", [("b", "ad", [("c", "ad", [])])]))
+        )
+        assert len(matches) == 1
+        assert set(matches[0]) == {"a", "b", "c"}
+
+    def test_branching_twig(self):
+        db = build_db("<r><a><b/><c/></a><a><b/></a></r>")
+        matches = twig_stack(
+            twig(db, ("a", "ad", [("b", "ad", []), ("c", "ad", [])]))
+        )
+        # only the first <a> has both children
+        assert len(matches) == 1
+
+    def test_branch_combinations_multiply(self):
+        db = build_db("<r><a><b/><b/><c/><c/></a></r>")
+        matches = twig_stack(
+            twig(db, ("a", "ad", [("b", "ad", []), ("c", "ad", [])]))
+        )
+        assert len(matches) == 4
+
+    def test_nested_roots_all_match(self):
+        db = build_db("<r><a><a><b/><c/></a></a></r>")
+        matches = twig_stack(
+            twig(db, ("a", "ad", [("b", "ad", []), ("c", "ad", [])]))
+        )
+        assert len(matches) == 2  # both a's contain the b and the c
+
+    def test_pc_edges_enforced(self):
+        db = build_db("<r><a><x><b/></x><c/></a></r>")
+        ad = twig_stack(
+            twig(db, ("a", "ad", [("b", "ad", []), ("c", "ad", [])]))
+        )
+        pc = twig_stack(
+            twig(db, ("a", "ad", [("b", "pc", []), ("c", "pc", [])]))
+        )
+        assert len(ad) == 1
+        assert len(pc) == 0
+
+    def test_no_match(self):
+        db = build_db("<r><a><b/></a><c/></r>")
+        matches = twig_stack(
+            twig(db, ("a", "ad", [("b", "ad", []), ("c", "ad", [])]))
+        )
+        assert matches == []
+
+    def test_duplicate_labels_rejected(self):
+        db = build_db("<r><a><a/></a></r>")
+        pattern = twig(db, ("a", "ad", []))
+        pattern.children.append(TwigNode("a", db.tag_lookup("t.xml", "a")))
+        with pytest.raises(ValueError):
+            twig_stack(pattern)
+
+    def test_wrapper_fills_streams(self):
+        db = build_db("<r><a><b/></a></r>")
+        root = TwigNode("a", [])
+        root.add_child("b", [])
+        matches = match_twig_holistic(db, "t.xml", root)
+        assert len(matches) == 1
+
+
+# ----------------------------------------------------------------------
+# property: TwigStack == the pattern matcher on '-'-only patterns
+# ----------------------------------------------------------------------
+@st.composite
+def random_document(draw):
+    def element(depth):
+        tag = draw(st.sampled_from("pqz"))
+        if depth >= 4:
+            return f"<{tag}/>"
+        kids = "".join(
+            element(depth + 1) for _ in range(draw(st.integers(0, 3)))
+        )
+        return f"<{tag}>{kids}</{tag}>"
+
+    return f"<r>{element(0)}{element(0)}</r>"
+
+
+@st.composite
+def twig_shapes(draw, depth=0):
+    """Random twig spec (tag, axis, children) with unique-ish shapes."""
+    tag = draw(st.sampled_from("pqz"))
+    axis = draw(st.sampled_from(["ad", "pc"])) if depth else "ad"
+    children = []
+    if depth < 2:
+        for _ in range(draw(st.integers(0, 2))):
+            children.append(draw(twig_shapes(depth=depth + 1)))
+    return (tag, axis, children)
+
+
+def matcher_reference(db, spec):
+    """Ground truth via the APT matcher with '-' edges everywhere."""
+    from repro.patterns import APT, PatternMatcher, pattern_node
+
+    counter = [0]
+    label_of = {}
+
+    def to_apt(node_spec):
+        tag, axis, children = node_spec
+        counter[0] += 1
+        label = counter[0]
+        node = pattern_node(tag, label)
+        label_of[label] = tag
+        for child_spec in children:
+            child, child_axis = to_apt(child_spec)
+            node.add_edge(child, child_axis, "-")
+        return node, axis
+
+    root_node, _ = to_apt(spec)
+    doc_root = pattern_node("doc_root", 0)
+    doc_root.add_edge(root_node, "ad", "-")
+    matches = PatternMatcher(db).match(APT(doc_root, "t.xml"))
+    out = set()
+    for tree in matches:
+        assignment = []
+        for label in sorted(label_of):
+            nodes = tree.nodes_in_class(label)
+            assignment.append(nodes[0].nid.start)
+        out.add(tuple(assignment))
+    return out
+
+
+def twigstack_result(db, spec):
+    counter = [0]
+    order = []
+
+    def build(node_spec):
+        tag, axis, children = node_spec
+        counter[0] += 1
+        label = f"{tag}#{counter[0]}"
+        order.append(label)
+        node = TwigNode(label, db.tag_lookup("t.xml", tag), axis)
+        for child_spec in children:
+            node.children.append(build(child_spec))
+        return node
+
+    root = build(spec)
+    matches = twig_stack(root)
+    return {
+        tuple(m[label].start for label in order) for m in matches
+    }
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_document(), twig_shapes())
+def test_twigstack_matches_pattern_matcher(xml, spec):
+    db = build_db(xml)
+    assert twigstack_result(db, spec) == matcher_reference(db, spec)

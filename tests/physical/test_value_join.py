@@ -1,0 +1,118 @@
+"""Unit and property tests for the value-join primitives."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.value import compare
+from repro.physical.value_join import merge_equi_join, nest_merge, theta_join
+from repro.storage.stats import Metrics
+
+
+class TestMergeEquiJoin:
+    def test_basic_equality(self):
+        left = [("a", 1), ("b", 2)]
+        right = [("b", 10), ("c", 11), ("b", 12)]
+        pairs = merge_equi_join(
+            left, right, lambda x: x[0], lambda x: x[0]
+        )
+        assert sorted(p[1][1] for p in pairs) == [10, 12]
+
+    def test_duplicates_cross_product(self):
+        left = [("k", i) for i in range(3)]
+        right = [("k", i) for i in range(4)]
+        pairs = merge_equi_join(
+            left, right, lambda x: x[0], lambda x: x[0]
+        )
+        assert len(pairs) == 12
+
+    def test_numeric_string_coercion(self):
+        left = [("07", "l")]
+        right = [("7.0", "r")]
+        pairs = merge_equi_join(
+            left, right, lambda x: x[0], lambda x: x[0]
+        )
+        assert len(pairs) == 1
+
+    def test_empty_inputs(self):
+        assert merge_equi_join([], [("a", 1)], lambda x: x[0],
+                               lambda x: x[0]) == []
+
+    def test_metrics_count_sorts(self):
+        metrics = Metrics()
+        merge_equi_join(
+            [("a", 1)], [("a", 2)], lambda x: x[0], lambda x: x[0],
+            metrics=metrics,
+        )
+        assert metrics.value_joins == 1
+        assert metrics.sort_ops == 2
+
+
+class TestThetaJoin:
+    def test_inequality(self):
+        left = [(5, "l5"), (10, "l10")]
+        right = [(7, "r7"), (20, "r20")]
+        pairs = theta_join(
+            left, right, ">", lambda x: x[0], lambda x: x[0]
+        )
+        assert {(l[0], r[0]) for l, r in pairs} == {(10, 7)}
+
+    def test_equality_uses_merge(self):
+        metrics = Metrics()
+        theta_join(
+            [(1, "a")], [(1, "b")], "=",
+            lambda x: x[0], lambda x: x[0], metrics=metrics,
+        )
+        assert metrics.sort_ops == 2  # sort-merge path taken
+
+    def test_none_values_never_match(self):
+        pairs = theta_join(
+            [(None, "l")], [(None, "r")], ">",
+            lambda x: x[0], lambda x: x[0],
+        )
+        assert pairs == []
+
+
+class TestNestMerge:
+    def test_clusters_preserve_left_order(self):
+        l1, l2, l3 = "l1", "l2", "l3"
+        pairs = [(l2, "a"), (l1, "b"), (l2, "c")]
+        clusters = nest_merge(pairs, [l1, l2, l3])
+        assert clusters == [(l1, ["b"]), (l2, ["a", "c"])]
+
+    def test_outer_includes_unmatched(self):
+        clusters = nest_merge([], ["x"], outer=True)
+        assert clusters == [("x", [])]
+
+    def test_inner_drops_unmatched(self):
+        clusters = nest_merge([], ["x"], outer=False)
+        assert clusters == []
+
+
+# ----------------------------------------------------------------------
+# property: theta join == naive nested loop, for every operator
+# ----------------------------------------------------------------------
+_values = st.one_of(
+    st.integers(-5, 5).map(str),
+    st.sampled_from(["a", "b", "gold"]),
+)
+
+
+@given(
+    st.lists(_values, max_size=8),
+    st.lists(_values, max_size=8),
+    st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+)
+def test_theta_join_matches_naive(left_vals, right_vals, op):
+    left = list(enumerate(left_vals))
+    right = list(enumerate(right_vals))
+    pairs = theta_join(
+        left, right, op, lambda x: x[1], lambda x: x[1]
+    )
+    fast = sorted((l[0], r[0]) for l, r in pairs)
+    naive = sorted(
+        (l[0], r[0])
+        for l in left
+        for r in right
+        if compare(l[1], op, r[1])
+    )
+    assert fast == naive

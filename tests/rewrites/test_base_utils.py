@@ -1,0 +1,111 @@
+"""Unit tests for the rewrite plan-analysis utilities."""
+
+from repro.core import (
+    AggregateOp,
+    CClassRef,
+    CElement,
+    ClassPredicate,
+    ConstructOp,
+    DedupOp,
+    FilterOp,
+    JoinOp,
+    JoinPredicate,
+    ProjectOp,
+    SelectOp,
+    SortOp,
+)
+from repro.patterns import APT, pattern_node
+from repro.rewrites import defined_lcls, parent_map, rename_lcl, used_lcls
+
+
+def leaf():
+    root = pattern_node("doc_root", 1)
+    root.add_edge(pattern_node("person", 2), "ad", "-")
+    return SelectOp(APT(root, "d.xml"))
+
+
+class TestUsedDefined:
+    def test_filter(self):
+        op = FilterOp(ClassPredicate(5, ">", 1), "E", leaf())
+        assert used_lcls(op) == {5}
+
+    def test_join(self):
+        op = JoinOp(leaf(), leaf(), [JoinPredicate(3, "=", 4)], 9)
+        assert used_lcls(op) == {3, 4}
+        assert defined_lcls(op) == {9}
+
+    def test_aggregate(self):
+        op = AggregateOp("count", 6, 11, leaf())
+        assert used_lcls(op) == {6}
+        assert defined_lcls(op) == {11}
+
+    def test_select_defines_pattern_classes(self):
+        op = leaf()
+        assert defined_lcls(op) == {1, 2}
+        assert used_lcls(op) == set()
+
+    def test_extension_select_uses_reference(self):
+        root = pattern_node(None, 0, lc_ref=7)
+        root.add_edge(pattern_node("name", 12), "pc", "*")
+        op = SelectOp(APT(root))
+        assert used_lcls(op) == {7}
+
+    def test_construct(self):
+        ctree = CElement(
+            "p", 15,
+            attrs=[("n", CClassRef(12, text_only=True))],
+            children=[CClassRef(13)],
+        )
+        op = ConstructOp(ctree, leaf())
+        assert used_lcls(op) == {12, 13}
+        assert defined_lcls(op) == {15}
+
+
+class TestRename:
+    def test_rename_in_every_operator_kind(self):
+        select = leaf()
+        filter_op = FilterOp(ClassPredicate(5, ">", 1), "E", select)
+        rename_lcl(filter_op, 5, 50)
+        assert filter_op.predicate.lcl == 50
+
+        join = JoinOp(leaf(), leaf(), [JoinPredicate(3, "=", 4)], 9)
+        rename_lcl(join, 4, 40)
+        assert join.predicates[0].right_lcl == 40
+
+        project = ProjectOp([3, 5], leaf())
+        rename_lcl(project, 5, 50)
+        assert project.keep_lcls == [3, 50]
+
+        dedup = DedupOp([3], "id", leaf(), bases={3: "content"})
+        rename_lcl(dedup, 3, 30)
+        assert dedup.lcls == [30]
+        assert dedup.bases == {30: "content"}
+
+        sort = SortOp([7], False, leaf())
+        rename_lcl(sort, 7, 70)
+        assert sort.lcls == [70]
+
+        aggregate = AggregateOp("count", 6, 11, leaf())
+        rename_lcl(aggregate, 6, 60)
+        assert aggregate.lcl == 60
+
+        ctree = CElement("p", 1, children=[CClassRef(13)])
+        construct = ConstructOp(ctree, leaf())
+        rename_lcl(construct, 13, 31)
+        assert ctree.children[0].lcl == 31
+
+    def test_rename_untouched_labels(self):
+        project = ProjectOp([3, 5], leaf())
+        rename_lcl(project, 99, 100)
+        assert project.keep_lcls == [3, 5]
+
+
+class TestParentMap:
+    def test_parent_links(self):
+        select = leaf()
+        filter_op = FilterOp(ClassPredicate(2, "=", "x"), "E", select)
+        project = ProjectOp([2], filter_op)
+        parents = parent_map(project)
+        assert parents[id(select)] is filter_op
+        assert parents[id(filter_op)] is project
+        assert id(project) not in parents

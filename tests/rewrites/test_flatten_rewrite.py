@@ -1,0 +1,142 @@
+"""Unit tests for the Flatten rewrite (Section 4.2 / Figure 10)."""
+
+import pytest
+
+from repro.core import Context, FlattenOp, SelectOp, evaluate
+from repro.core.shadow import ShadowOp
+from repro.rewrites import apply_flatten, find_flatten_sites
+from repro.xquery import translate_query
+
+Q1 = '''
+FOR $p IN document("auction.xml")//person
+FOR $o IN document("auction.xml")//open_auction
+WHERE count($o/bidder) > 2 AND $p//age > 25
+  AND $p/@id = $o/bidder//@person
+RETURN <person name={$p/name/text()}> $o/bidder </person>
+'''
+
+X3 = '''
+FOR $p IN document("auction.xml")//person
+FOR $o IN document("auction.xml")//open_auction
+WHERE count($o/bidder) > 2
+  AND $p/@id = $o/bidder//@person
+RETURN <bid><who>{$p/name/text()}</who>{$o/initial}</bid>
+'''
+
+NO_SITE = '''
+FOR $p IN document("auction.xml")//person
+WHERE $p//age > 25
+RETURN <out>{$p/name/text()}</out>
+'''
+
+
+class TestDetection:
+    def test_q1_has_one_site(self):
+        plan = translate_query(Q1).plan
+        sites = find_flatten_sites(plan)
+        assert len(sites) == 1
+        site = sites[0]
+        assert site.parent.test.tag == "open_auction"
+        assert site.nested_edge.mspec == "*"
+        assert site.flat_edge.mspec == "-"
+        assert site.nested_edge.child.test.tag == "bidder"
+
+    def test_chain_is_aggregate_then_filter(self):
+        plan = translate_query(Q1).plan
+        site = find_flatten_sites(plan)[0]
+        names = [type(op).__name__ for op in site.chain]
+        assert names == ["AggregateOp", "FilterOp"]
+
+    def test_plain_query_has_no_site(self):
+        plan = translate_query(NO_SITE).plan
+        assert find_flatten_sites(plan) == []
+
+    def test_no_site_without_shared_tag(self):
+        plan = translate_query(
+            'FOR $o IN document("auction.xml")//open_auction '
+            "WHERE count($o/bidder) > 1 AND $o/quantity > 2 "
+            "RETURN <x>{$o/initial/text()}</x>"
+        ).plan
+        assert find_flatten_sites(plan) == []
+
+
+class TestTransformation:
+    def test_pattern_loses_flat_branch(self, tiny_db):
+        plan = translate_query(X3).plan
+        site = find_flatten_sites(plan)[0]
+        n_edges_before = len(site.parent.edges)
+        plan = apply_flatten(plan, site)
+        assert len(site.parent.edges) == n_edges_before - 1
+
+    def test_flatten_op_inserted_above_chain(self, tiny_db):
+        plan = translate_query(X3).plan
+        site = find_flatten_sites(plan)[0]
+        plan = apply_flatten(plan, site)
+        flattens = [
+            op for op in plan.walk() if isinstance(op, FlattenOp)
+        ]
+        assert len(flattens) == 1
+        assert flattens[0].parent_lcl == site.parent.lcl
+        assert flattens[0].child_lcl == site.nested_edge.child.lcl
+
+    def test_extension_select_restores_join_branch(self, tiny_db):
+        plan = translate_query(X3).plan
+        site = find_flatten_sites(plan)[0]
+        c_child_lcl = site.flat_edge.child.edges[0].child.lcl
+        plan = apply_flatten(plan, site)
+        extensions = [
+            op
+            for op in plan.walk()
+            if isinstance(op, SelectOp)
+            and op.apt.root.lc_ref == site.nested_edge.child.lcl
+        ]
+        assert len(extensions) == 1
+        assert extensions[0].apt.root.edges[0].child.lcl == c_child_lcl
+
+    def test_shadow_variant(self, tiny_db):
+        plan = translate_query(Q1).plan
+        site = find_flatten_sites(plan)[0]
+        plan = apply_flatten(plan, site, use_shadow=True)
+        shadows = [op for op in plan.walk() if isinstance(op, ShadowOp)]
+        assert len(shadows) == 1
+
+    def test_stale_site_rejected(self, tiny_db):
+        from repro.errors import RewriteError
+
+        plan = translate_query(X3).plan
+        site = find_flatten_sites(plan)[0]
+        apply_flatten(plan, site)
+        with pytest.raises(RewriteError):
+            apply_flatten(plan, site)
+
+
+class TestEquivalence:
+    def test_q1_results_preserved(self, tiny_db):
+        plain = evaluate(translate_query(Q1).plan, Context(tiny_db))
+        plan = translate_query(Q1).plan
+        site = find_flatten_sites(plan)[0]
+        plan = apply_flatten(plan, site)
+        rewritten = evaluate(plan, Context(tiny_db))
+        assert sorted(
+            repr(t.canonical(True)) for t in plain
+        ) == sorted(repr(t.canonical(True)) for t in rewritten)
+
+    def test_x3_results_preserved(self, tiny_db):
+        plain = evaluate(translate_query(X3).plan, Context(tiny_db))
+        plan = translate_query(X3).plan
+        plan = apply_flatten(plan, find_flatten_sites(plan)[0])
+        rewritten = evaluate(plan, Context(tiny_db))
+        assert sorted(
+            repr(t.canonical(True)) for t in plain
+        ) == sorted(repr(t.canonical(True)) for t in rewritten)
+
+    def test_rewrite_eliminates_redundant_access(self, tiny_db):
+        """The point of the exercise: fewer node touches (Figure 10)."""
+        ctx = Context(tiny_db)
+        evaluate(translate_query(X3).plan, ctx)
+        plain_touches = tiny_db.metrics.nodes_touched
+        tiny_db.reset_metrics()
+        plan = translate_query(X3).plan
+        plan = apply_flatten(plan, find_flatten_sites(plan)[0])
+        evaluate(plan, Context(tiny_db))
+        assert tiny_db.metrics.nodes_touched <= plain_touches

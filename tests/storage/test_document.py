@@ -1,0 +1,110 @@
+"""Unit tests for the stored document layer."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.model.node_id import NodeId
+from repro.storage import Database
+from repro.storage.xml_serializer import serialize_stored
+
+XML = """
+<site>
+ <people>
+  <person id="p1"><name>Alice</name></person>
+  <person id="p2"><name>Bob</name></person>
+ </people>
+</site>
+"""
+
+
+@pytest.fixture
+def doc():
+    db = Database()
+    return db.load_xml("t.xml", XML), db
+
+
+class TestStructure:
+    def test_doc_root_wrapper(self, doc):
+        document, _ = doc
+        assert document.records[0].tag == "doc_root"
+        assert document.records[0].level == 0
+        root_children = document.records[0].children
+        assert [document.records[i].tag for i in root_children] == ["site"]
+
+    def test_attributes_become_at_children(self, doc):
+        document, db = doc
+        persons = db.tag_lookup("t.xml", "person")
+        child_tags = [db.tag_of(c) for c in db.children(persons[0])]
+        assert child_tags == ["@id", "name"]
+        id_node = db.children(persons[0])[0]
+        assert db.value_of(id_node) == "p1"
+
+    def test_levels(self, doc):
+        document, db = doc
+        person = db.tag_lookup("t.xml", "person")[0]
+        assert person.level == 3  # doc_root/site/people/person
+
+    def test_record_count(self, doc):
+        document, _ = doc
+        # doc_root, site, people, 2×(person, @id, name)
+        assert len(document) == 9
+
+    def test_parent_pointers(self, doc):
+        document, db = doc
+        person = db.tag_lookup("t.xml", "person")[0]
+        parent = db.parent(person)
+        assert db.tag_of(parent) == "people"
+        assert db.parent(document.root_id) is None
+
+    def test_index_of_unknown_id_raises(self, doc):
+        document, _ = doc
+        with pytest.raises(StorageError):
+            document.index_of(NodeId(document.doc_id, 9999, 10000, 1))
+
+    def test_index_of_wrong_document_raises(self, doc):
+        document, _ = doc
+        with pytest.raises(StorageError):
+            document.index_of(NodeId(document.doc_id + 7, 1, 2, 0))
+
+
+class TestAccess:
+    def test_subtree_materialization(self, doc):
+        document, db = doc
+        person = db.tag_lookup("t.xml", "person")[0]
+        tree = db.subtree(person, lcls={3})
+        assert tree.tag == "person"
+        assert tree.lcls == {3}
+        assert tree.to_xml() == '<person id="p1"><name>Alice</name></person>'
+
+    def test_subtree_meters_every_node(self, doc):
+        document, db = doc
+        db.reset_metrics()
+        person = db.tag_lookup("t.xml", "person")[0]
+        before = db.metrics.nodes_touched
+        db.subtree(person)
+        # person + @id + name
+        assert db.metrics.nodes_touched - before == 3
+
+    def test_serialize_roundtrip(self, doc):
+        document, _ = doc
+        xml = serialize_stored(document)
+        assert xml.startswith("<site>")
+        assert '<person id="p2"><name>Bob</name></person>' in xml
+
+    def test_children_in_document_order(self, doc):
+        document, db = doc
+        people = db.tag_lookup("t.xml", "people")[0]
+        kids = db.children(people)
+        starts = [k.start for k in kids]
+        assert starts == sorted(starts)
+
+    def test_reload_replaces_document(self, doc):
+        document, db = doc
+        db.load_xml("t.xml", "<site><x/></site>")
+        assert db.tag_lookup("t.xml", "person") == []
+        assert len(db.tag_lookup("t.xml", "x")) == 1
+
+    def test_unknown_document_raises(self, doc):
+        _, db = doc
+        with pytest.raises(StorageError):
+            db.document("missing.xml")

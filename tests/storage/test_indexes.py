@@ -1,0 +1,81 @@
+"""Unit tests for tag and value indexes."""
+
+import pytest
+
+from repro.storage import Database
+
+XML = """
+<inventory>
+  <item><price>10</price><name>rope</name></item>
+  <item><price>25</price><name>lamp</name></item>
+  <item><price>25</price><name>oil</name></item>
+  <item><price>99.5</price><name>map</name></item>
+  <item><name>gift</name></item>
+</inventory>
+"""
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.load_xml("inv.xml", XML)
+    return database
+
+
+class TestTagIndex:
+    def test_lookup_counts(self, db):
+        assert len(db.tag_lookup("inv.xml", "item")) == 5
+        assert len(db.tag_lookup("inv.xml", "price")) == 4
+
+    def test_lookup_in_document_order(self, db):
+        ids = db.tag_lookup("inv.xml", "item")
+        assert [n.start for n in ids] == sorted(n.start for n in ids)
+
+    def test_missing_tag_is_empty(self, db):
+        assert db.tag_lookup("inv.xml", "widget") == []
+
+    def test_lookup_meters(self, db):
+        db.reset_metrics()
+        db.tag_lookup("inv.xml", "item")
+        assert db.metrics.index_lookups == 1
+        assert db.metrics.index_entries_scanned == 5
+
+    def test_raw_index_tags(self, db):
+        index = db.tag_index("inv.xml")
+        assert "price" in index.tags()
+        assert index.count("item") == 5
+
+
+class TestValueIndex:
+    def test_equality(self, db):
+        assert len(db.value_lookup("inv.xml", "price", "=", 25)) == 2
+        assert len(db.value_lookup("inv.xml", "price", "=", "25")) == 2
+
+    def test_range_queries(self, db):
+        assert len(db.value_lookup("inv.xml", "price", ">", 10)) == 3
+        assert len(db.value_lookup("inv.xml", "price", ">=", 25)) == 3
+        assert len(db.value_lookup("inv.xml", "price", "<", 25)) == 1
+        assert len(db.value_lookup("inv.xml", "price", "<=", 99.5)) == 4
+
+    def test_not_equal(self, db):
+        assert len(db.value_lookup("inv.xml", "price", "!=", 25)) == 2
+
+    def test_string_equality(self, db):
+        hits = db.value_lookup("inv.xml", "name", "=", "lamp")
+        assert len(hits) == 1
+
+    def test_range_does_not_cross_kinds(self, db):
+        # a numeric range must not match non-numeric strings
+        assert db.value_lookup("inv.xml", "name", ">", 0) == []
+
+    def test_missing_tag_is_empty(self, db):
+        assert db.value_lookup("inv.xml", "widget", "=", 1) == []
+
+    def test_results_in_document_order(self, db):
+        hits = db.value_lookup("inv.xml", "price", ">=", 0)
+        starts = [n.start for n in hits]
+        assert starts == sorted(starts)
+
+    def test_unsupported_operator_raises(self, db):
+        with pytest.raises(ValueError):
+            db.value_lookup("inv.xml", "price", "~", 1)

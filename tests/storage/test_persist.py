@@ -1,0 +1,97 @@
+"""Unit tests for binary database persistence."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import Database
+from repro.storage.persist import load_database, save_database
+from repro.storage.xml_serializer import serialize_stored
+from tests.conftest import TINY_AUCTION
+
+
+@pytest.fixture
+def saved(tmp_path, tiny_db):
+    path = tmp_path / "auction.tlcdb"
+    save_database(tiny_db, path)
+    return path, tiny_db
+
+
+class TestRoundtrip:
+    def test_documents_survive(self, saved):
+        path, original = saved
+        loaded = load_database(path)
+        assert loaded.document_names() == original.document_names()
+
+    def test_content_identical(self, saved):
+        path, original = saved
+        loaded = load_database(path)
+        assert serialize_stored(
+            loaded.document("auction.xml")
+        ) == serialize_stored(original.document("auction.xml"))
+
+    def test_none_values_preserved(self, saved):
+        path, original = saved
+        loaded = load_database(path)
+        doc = loaded.document("auction.xml")
+        values = {r.tag: r.value for r in doc.records}
+        assert values["people"] is None
+        assert values["name"] is not None
+
+    def test_indexes_rebuilt(self, saved):
+        path, _ = saved
+        loaded = load_database(path)
+        assert len(loaded.tag_lookup("auction.xml", "person")) == 3
+        assert len(loaded.value_lookup("auction.xml", "age", ">", 25)) == 2
+
+    def test_queries_run_on_loaded_database(self, saved):
+        from repro import Engine
+
+        path, original = saved
+        engine = Engine(load_database(path))
+        result = engine.run(
+            'FOR $p IN document("auction.xml")//person '
+            "WHERE $p//age > 25 RETURN $p/name"
+        )
+        assert len(result) == 2
+
+    def test_multiple_documents(self, tmp_path):
+        db = Database()
+        db.load_xml("a.xml", "<a><x>1</x></a>")
+        db.load_xml("b.xml", "<b><y>2</y></b>")
+        path = tmp_path / "multi.tlcdb"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert loaded.document_names() == ["a.xml", "b.xml"]
+        assert len(loaded.tag_lookup("b.xml", "y")) == 1
+
+    def test_xmark_roundtrip(self, tmp_path):
+        from repro.xmark import load_xmark
+
+        db = Database()
+        doc = load_xmark(db, factor=0.001)
+        path = tmp_path / "xmark.tlcdb"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert len(loaded.document("auction.xml")) == len(doc)
+
+
+class TestErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.tlcdb"
+        path.write_bytes(b"NOTDB" + b"\x00" * 16)
+        with pytest.raises(StorageError):
+            load_database(path)
+
+    def test_truncated_file(self, saved, tmp_path):
+        path, _ = saved
+        data = path.read_bytes()
+        short = tmp_path / "short.tlcdb"
+        short.write_bytes(data[: len(data) // 2])
+        with pytest.raises(StorageError):
+            load_database(short)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.tlcdb"
+        path.write_bytes(b"")
+        with pytest.raises(StorageError):
+            load_database(path)

@@ -1,0 +1,151 @@
+"""Unit and property tests for the hand-rolled XML parser."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import XMLParseError
+from repro.storage.xml_parser import ParsedElement, decode_entities, parse_xml
+from repro.storage.xml_serializer import serialize_parsed
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        root = parse_xml("<a/>")
+        assert root.tag == "a"
+        assert root.children == []
+        assert root.text is None
+
+    def test_text_content(self):
+        root = parse_xml("<a>hello</a>")
+        assert root.text == "hello"
+
+    def test_nested_elements(self):
+        root = parse_xml("<a><b/><c><d/></c></a>")
+        assert [c.tag for c in root.children] == ["b", "c"]
+        assert root.children[1].children[0].tag == "d"
+
+    def test_attributes(self):
+        root = parse_xml('<a x="1" y=\'two\'/>')
+        assert root.attrs == {"x": "1", "y": "two"}
+
+    def test_whitespace_between_elements_dropped(self):
+        root = parse_xml("<a>\n  <b/>\n  <c/>\n</a>")
+        assert root.text is None
+        assert len(root.children) == 2
+
+    def test_mixed_content_concatenated(self):
+        root = parse_xml("<a>one<b/>two</a>")
+        assert root.text == "one two"
+
+    def test_xml_declaration_and_doctype(self):
+        root = parse_xml('<?xml version="1.0"?><!DOCTYPE a><a/>')
+        assert root.tag == "a"
+
+    def test_comments_ignored(self):
+        root = parse_xml("<a><!-- hi --><b/><!-- bye --></a>")
+        assert [c.tag for c in root.children] == ["b"]
+
+    def test_cdata(self):
+        root = parse_xml("<a><![CDATA[x < y & z]]></a>")
+        assert root.text == "x < y & z"
+
+    def test_processing_instruction_ignored(self):
+        root = parse_xml("<a><?php echo ?><b/></a>")
+        assert [c.tag for c in root.children] == ["b"]
+
+
+class TestEntities:
+    def test_named_entities(self):
+        root = parse_xml("<a>&lt;&gt;&amp;&quot;&apos;</a>")
+        assert root.text == "<>&\"'"
+
+    def test_numeric_entities(self):
+        assert decode_entities("&#65;&#x42;") == "AB"
+
+    def test_entities_in_attributes(self):
+        root = parse_xml('<a x="&amp;b"/>')
+        assert root.attrs["x"] == "&b"
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("<a>&nosuch;</a>")
+
+
+class TestErrors:
+    def test_mismatched_close_tag(self):
+        with pytest.raises(XMLParseError) as excinfo:
+            parse_xml("<a><b></a></b>")
+        assert "mismatched" in str(excinfo.value)
+
+    def test_unclosed_element(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("<a><b>")
+
+    def test_trailing_content(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("<a/><b/>")
+
+    def test_unquoted_attribute(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("<a x=1/>")
+
+    def test_error_carries_location(self):
+        with pytest.raises(XMLParseError) as excinfo:
+            parse_xml("<a>\n<b x=1/></a>")
+        assert excinfo.value.line == 2
+
+
+class TestParsedElement:
+    def test_find_all(self):
+        root = parse_xml("<a><b/><c><b/></c></a>")
+        assert len(root.find_all("b")) == 2
+
+    def test_size(self):
+        root = parse_xml("<a><b/><c><b/></c></a>")
+        assert root.size() == 4
+
+
+# ----------------------------------------------------------------------
+# property: serialize → parse is the identity on parse trees
+# ----------------------------------------------------------------------
+_tags = st.sampled_from(["a", "b", "item", "person_x", "x-1"])
+_texts = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs", "Cc"), blacklist_characters="<>&\"'"
+    ),
+    min_size=1,
+    max_size=12,
+).map(str.strip).filter(bool)
+
+
+@st.composite
+def parsed_elements(draw, depth=0):
+    tag = draw(_tags)
+    attrs = draw(
+        st.dictionaries(_tags, _texts, max_size=2)
+    )
+    element = ParsedElement(tag, attrs)
+    if draw(st.booleans()):
+        element.text = draw(_texts)
+    if depth < 2:
+        for _ in range(draw(st.integers(0, 2))):
+            element.children.append(draw(parsed_elements(depth=depth + 1)))
+    return element
+
+
+def _normalized(element: ParsedElement):
+    return (
+        element.tag,
+        tuple(sorted(element.attrs.items())),
+        element.text,
+        tuple(_normalized(c) for c in element.children),
+    )
+
+
+@given(parsed_elements())
+def test_roundtrip(element):
+    """Property: parse(serialize(t)) == t."""
+    text = serialize_parsed(element)
+    again = parse_xml(text)
+    assert _normalized(again) == _normalized(element)

@@ -1,0 +1,116 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+from tests.conftest import TINY_AUCTION
+
+
+@pytest.fixture
+def xml_file(tmp_path):
+    path = tmp_path / "auction.xml"
+    path.write_text(TINY_AUCTION)
+    return str(path)
+
+
+QUERY = (
+    'FOR $p IN document("auction.xml")//person '
+    "WHERE $p//age > 25 RETURN <o>{$p/name/text()}</o>"
+)
+
+
+class TestQuery:
+    def test_inline_query(self, xml_file, capsys):
+        code = main(["query", xml_file, "-q", QUERY])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "<o>Alice</o>" in out
+        assert "<o>Carol</o>" in out
+
+    def test_query_file(self, xml_file, tmp_path, capsys):
+        query_path = tmp_path / "q.xq"
+        query_path.write_text(QUERY)
+        code = main(["query", xml_file, "-f", str(query_path)])
+        assert code == 0
+        assert "Alice" in capsys.readouterr().out
+
+    def test_engine_selection(self, xml_file, capsys):
+        for engine in ("gtp", "tax", "nav"):
+            code = main(["query", xml_file, "-q", QUERY, "-e", engine])
+            assert code == 0
+            assert "Alice" in capsys.readouterr().out
+
+    def test_stats_flag(self, xml_file, capsys):
+        code = main(["query", xml_file, "-q", QUERY, "--stats"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "trees in" in captured.err
+        assert "sjoins=" in captured.err
+
+    def test_optimize_flag(self, xml_file, capsys):
+        code = main(["query", xml_file, "-q", QUERY, "-O"])
+        assert code == 0
+        assert "Alice" in capsys.readouterr().out
+
+    def test_xmark_source(self, capsys):
+        code = main([
+            "query", "xmark:0.001", "-q",
+            'FOR $p IN document("auction.xml")//person RETURN $p/name',
+        ])
+        assert code == 0
+        assert "<name>" in capsys.readouterr().out
+
+    def test_bad_query_reports_error(self, xml_file, capsys):
+        code = main(["query", xml_file, "-q", "NOT A QUERY"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        code = main(["query", "/nonexistent.xml", "-q", QUERY])
+        assert code == 1
+
+
+class TestExplain:
+    def test_explain_prints_plan(self, xml_file, capsys):
+        code = main(["explain", xml_file, "-q", QUERY])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Construct" in out
+        assert "Select" in out
+
+
+class TestGenerate:
+    def test_generate_xml(self, tmp_path, capsys):
+        out = tmp_path / "doc.xml"
+        code = main(["generate", str(out), "--factor", "0.001"])
+        assert code == 0
+        assert out.exists()
+        assert "<site>" in out.read_text()
+
+    def test_generate_tlcdb_and_query_it(self, tmp_path, capsys):
+        out = tmp_path / "doc.tlcdb"
+        assert main(["generate", str(out), "--factor", "0.001"]) == 0
+        capsys.readouterr()
+        code = main([
+            "query", str(out), "-q",
+            'FOR $p IN document("auction.xml")//person RETURN $p/name',
+        ])
+        assert code == 0
+        assert "<name>" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_bench_figure16(self, capsys):
+        code = main(["bench", "16", "--factor", "0.001", "--repeats", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OPT" in out
+
+
+class TestExplainDot:
+    def test_explain_dot_flag(self, xml_file, capsys):
+        code = main(["explain", xml_file, "-q", QUERY, "--dot"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("digraph plan {")
+        assert "Construct" in out

@@ -1,0 +1,269 @@
+"""Unit tests for the Figure 5 fragment parser."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery import (
+    AggrExpr,
+    AggrPredicate,
+    BoolExpr,
+    ElementConstructor,
+    FLWOR,
+    ForClause,
+    LetClause,
+    PathExpr,
+    Quantifier,
+    SimplePredicate,
+    ValueJoin,
+    parse_query,
+)
+
+
+def parse(text: str) -> FLWOR:
+    return parse_query(text)
+
+
+class TestPaths:
+    def test_document_rooted_path(self):
+        ast = parse('FOR $p IN document("a.xml")//person RETURN $p')
+        source = ast.clauses[0].source
+        assert source.doc == "a.xml"
+        assert [(s.axis, s.name) for s in source.steps] == [
+            ("ad", "person")
+        ]
+
+    def test_mixed_axes(self):
+        ast = parse('FOR $p IN document("a")/site//open_auction/bidder '
+                    "RETURN $p")
+        steps = ast.clauses[0].source.steps
+        assert [(s.axis, s.name) for s in steps] == [
+            ("pc", "site"), ("ad", "open_auction"), ("pc", "bidder"),
+        ]
+
+    def test_attribute_step(self):
+        ast = parse('FOR $p IN document("a")//person WHERE $p/@id = "x" '
+                    "RETURN $p")
+        assert ast.where.path.steps[0].name == "@id"
+
+    def test_text_function(self):
+        ast = parse('FOR $p IN document("a")//person '
+                    "RETURN $p/name/text()")
+        assert ast.ret.text_fn
+        assert ast.ret.steps[-1].name == "name"
+
+    def test_element_named_text_is_a_step(self):
+        ast = parse('FOR $p IN document("a")//listitem/text/keyword '
+                    "RETURN $p")
+        names = [s.name for s in ast.clauses[0].source.steps]
+        assert names == ["listitem", "text", "keyword"]
+
+    def test_doc_alias(self):
+        ast = parse('FOR $p IN doc("a.xml")//x RETURN $p')
+        assert ast.clauses[0].source.doc == "a.xml"
+
+    def test_path_must_have_source(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse("FOR $p IN //person RETURN $p")
+
+
+class TestClauses:
+    def test_multiple_for(self):
+        ast = parse(
+            'FOR $a IN document("d")//x FOR $b IN document("d")//y '
+            "RETURN $a"
+        )
+        assert [c.var for c in ast.clauses] == ["a", "b"]
+        assert all(isinstance(c, ForClause) for c in ast.clauses)
+
+    def test_comma_separated_bindings(self):
+        ast = parse(
+            'FOR $a IN document("d")//x, $b IN document("d")//y RETURN $a'
+        )
+        assert [c.var for c in ast.clauses] == ["a", "b"]
+
+    def test_let_with_path(self):
+        ast = parse(
+            'FOR $a IN document("d")//x LET $l := $a/y RETURN $a'
+        )
+        assert isinstance(ast.clauses[1], LetClause)
+        assert ast.clauses[1].source.var == "a"
+
+    def test_let_with_nested_flwor(self):
+        ast = parse(
+            'FOR $a IN document("d")//x '
+            'LET $l := FOR $b IN document("d")//y RETURN <t/> '
+            "RETURN $a"
+        )
+        assert isinstance(ast.clauses[1].source, FLWOR)
+
+    def test_parenthesised_nested_flwor(self):
+        ast = parse(
+            'FOR $a IN document("d")//x '
+            'LET $l := (FOR $b IN document("d")//y RETURN <t/>) '
+            "RETURN $a"
+        )
+        assert isinstance(ast.clauses[1].source, FLWOR)
+
+    def test_missing_return_raises(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse('FOR $a IN document("d")//x')
+
+    def test_flwor_must_start_with_binding(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse("RETURN <a/>")
+
+
+class TestWhere:
+    def q(self, where: str) -> FLWOR:
+        return parse(
+            f'FOR $a IN document("d")//x WHERE {where} RETURN $a'
+        )
+
+    def test_simple_predicate(self):
+        where = self.q("$a/age > 25").where
+        assert isinstance(where, SimplePredicate)
+        assert where.op == ">" and where.value == 25
+
+    def test_string_value(self):
+        where = self.q('$a/name = "gold"').where
+        assert where.value == "gold"
+
+    def test_aggregate_predicate(self):
+        where = self.q("count($a/b) >= 5").where
+        assert isinstance(where, AggrPredicate)
+        assert where.fname == "count" and where.op == ">="
+
+    def test_value_join(self):
+        where = self.q("$a/@id = $a/b/@ref").where
+        assert isinstance(where, ValueJoin)
+
+    def test_quantifiers(self):
+        where = self.q(
+            "EVERY $i IN $a/q SATISFIES $i > 2"
+        ).where
+        assert isinstance(where, Quantifier)
+        assert where.kind == "every"
+        some = self.q("SOME $i IN $a/q SATISFIES $i > 2").where
+        assert some.kind == "some"
+
+    def test_and_or_precedence(self):
+        where = self.q("$a/x = 1 OR $a/y = 2 AND $a/z = 3").where
+        assert isinstance(where, BoolExpr) and where.op == "or"
+        assert isinstance(where.right, BoolExpr) and where.right.op == "and"
+
+    def test_parentheses(self):
+        where = self.q("($a/x = 1 OR $a/y = 2) AND $a/z = 3").where
+        assert where.op == "and"
+        assert where.left.op == "or"
+
+    def test_case_insensitive_keywords(self):
+        ast = parse(
+            'for $a in document("d")//x where $a/y < 9 return $a'
+        )
+        assert isinstance(ast.where, SimplePredicate)
+
+    def test_comparison_operators(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            assert self.q(f"$a/v {op} 1").where.op == op
+
+
+class TestReturn:
+    def q(self, ret: str) -> FLWOR:
+        return parse(f'FOR $a IN document("d")//x RETURN {ret}')
+
+    def test_bare_path(self):
+        assert isinstance(self.q("$a/name").ret, PathExpr)
+
+    def test_aggregate(self):
+        ret = self.q("count($a/b)").ret
+        assert isinstance(ret, AggrExpr)
+
+    def test_constructor_with_brace_attr(self):
+        ret = self.q("<p name={$a/name/text()}>{$a/b}</p>").ret
+        assert isinstance(ret, ElementConstructor)
+        assert ret.attrs[0][0] == "name"
+        assert isinstance(ret.attrs[0][1], PathExpr)
+        assert len(ret.children) == 1
+
+    def test_constructor_with_literal_attr(self):
+        ret = self.q('<p kind="x"/>').ret
+        assert ret.attrs == [("kind", "x")]
+
+    def test_bare_path_content(self):
+        """The paper's Q1 style: <person> $o/bidder </person>."""
+        ret = self.q("<p> $a/bidder </p>").ret
+        assert isinstance(ret.children[0], PathExpr)
+
+    def test_nested_constructors(self):
+        ret = self.q("<p><q>{$a/b/text()}</q><r/></p>").ret
+        assert [c.tag for c in ret.children] == ["q", "r"]
+
+    def test_literal_text_content(self):
+        ret = self.q("<p>hello</p>").ret
+        assert ret.children[0].text == "hello"
+
+    def test_nested_flwor_in_return(self):
+        ret = self.q(
+            '<p>{FOR $b IN document("d")//y RETURN <q/>}</p>'
+        ).ret
+        assert isinstance(ret.children[0], FLWOR)
+
+    def test_mismatched_close_tag(self):
+        with pytest.raises(XQuerySyntaxError):
+            self.q("<p></q>")
+
+    def test_aggregate_in_content(self):
+        ret = self.q("<p>{count($a/b)}</p>").ret
+        assert isinstance(ret.children[0], AggrExpr)
+
+
+class TestOrderBy:
+    def test_order_clause(self):
+        ast = parse(
+            'FOR $a IN document("d")//x ORDER BY $a/k Descending '
+            "RETURN $a"
+        )
+        assert ast.order.descending
+        assert len(ast.order.paths) == 1
+
+    def test_multiple_keys_default_ascending(self):
+        ast = parse(
+            'FOR $a IN document("d")//x ORDER BY $a/k, $a/j RETURN $a'
+        )
+        assert not ast.order.descending
+        assert len(ast.order.paths) == 2
+
+
+class TestMisc:
+    def test_comments_skipped(self):
+        ast = parse(
+            '(: finds things :) FOR $a IN document("d")//x RETURN $a'
+        )
+        assert ast.clauses[0].var == "a"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse('FOR $a IN document("d")//x RETURN $a garbage')
+
+    def test_error_location(self):
+        with pytest.raises(XQuerySyntaxError) as excinfo:
+            parse('FOR $a IN document("d")//x\nWHERE $a/y ~ 3 RETURN $a')
+        assert excinfo.value.line == 2
+
+
+class TestContains:
+    def test_contains_predicate(self):
+        ast = parse(
+            'FOR $i IN document("d")//item '
+            'WHERE contains($i//keyword, "gold") RETURN $i'
+        )
+        assert isinstance(ast.where, SimplePredicate)
+        assert ast.where.op == "contains"
+        assert ast.where.value == "gold"
+
+    def test_contains_combines_with_and(self):
+        ast = parse(
+            'FOR $i IN document("d")//item '
+            'WHERE contains($i/name, "go") AND $i/quantity > 2 RETURN $i'
+        )
+        assert isinstance(ast.where, BoolExpr)

@@ -1,0 +1,268 @@
+"""Unit tests for the Figure 6 translation algorithm."""
+
+import pytest
+
+from repro.core import (
+    AggregateOp,
+    ConstructOp,
+    DedupOp,
+    FilterOp,
+    JoinOp,
+    ProjectOp,
+    SelectOp,
+    SortOp,
+)
+from repro.core.filter import TreeFilterOp
+from repro.errors import TranslationError, XQuerySyntaxError
+from repro.xquery import translate_query
+
+Q1 = '''
+FOR $p IN document("auction.xml")//person
+FOR $o IN document("auction.xml")//open_auction
+WHERE count($o/bidder) > 5 AND $p//age > 25
+  AND $p/@id = $o/bidder//@person
+RETURN <person name={$p/name/text()}> $o/bidder </person>
+'''
+
+Q2 = '''
+FOR $p IN document("auction.xml")//person
+LET $a := FOR $o IN document("auction.xml")//open_auction
+          WHERE count($o/bidder) > 5
+            AND $p/@id = $o/bidder//@person
+          RETURN <myauction> {$o/bidder}
+                 <myquan>{$o/quantity/text()}</myquan>
+                 </myauction>
+WHERE $p//age > 25
+  AND EVERY $i IN $a/myquan SATISFIES $i > 2
+RETURN <person name={$p/name/text()}>{$a/bidder}</person>
+'''
+
+
+def ops_of(plan, op_type):
+    return [op for op in plan.walk() if isinstance(op, op_type)]
+
+
+class TestQ1PlanShape:
+    """The translated plan must have the Figure 7 structure."""
+
+    def setup_method(self):
+        self.result = translate_query(Q1)
+        self.plan = self.result.plan
+
+    def test_top_is_construct(self):
+        assert isinstance(self.plan, ConstructOp)
+        assert self.plan.ctree.tag == "person"
+
+    def test_two_leaf_selects(self):
+        leaves = [
+            op
+            for op in ops_of(self.plan, SelectOp)
+            if op.apt.root.lc_ref is None
+        ]
+        assert len(leaves) == 2  # boxes 1 and 2
+
+    def test_two_extension_selects(self):
+        extensions = [
+            op
+            for op in ops_of(self.plan, SelectOp)
+            if op.apt.root.lc_ref is not None
+        ]
+        assert len(extensions) == 2  # boxes 8 and 9
+
+    def test_extension_edges_are_star(self):
+        for op in ops_of(self.plan, SelectOp):
+            if op.apt.root.lc_ref is not None:
+                assert op.apt.root.edges[0].mspec == "*"
+
+    def test_aggregate_and_filter_on_auction_branch(self):
+        aggregates = ops_of(self.plan, AggregateOp)
+        assert len(aggregates) == 1  # box 3
+        assert aggregates[0].fname == "count"
+        filters = ops_of(self.plan, FilterOp)
+        assert any(f.predicate.op == ">" and f.predicate.value == 5
+                   for f in filters)  # box 4
+
+    def test_join_with_value_predicate(self):
+        joins = ops_of(self.plan, JoinOp)
+        assert len(joins) == 1  # box 5
+        assert len(joins[0].predicates) == 1
+        assert joins[0].predicates[0].op == "="
+
+    def test_projection_keeps_vars_and_root(self):
+        projects = ops_of(self.plan, ProjectOp)
+        assert len(projects) == 1  # box 6
+        keep = set(projects[0].keep_lcls)
+        var_lcls = self.result.var_lcls
+        assert var_lcls["p"] in keep
+        assert var_lcls["o"] in keep
+        joins = ops_of(self.plan, JoinOp)
+        assert joins[0].root_lcl in keep
+
+    def test_nodeid_dedup_on_for_vars(self):
+        dedups = ops_of(self.plan, DedupOp)
+        assert len(dedups) == 1  # box 7
+        var_lcls = self.result.var_lcls
+        assert set(dedups[0].lcls) == {var_lcls["p"], var_lcls["o"]}
+
+    def test_selection2_has_two_bidder_nodes(self):
+        """Figure 7's Selection 2: bidder appears under * and under -."""
+        leaves = [
+            op
+            for op in ops_of(self.plan, SelectOp)
+            if op.apt.root.lc_ref is None
+        ]
+        auction_apt = next(
+            op.apt
+            for op in leaves
+            if any(
+                n.test.tag == "open_auction" for n in op.apt.nodes()
+            )
+        )
+        auction = next(
+            n for n in auction_apt.nodes()
+            if n.test.tag == "open_auction"
+        )
+        mspecs = sorted(
+            e.mspec for e in auction.edges if e.child.test.tag == "bidder"
+        )
+        assert mspecs == ["*", "-"]
+
+    def test_construct_pattern(self):
+        ctree = self.plan.ctree
+        assert ctree.attrs[0][0] == "name"
+        assert ctree.attrs[0][1].text_only
+        assert len(ctree.children) == 1
+
+
+class TestQ2PlanShape:
+    """The translated plan must have the Figure 8 structure."""
+
+    def setup_method(self):
+        self.result = translate_query(Q2)
+        self.plan = self.result.plan
+
+    def test_two_constructs(self):
+        constructs = ops_of(self.plan, ConstructOp)
+        tags = sorted(c.ctree.tag for c in constructs)
+        assert tags == ["myauction", "person"]  # boxes 8 and 14
+
+    def test_join_nests_with_star(self):
+        joins = ops_of(self.plan, JoinOp)
+        assert len(joins) == 1  # box 9
+        assert joins[0].right_mspec == "*"
+        assert joins[0].predicates[0].op == "="  # the deferred (7)=(9)
+
+    def test_every_filter_above_join(self):
+        filters = ops_of(self.plan, FilterOp)
+        every = [f for f in filters if f.mode == "E"]
+        assert len(every) == 1  # box 10
+        assert every[0].predicate.value == 2
+
+    def test_inner_projection_keeps_join_class(self):
+        """Figure 8: (9) survives Project 5 to participate in Join 9."""
+        joins = ops_of(self.plan, JoinOp)
+        join_pred = joins[0].predicates[0]
+        projects = ops_of(self.plan, ProjectOp)
+        inner_projects = [
+            p for p in projects if join_pred.right_lcl in p.keep_lcls
+        ]
+        assert inner_projects
+
+    def test_inner_construct_carries_join_class(self):
+        """Figure 8: Construct 8 splices (9) so Join 9 can read it."""
+        from repro.core import CClassRef
+
+        constructs = ops_of(self.plan, ConstructOp)
+        inner = next(
+            c for c in constructs if c.ctree.tag == "myauction"
+        )
+        join_pred = ops_of(self.plan, JoinOp)[0].predicates[0]
+        refs = [
+            c for c in inner.ctree.children
+            if isinstance(c, CClassRef) and c.lcl == join_pred.right_lcl
+        ]
+        assert refs and refs[0].hidden
+
+    def test_outer_return_resolves_into_inner_construct(self):
+        """$a/bidder resolves statically to the inner spliced class."""
+        from repro.core import CClassRef
+
+        outer = self.plan
+        splice = [
+            c for c in outer.ctree.children if isinstance(c, CClassRef)
+        ]
+        assert splice
+        tags = self.result.class_tags
+        assert tags.get(splice[0].lcl) == "bidder"
+
+
+class TestOtherForms:
+    def test_order_by_emits_sort(self):
+        plan = translate_query(
+            'FOR $i IN document("d")//item ORDER BY $i/location '
+            "RETURN <x>{$i/name/text()}</x>"
+        ).plan
+        assert len(ops_of(plan, SortOp)) == 1
+
+    def test_or_emits_tree_filter(self):
+        plan = translate_query(
+            'FOR $i IN document("d")//item '
+            'WHERE $i/@id = "a" OR $i/@id = "b" RETURN $i'
+        ).plan
+        assert len(ops_of(plan, TreeFilterOp)) == 1
+
+    def test_same_source_join_emits_tree_filter(self):
+        plan = translate_query(
+            'FOR $i IN document("d")//open_auction '
+            "WHERE $i/initial = $i/current RETURN $i"
+        ).plan
+        assert len(ops_of(plan, TreeFilterOp)) == 1
+        assert len(ops_of(plan, JoinOp)) == 0
+
+    def test_bare_variable_return(self):
+        from repro.core import CClassRef
+
+        plan = translate_query(
+            'FOR $i IN document("d")//item RETURN $i'
+        ).plan
+        assert isinstance(plan, ConstructOp)
+        assert isinstance(plan.ctree, CClassRef)
+
+    def test_aggregate_return(self):
+        plan = translate_query(
+            'FOR $s IN document("d")/site RETURN count($s//item)'
+        ).plan
+        assert len(ops_of(plan, AggregateOp)) == 1
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(TranslationError):
+            translate_query(
+                'FOR $a IN document("d")//x WHERE $b/y = 1 RETURN $a'
+            )
+
+    def test_let_path_uses_star_edges(self):
+        result = translate_query(
+            'FOR $a IN document("d")//x LET $l := $a/y RETURN <o>{$l}</o>'
+        )
+        leaves = [
+            op
+            for op in ops_of(result.plan, SelectOp)
+            if op.apt.root.lc_ref is None
+        ]
+        apt = leaves[0].apt
+        x_node = apt.root.edges[0].child
+        assert x_node.edges[0].mspec == "*"
+
+    def test_simple_predicate_lands_on_pattern_leaf(self):
+        result = translate_query(
+            'FOR $a IN document("d")//x WHERE $a/age > 25 RETURN $a'
+        )
+        leaves = [
+            op
+            for op in ops_of(result.plan, SelectOp)
+            if op.apt.root.lc_ref is None
+        ]
+        age = next(
+            n for n in leaves[0].apt.nodes() if n.test.tag == "age"
+        )
+        assert age.test.comparisons == ((">", 25),)

@@ -1,0 +1,146 @@
+"""Translator coverage for less common query shapes."""
+
+import pytest
+
+from repro.core import Context, JoinOp, SelectOp, evaluate
+from repro.errors import TranslationError
+from repro.storage import Database
+from repro.xquery import translate_query
+from tests.conftest import TINY_AUCTION
+
+
+def run(db, query):
+    return evaluate(translate_query(query).plan, Context(db))
+
+
+class TestVariableChaining:
+    def test_for_over_variable_path(self, tiny_db):
+        """FOR $b IN $o/bidder extends the same pattern tree."""
+        result = run(tiny_db, '''
+            FOR $o IN document("auction.xml")//open_auction
+            FOR $b IN $o/bidder
+            RETURN <i>{$b/increase/text()}</i>
+        ''')
+        assert len(result) == 4  # one per bidder
+        values = sorted(t.root.value for t in result)
+        assert values == ["1", "25", "3", "7"]
+
+    def test_chained_for_shares_one_select(self, tiny_db):
+        translation = translate_query('''
+            FOR $o IN document("auction.xml")//open_auction
+            FOR $b IN $o/bidder
+            RETURN <i>{$b/increase/text()}</i>
+        ''')
+        leaves = [
+            op
+            for op in translation.plan.walk()
+            if isinstance(op, SelectOp) and op.apt.root.lc_ref is None
+        ]
+        assert len(leaves) == 1
+        assert not any(
+            isinstance(op, JoinOp) for op in translation.plan.walk()
+        )
+
+    def test_let_path_binding(self, tiny_db):
+        result = run(tiny_db, '''
+            FOR $o IN document("auction.xml")//open_auction
+            LET $b := $o/bidder
+            RETURN <n>{count($b)}</n>
+        ''')
+        counts = sorted(t.root.value for t in result)
+        assert counts == ["0", "1", "3"]
+
+    def test_quantifier_var_reusable(self, tiny_db):
+        """The quantifier binds its variable for later clauses."""
+        result = run(tiny_db, '''
+            FOR $o IN document("auction.xml")//open_auction
+            WHERE SOME $i IN $o/bidder/increase SATISFIES $i > 20
+            RETURN <q>{$o/quantity/text()}</q>
+        ''')
+        assert len(result) == 1
+
+
+class TestMultipleDocuments:
+    def test_cross_document_join(self):
+        db = Database()
+        db.load_xml("auction.xml", TINY_AUCTION)
+        db.load_xml(
+            "vip.xml",
+            "<vips><vip ref='p3'/><vip ref='p9'/></vips>",
+        )
+        result = run(db, '''
+            FOR $p IN document("auction.xml")//person
+            FOR $v IN document("vip.xml")//vip
+            WHERE $p/@id = $v/@ref
+            RETURN <hit>{$p/name/text()}</hit>
+        ''')
+        assert [t.to_xml() for t in result] == ["<hit>Carol</hit>"]
+
+
+class TestNestedShapes:
+    def test_two_source_inner_block(self, tiny_db):
+        """The x9 shape: the nested query joins two sources itself."""
+        result = run(tiny_db, '''
+            FOR $p IN document("auction.xml")//person
+            LET $a := FOR $o IN document("auction.xml")//open_auction
+                      FOR $q IN document("auction.xml")//person
+                      WHERE $o/bidder//@person = $p/@id
+                        AND $q/@id = $o/bidder//@person
+                      RETURN <t/>
+            RETURN <n c={count($a)}>{$p/name/text()}</n>
+        ''')
+        assert len(result) == 3
+
+    def test_return_nested_flwor(self, tiny_db):
+        result = run(tiny_db, '''
+            FOR $p IN document("auction.xml")//person
+            RETURN <person name={$p/name/text()}>
+              {FOR $o IN document("auction.xml")//open_auction
+               WHERE $o/bidder//@person = $p/@id
+               RETURN <won>{$o/quantity/text()}</won>}
+            </person>
+        ''')
+        by_name = {
+            t.root.children[0].value: t for t in result
+        }
+        assert len(by_name["Alice"].root.children) == 2  # @name + 1 won
+        assert len(by_name["Bob"].root.children) == 1  # no auctions
+        assert len(by_name["Carol"].root.children) == 3
+
+    def test_correlated_inner_must_construct(self, tiny_db):
+        with pytest.raises(TranslationError):
+            translate_query('''
+                FOR $p IN document("auction.xml")//person
+                LET $a := FOR $o IN document("auction.xml")//open_auction
+                          WHERE $o/bidder//@person = $p/@id
+                          RETURN $o/quantity/text()
+                RETURN <n>{count($a)}</n>
+            ''')
+
+
+class TestDegenerateCases:
+    def test_no_where_clause(self, tiny_db):
+        result = run(tiny_db, '''
+            FOR $p IN document("auction.xml")//person RETURN $p/name
+        ''')
+        assert len(result) == 3
+
+    def test_missing_document(self, tiny_db):
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            run(tiny_db, 'FOR $p IN document("nope.xml")//x RETURN $p')
+
+    def test_path_matching_nothing(self, tiny_db):
+        result = run(tiny_db, '''
+            FOR $p IN document("auction.xml")//unicorn RETURN $p
+        ''')
+        assert len(result) == 0
+
+    def test_aggregate_attribute_value(self, tiny_db):
+        result = run(tiny_db, '''
+            FOR $o IN document("auction.xml")//open_auction
+            RETURN <r n={count($o/bidder)}/>
+        ''')
+        values = sorted(t.root.children[0].value for t in result)
+        assert values == ["0", "1", "3"]

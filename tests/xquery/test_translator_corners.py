@@ -1,0 +1,138 @@
+"""Translator coverage: OR with aggregates, quantifier paths, multi-key
+ORDER BY, LET over doc paths, and contains() end-to-end."""
+
+import pytest
+
+from repro.core import Context, evaluate
+from repro.errors import TranslationError
+from repro.xquery import translate_query
+from tests.conftest import canonical_sorted
+
+
+def run(db, query):
+    return evaluate(translate_query(query).plan, Context(db))
+
+
+class TestOrWithAggregates:
+    def test_or_of_simple_and_count(self, tiny_db):
+        result = run(tiny_db, '''
+            FOR $o IN document("auction.xml")//open_auction
+            WHERE count($o/bidder) > 2 OR $o/reserve > 100
+            RETURN <h>{$o/@id}</h>
+        ''')
+        # a1 via count=3, a2 via reserve=150
+        assert len(result) == 2
+
+    def test_or_three_disjuncts(self, tiny_db):
+        result = run(tiny_db, '''
+            FOR $o IN document("auction.xml")//open_auction
+            WHERE $o/@id = "a1" OR $o/@id = "a2" OR $o/@id = "a3"
+            RETURN <h/>
+        ''')
+        assert len(result) == 3
+
+    def test_or_then_and(self, tiny_db):
+        result = run(tiny_db, '''
+            FOR $o IN document("auction.xml")//open_auction
+            WHERE ($o/@id = "a1" OR $o/@id = "a2") AND $o/quantity > 1
+            RETURN <h>{$o/@id}</h>
+        ''')
+        assert len(result) == 1  # only a1 has quantity 5 > 1
+
+
+class TestQuantifierWithPath:
+    def test_every_with_extension_steps(self, tiny_db):
+        """EVERY $b IN $o/bidder SATISFIES $b/increase > 0 — the inner
+        predicate path extends from the quantified variable."""
+        result = run(tiny_db, '''
+            FOR $o IN document("auction.xml")//open_auction
+            WHERE EVERY $b IN $o/bidder SATISFIES $b/increase > 0
+            RETURN <q>{$o/@id}</q>
+        ''')
+        # all bidders everywhere have positive increases; a3 vacuous
+        assert len(result) == 3
+
+    def test_some_with_extension_steps(self, tiny_db):
+        result = run(tiny_db, '''
+            FOR $o IN document("auction.xml")//open_auction
+            WHERE SOME $b IN $o/bidder SATISFIES $b/increase > 20
+            RETURN <q>{$o/@id}</q>
+        ''')
+        assert len(result) == 1
+
+
+class TestOrderBy:
+    def test_multi_key_sort(self, tiny_db):
+        result = run(tiny_db, '''
+            FOR $o IN document("auction.xml")//open_auction
+            ORDER BY $o/quantity, $o/initial
+            RETURN <o q={$o/quantity/text()}/>
+        ''')
+        quantities = [t.root.children[0].value for t in result]
+        assert quantities == ["1", "2", "5"]
+
+    def test_order_by_variable_itself(self, tiny_db):
+        result = run(tiny_db, '''
+            FOR $q IN document("auction.xml")//quantity
+            ORDER BY $q Descending
+            RETURN <v>{$q/text()}</v>
+        ''')
+        values = [t.root.value for t in result]
+        assert values == ["5", "2", "1"]
+
+
+class TestLetOverDocPath:
+    def test_let_document_path(self, tiny_db):
+        result = run(tiny_db, '''
+            FOR $s IN document("auction.xml")/site
+            LET $b := $s//bidder
+            RETURN <total>{count($b)}</total>
+        ''')
+        assert len(result) == 1
+        assert result[0].root.value == "4"
+
+
+class TestContainsEndToEnd:
+    def test_contains_via_all_engines(self, tiny_engine):
+        query = (
+            'FOR $p IN document("auction.xml")//person '
+            'WHERE contains($p/name, "ob") RETURN $p/name'
+        )
+        reference = canonical_sorted(tiny_engine.run(query))
+        assert len(reference) == 1  # Bob
+        for engine in ("gtp", "tax", "nav"):
+            assert reference == canonical_sorted(
+                tiny_engine.run(query, engine=engine)
+            )
+
+    def test_contains_skips_value_index(self, tiny_db):
+        """contains cannot use the value index; the matcher must scan."""
+        result = run(tiny_db, '''
+            FOR $p IN document("auction.xml")//person
+            WHERE contains($p/@id, "p")
+            RETURN $p/name
+        ''')
+        assert len(result) == 3
+
+
+class TestErrors:
+    def test_order_by_outer_variable_rejected(self, tiny_db):
+        with pytest.raises(TranslationError):
+            translate_query('''
+                FOR $p IN document("auction.xml")//person
+                LET $a := FOR $o IN document("auction.xml")//open_auction
+                          WHERE $o/bidder//@person = $p/@id
+                          ORDER BY $p/name
+                          RETURN <t/>
+                RETURN <r>{count($a)}</r>
+            ''')
+
+    def test_correlated_simple_predicate_rejected(self, tiny_db):
+        with pytest.raises(TranslationError):
+            translate_query('''
+                FOR $p IN document("auction.xml")//person
+                LET $a := FOR $o IN document("auction.xml")//open_auction
+                          WHERE $p/name = "Alice"
+                          RETURN <t/>
+                RETURN <r>{count($a)}</r>
+            ''')
