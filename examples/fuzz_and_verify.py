@@ -7,6 +7,11 @@ other's oracle.  This example generates random fragment queries with the
 schema-aware fuzzer and verifies content-identical results everywhere —
 the same harness the integration test suite uses, here as a runnable
 tool (`--n` and `--seed` to widen the sweep).
+
+Every fuzzed TLC plan is additionally run through the static LC-flow
+analyzer, both as translated and after the Section 4 rewrites: a
+translator or rewrite bug that breaks a logical-class invariant fails
+the sweep even when all four engines happen to agree on the result.
 """
 
 from __future__ import annotations
@@ -15,11 +20,28 @@ import argparse
 import sys
 
 from repro import Engine
+from repro.rewrites.pipeline import optimize_plan
 from repro.xquery.fuzz import QueryFuzzer
+from repro.xquery.translator import translate_query
 
 
 def canonical(sequence) -> list:
     return sorted(repr(t.canonical(True)) for t in sequence)
+
+
+def lint_both(query: str) -> list:
+    """Lint the plan pre- and post-rewrite; returns rendered errors."""
+    problems = []
+    translation = translate_query(query)
+    for stage, result in (
+        ("plan", translation),
+        ("plan+opt", optimize_plan(translation, verify=False)),
+    ):
+        report = result.lint()
+        for diagnostic in report.diagnostics:
+            if diagnostic.is_error:
+                problems.append(f"{stage}: {diagnostic.render()}")
+    return problems
 
 
 def main() -> int:
@@ -40,6 +62,12 @@ def main() -> int:
     failures = 0
     for number in range(1, args.n + 1):
         query = fuzzer.query()
+        lint_errors = lint_both(query)
+        if lint_errors:
+            failures += 1
+            print(f"  [{number:2d}] LINT FAILED")
+            for problem in lint_errors:
+                print("       ", problem)
         reference = canonical(engine.run(query, engine="tlc"))
         verdicts = []
         for name in ("gtp", "tax", "nav"):
@@ -63,8 +91,8 @@ def main() -> int:
             for line in query.splitlines():
                 print("       ", line)
     print(
-        f"\n{args.n} queries × 4 engines + rewrites: "
-        f"{'all agree' if failures == 0 else f'{failures} divergences!'}"
+        f"\n{args.n} queries × 4 engines + rewrites + lint: "
+        f"{'all agree' if failures == 0 else f'{failures} failures!'}"
     )
     return 1 if failures else 0
 

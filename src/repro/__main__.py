@@ -7,7 +7,9 @@ Commands:
 * ``query``    — run an XQuery (from a file or inline) against a document,
   under any engine, optionally with the Section 4 rewrites;
 * ``bench``    — regenerate one of the paper's figures;
-* ``explain``  — print the algebraic plan for a query.
+* ``explain``  — print the algebraic plan for a query;
+* ``lint``     — statically check a query's TLC plan with the LC-flow
+  analyzer (no document needed; exits 1 on error diagnostics).
 """
 
 from __future__ import annotations
@@ -87,13 +89,39 @@ def cmd_explain(args: argparse.Namespace) -> int:
     engine = _open_engine(args.document)
     query = _read_query(args)
     translation = engine.plan(query, args.engine, args.optimize)
-    if getattr(args, "dot", False):
+    if getattr(args, "lint", False):
+        if args.engine != "tlc":
+            raise ReproError(
+                "--lint needs LC-flow metadata, which only the tlc "
+                "engine's operators carry"
+            )
+        from .analysis import lint_plan
+
+        print(lint_plan(translation.plan).annotated_plan())
+    elif getattr(args, "dot", False):
         from .core.visualize import plan_to_dot
 
         print(plan_to_dot(translation.plan))
     else:
         print(translation.explain())
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .rewrites.pipeline import optimize_plan
+    from .xquery.translator import translate_query
+
+    if args.inline_query and (args.query or args.query_file):
+        raise ReproError("give the query either inline or via -q/-f")
+    query = args.inline_query or _read_query(args)
+    translation = translate_query(query)
+    if args.optimize:
+        # verify=False: lint reports what the rewrites produced instead
+        # of aborting on the first step that breaks the plan
+        translation = optimize_plan(translation, verify=False)
+    report = translation.lint()
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -165,7 +193,28 @@ def build_parser() -> argparse.ArgumentParser:
                 "--dot", action="store_true",
                 help="emit Graphviz DOT instead of the text rendering",
             )
+            command.add_argument(
+                "--lint", action="store_true",
+                help="annotate each operator with its LC-flow "
+                "(produced/consumed/live classes) and any diagnostics",
+            )
         command.set_defaults(func=func)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check a query's TLC plan without running it",
+    )
+    lint.add_argument(
+        "inline_query", nargs="?", default=None, metavar="query",
+        help="the XQuery text (or use -q/-f/stdin)",
+    )
+    lint.add_argument("-q", "--query", help="inline query text")
+    lint.add_argument("-f", "--query-file", help="query file")
+    lint.add_argument(
+        "-O", "--optimize", action="store_true",
+        help="lint the plan after the Section 4 rewrites",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     bench = sub.add_parser("bench", help="regenerate a paper figure")
     bench.add_argument("figure", choices=("15", "16", "17"))

@@ -1,0 +1,57 @@
+"""Static LC-flow analysis of TLC plans.
+
+``analyze(plan)`` walks an operator DAG bottom-up — without executing it
+— and computes, for every edge, the environment of live logical classes
+with provenance.  The rules in :mod:`.rules` check the invariants the
+algebra relies on (closed label references, unique allocation,
+shadow/illuminate pairing, Flatten nesting, join sidedness, well-formed
+parameters) and report typed :class:`Diagnostic` findings.
+
+``lint_plan(plan)`` is the convenience entry point used by the engine's
+strict mode, the rewrite pipeline's per-step verification, and the
+``python -m repro lint`` CLI.
+"""
+
+from __future__ import annotations
+
+from ..core.base import Operator
+from .diagnostics import (
+    BAD_FLATTEN_SITE,
+    CATALOG,
+    DEAD_CLASS,
+    DUPLICATE_LABEL,
+    JOIN_SIDE_MISMATCH,
+    MALFORMED_OPERATOR,
+    SHADOWED_REF,
+    UNDEFINED_REF,
+    Diagnostic,
+    Severity,
+)
+from .environment import ClassInfo, LCEnv
+from .report import AnalysisReport
+from .visitor import PlanAnalysis, analyze
+
+
+def lint_plan(plan: Operator) -> AnalysisReport:
+    """Analyze ``plan`` and package the result for display."""
+    return AnalysisReport(analyze(plan))
+
+
+__all__ = [
+    "AnalysisReport",
+    "BAD_FLATTEN_SITE",
+    "CATALOG",
+    "ClassInfo",
+    "DEAD_CLASS",
+    "DUPLICATE_LABEL",
+    "Diagnostic",
+    "JOIN_SIDE_MISMATCH",
+    "LCEnv",
+    "MALFORMED_OPERATOR",
+    "PlanAnalysis",
+    "SHADOWED_REF",
+    "Severity",
+    "UNDEFINED_REF",
+    "analyze",
+    "lint_plan",
+]

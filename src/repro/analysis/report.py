@@ -1,0 +1,90 @@
+"""Human-readable rendering of an analysis: lint reports, annotated plans."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.base import Operator
+from .diagnostics import Diagnostic
+from .visitor import PlanAnalysis
+
+
+@dataclass
+class AnalysisReport:
+    """A :class:`PlanAnalysis` packaged for display."""
+
+    analysis: PlanAnalysis
+
+    @property
+    def ok(self) -> bool:
+        return self.analysis.ok
+
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        return self.analysis.diagnostics
+
+    def render(self) -> str:
+        """The lint report: one line per diagnostic plus a summary."""
+        lines = [d.render() for d in self.analysis.diagnostics]
+        errors = len(self.analysis.errors)
+        warnings = len(self.analysis.warnings)
+        if not lines:
+            lines.append("plan is clean: no diagnostics")
+        else:
+            lines.append(
+                f"{errors} error{'s' if errors != 1 else ''}, "
+                f"{warnings} warning{'s' if warnings != 1 else ''}"
+            )
+        return "\n".join(lines)
+
+    def annotated_plan(self) -> str:
+        """The plan rendered like ``Operator.describe`` with LC-flow notes.
+
+        Each operator line is suffixed with the labels it produces and
+        consumes plus the live environment on its output edge, and any
+        diagnostics anchored to it are listed beneath it.
+        """
+        by_op: Dict[int, List[Diagnostic]] = {}
+        for diag in self.analysis.diagnostics:
+            if diag.op_id is not None:
+                by_op.setdefault(diag.op_id, []).append(diag)
+
+        lines: List[str] = []
+        seen: Dict[int, bool] = {}
+
+        def visit(op: Operator, depth: int) -> None:
+            pad = "  " * depth
+            params = op.params()
+            head = f"{pad}{op.name} {params}" if params else f"{pad}{op.name}"
+            notes = []
+            produced = sorted(op.lc_produced())
+            consumed = sorted(op.lc_consumed())
+            if produced:
+                notes.append(f"+{produced}")
+            if consumed:
+                notes.append(f"reads {consumed}")
+            env = self.analysis.env_out.get(id(op))
+            if env is not None:
+                live = sorted(env.labels())
+                notes.append(f"live {live}")
+                if env.shadowed:
+                    notes.append(f"shadowed {sorted(env.shadowed)}")
+            if notes:
+                head += "   # " + " ".join(notes)
+            if id(op) in seen:
+                lines.append(head + "  (shared)")
+                return
+            seen[id(op)] = True
+            lines.append(head)
+            for diag in by_op.get(id(op), ()):
+                marker = "!!" if diag.is_error else "??"
+                lines.append(
+                    f"{pad}  {marker} {diag.code} {diag.severity}: "
+                    f"{diag.message}"
+                )
+            for child in op.inputs:
+                visit(child, depth + 1)
+
+        visit(self.analysis.plan, 0)
+        return "\n".join(lines)

@@ -384,9 +384,10 @@ class BaselineBlock:
             return
         if left_src == right_src:
             predicate = cross_class_predicate(left_lcl, expr.op, right_lcl)
+            refs = [left_lcl, right_lcl]
             self.post_join.append(
-                lambda top, p=predicate: TreeFilterOp(
-                    p, f"({left_lcl}) {expr.op} ({right_lcl})", top
+                lambda top, p=predicate, r=refs: TreeFilterOp(
+                    p, f"({left_lcl}) {expr.op} ({right_lcl})", top, lcls=r
                 )
             )
             return
@@ -462,8 +463,11 @@ class BaselineBlock:
             )
         predicate = disjunctive_predicate(class_preds)
         label = " or ".join(p.describe() for p in class_preds)
+        refs = [p.lcl for p in class_preds]
         self.post_join.append(
-            lambda top, p=predicate, lab=label: TreeFilterOp(p, lab, top)
+            lambda top, p=predicate, lab=label, r=refs: TreeFilterOp(
+                p, lab, top, lcls=r
+            )
         )
 
     # ------------------------------------------------------------------

@@ -83,5 +83,11 @@ class AggregateOp(Operator):
             out.append(copy)
         return out
 
+    def lc_produced(self):
+        return {self.new_lcl} if self.new_lcl else set()
+
+    def lc_consumed(self):
+        return {self.lcl}
+
     def params(self) -> str:
         return f"{self.fname}(({self.lcl})) -> ({self.new_lcl})"

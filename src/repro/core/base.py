@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from ..model.sequence import TreeSequence
 from ..model.tree import TNode, XTree
@@ -48,6 +48,20 @@ class Operator(ABC):
         self, ctx: Context, inputs: List[TreeSequence]
     ) -> TreeSequence:
         """Produce this operator's output from already-evaluated inputs."""
+
+    def lc_produced(self) -> Set[int]:
+        """Logical class labels this operator introduces into its output.
+
+        The static counterpart of the paper's "each operator names the
+        nodes it touches via LC labels": a Select produces the labels of
+        its pattern nodes, an Aggregate its fresh result label, and so on.
+        Label 0 is the "unlabelled" sentinel and is never reported.
+        """
+        return set()
+
+    def lc_consumed(self) -> Set[int]:
+        """Logical class labels this operator reads from its input trees."""
+        return set()
 
     def params(self) -> str:
         """One-line parameter description for plan explainers."""

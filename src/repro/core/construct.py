@@ -193,7 +193,35 @@ class ConstructOp(Operator):
                 copy.shadowed = True
             yield copy
 
+    def lc_produced(self):
+        return {lcl for lcl in construct_defined(self.ctree) if lcl}
+
+    def lc_consumed(self):
+        return {ref.lcl for ref in construct_refs(self.ctree)}
+
     def params(self) -> str:
         if isinstance(self.ctree, CClassRef):
             return f"splice {self.ctree.describe()}"
         return f"<{self.ctree.tag}> lcl={self.ctree.lcl}"
+
+
+def construct_refs(spec):
+    """All :class:`CClassRef` nodes of a construct pattern, in pre-order."""
+    if isinstance(spec, CClassRef):
+        yield spec
+        return
+    if isinstance(spec, CElement):
+        for _, value in spec.attrs:
+            if isinstance(value, CClassRef):
+                yield value
+        for child in spec.children:
+            yield from construct_refs(child)
+
+
+def construct_defined(spec):
+    """All element class labels a construct pattern allocates, in pre-order."""
+    if isinstance(spec, CElement):
+        if spec.lcl:
+            yield spec.lcl
+        for child in spec.children:
+            yield from construct_defined(child)

@@ -61,6 +61,9 @@ class DedupOp(Operator):
                 out.append(tree)
         return out
 
+    def lc_consumed(self):
+        return set(self.lcls)
+
     def params(self) -> str:
         overrides = "".join(
             f" ({lcl}:{basis})" for lcl, basis in sorted(self.bases.items())

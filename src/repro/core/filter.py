@@ -62,6 +62,9 @@ class FilterOp(Operator):
                 out.append(tree)
         return out
 
+    def lc_consumed(self):
+        return {self.predicate.lcl}
+
     def params(self) -> str:
         return f"{self.mode} {self.predicate.describe()}"
 
@@ -72,15 +75,27 @@ class TreeFilterOp(Operator):
     Used for predicate forms that fall outside ``F[LCL, p, m]``'s
     single-class shape: value comparisons between two classes of the same
     tree, and disjunctions over several classes (the OR translation).  The
-    ``label`` names the predicate in plan explanations.
+    ``label`` names the predicate in plan explanations; ``lcls`` declares
+    which classes the opaque predicate reads so that static analysis and
+    the rewrite detectors can account for them.
     """
 
     name = "TreeFilter"
 
-    def __init__(self, predicate, label: str, input_op: Operator = None):
+    def __init__(
+        self,
+        predicate,
+        label: str,
+        input_op: Operator = None,
+        lcls=(),
+    ):
         super().__init__([input_op] if input_op is not None else [])
         self.predicate = predicate
         self.label = label
+        self.lcls = list(lcls)
+
+    def lc_consumed(self):
+        return set(self.lcls)
 
     def execute(
         self, ctx: Context, inputs: List[TreeSequence]

@@ -63,5 +63,8 @@ class FlattenOp(Operator):
                 ctx.metrics.trees_built += 1
         return out
 
+    def lc_consumed(self):
+        return {self.parent_lcl, self.child_lcl}
+
     def params(self) -> str:
         return f"({self.parent_lcl}, {self.child_lcl})"

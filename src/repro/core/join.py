@@ -164,6 +164,16 @@ class JoinOp(Operator):
             root.add_child(right.root.clone())
         return XTree(root)
 
+    def lc_produced(self):
+        return {self.root_lcl} if self.root_lcl else set()
+
+    def lc_consumed(self):
+        out = set()
+        for pred in self.predicates:
+            out.add(pred.left_lcl)
+            out.add(pred.right_lcl)
+        return out
+
     def params(self) -> str:
         preds = ", ".join(p.describe() for p in self.predicates) or "cartesian"
         return f"[{preds}] mspec={self.right_mspec!r} root_lcl={self.root_lcl}"

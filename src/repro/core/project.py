@@ -120,6 +120,9 @@ class ProjectOp(Operator):
                 collected.extend(self._descend(ctx, child, keep))
         return collected
 
+    def lc_consumed(self):
+        return set(self.keep_lcls)
+
     def params(self) -> str:
         kind = " +subtrees" if self.with_subtrees else ""
         return f"keep {sorted(self.keep_lcls)}{kind}"

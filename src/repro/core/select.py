@@ -50,6 +50,13 @@ class SelectOp(Operator):
             out.extend(match_in_tree(self.apt, tree))
         return out
 
+    def lc_produced(self):
+        return {lcl for lcl in self.apt.lcls() if lcl}
+
+    def lc_consumed(self):
+        ref = self.apt.root.lc_ref
+        return {ref} if ref is not None else set()
+
     def params(self) -> str:
         root = self.apt.root
         if root.lc_ref is not None:

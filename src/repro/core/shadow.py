@@ -57,6 +57,9 @@ class ShadowOp(Operator):
                 ctx.metrics.trees_built += 1
         return out
 
+    def lc_consumed(self):
+        return {self.parent_lcl, self.child_lcl}
+
     def params(self) -> str:
         return f"({self.parent_lcl}, {self.child_lcl})"
 
@@ -81,6 +84,9 @@ class IlluminateOp(Operator):
             copy.invalidate()
             out.append(copy)
         return out
+
+    def lc_consumed(self):
+        return {self.lcl}
 
     def params(self) -> str:
         return f"({self.lcl})"

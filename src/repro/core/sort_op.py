@@ -46,6 +46,9 @@ class SortOp(Operator):
             metrics=ctx.metrics,
         )
 
+    def lc_consumed(self):
+        return set(self.lcls)
+
     def params(self) -> str:
         mode = "desc" if self.descending else "asc"
         return f"by {self.lcls} {mode}"

@@ -45,6 +45,9 @@ class UnionOp(Operator):
                 out.append(tree)
         return out
 
+    def lc_consumed(self):
+        return {self.dedup_lcl} if self.dedup_lcl is not None else set()
+
     def params(self) -> str:
         if self.dedup_lcl is None:
             return ""

@@ -31,6 +31,18 @@ from .xquery.translator import TranslationResult, translate_query
 ENGINES = ("tlc", "tax", "gtp", "nav")
 
 
+def _validate_plan(plan: Operator) -> None:
+    """Lint a TLC plan, raising on error-severity diagnostics."""
+    from .analysis import analyze
+    from .errors import PlanValidationError
+
+    analysis = analyze(plan)
+    if not analysis.ok:
+        raise PlanValidationError(
+            "plan failed static LC-flow validation", analysis.errors
+        )
+
+
 class Engine:
     """A database plus the four query evaluation strategies of Section 6."""
 
@@ -86,8 +98,16 @@ class Engine:
         query: str,
         engine: str = "tlc",
         optimize: bool = False,
+        strict: bool = False,
     ) -> TreeSequence:
-        """Evaluate a query and return the result forest."""
+        """Evaluate a query and return the result forest.
+
+        With ``strict`` the TLC plan is linted by the static LC-flow
+        analyzer before execution and a
+        :class:`~repro.errors.PlanValidationError` is raised when any
+        error-severity diagnostic is found.  The baseline algebras do not
+        carry LC-flow metadata, so ``strict`` applies to ``tlc`` only.
+        """
         if engine not in ENGINES:
             raise ReproError(
                 f"unknown engine {engine!r}; choose one of {ENGINES}"
@@ -97,10 +117,14 @@ class Engine:
                 raise ReproError("rewrites do not apply to navigation")
             return NavEvaluator(self.db).run(query)
         translation = self.plan(query, engine, optimize)
-        return evaluate(translation.plan, Context(self.db))
+        return self.run_plan(
+            translation.plan, strict=strict and engine == "tlc"
+        )
 
-    def run_plan(self, plan: Operator) -> TreeSequence:
+    def run_plan(self, plan: Operator, strict: bool = False) -> TreeSequence:
         """Evaluate an already-built plan against this engine's database."""
+        if strict:
+            _validate_plan(plan)
         return evaluate(plan, Context(self.db))
 
     # ------------------------------------------------------------------

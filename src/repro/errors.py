@@ -76,3 +76,18 @@ class RewriteError(ReproError):
 
 class EvaluationError(ReproError):
     """Raised when plan evaluation fails at runtime."""
+
+
+class PlanValidationError(ReproError):
+    """Raised when the static LC-flow analyzer rejects a plan.
+
+    Carries the list of :class:`repro.analysis.Diagnostic` findings that
+    caused the rejection in :attr:`diagnostics` (errors and warnings; at
+    least one has error severity, or the plan would not have been
+    rejected).
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        rendered = "".join(f"\n  {d.render()}" for d in diagnostics)
+        super().__init__(f"{message}{rendered}")
+        self.diagnostics = list(diagnostics)

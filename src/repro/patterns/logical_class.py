@@ -4,29 +4,54 @@ The paper assigns each logical class a label (LCL) that is "a unique number
 associated with each tree" — in practice the translator allocates labels
 globally per plan (Figure 6 keeps a single ``LCLCounter``), which trivially
 guarantees per-tree uniqueness.  We follow the same scheme.
+
+``fork()`` hands out an allocator that *shares* the counter with its
+parent: a translator building a sub-plan (a nested FLWR block, a
+disjunction branch) can allocate through the fork without any risk of
+reusing a label the parent — or a sibling fork — already handed out.
+Duplicate labels across sub-plans that later merge are exactly the bug
+class the static analyzer reports as LC102.
 """
 
 from __future__ import annotations
 
+from typing import List, Optional
+
 
 class LCLAllocator:
-    """Monotonic allocator of logical class labels, starting at 1."""
+    """Monotonic allocator of logical class labels, starting at 1.
 
-    def __init__(self, start: int = 1) -> None:
-        self._next = start
+    All forks of an allocator share one counter, so labels are unique
+    across the whole family no matter which member allocates.
+    """
+
+    def __init__(
+        self, start: int = 1, _cell: Optional[List[int]] = None
+    ) -> None:
+        # the counter lives in a shared one-element list so forks see
+        # every allocation immediately
+        self._cell = _cell if _cell is not None else [start]
 
     def allocate(self) -> int:
         """Return a fresh label."""
-        label = self._next
-        self._next += 1
+        label = self._cell[0]
+        self._cell[0] = label + 1
         return label
 
     def reserve(self, label: int) -> None:
         """Ensure future allocations stay above an externally chosen label."""
-        if label >= self._next:
-            self._next = label + 1
+        if label >= self._cell[0]:
+            self._cell[0] = label + 1
+
+    def fork(self) -> "LCLAllocator":
+        """An allocator for an independently built sub-plan.
+
+        The fork draws from the same counter, so labels allocated through
+        it can never collide with the parent's or another fork's.
+        """
+        return LCLAllocator(_cell=self._cell)
 
     @property
     def high_water(self) -> int:
         """The next label that would be allocated."""
-        return self._next
+        return self._cell[0]

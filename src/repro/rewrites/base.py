@@ -7,7 +7,7 @@ the operator tree (parent links, chain extraction, label renames).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, List, Set
 
 from ..core.aggregate import AggregateOp
 from ..core.base import Operator
@@ -24,70 +24,17 @@ from ..core.union import UnionOp
 
 
 def used_lcls(op: Operator) -> Set[int]:
-    """Classes whose members this operator reads."""
-    if isinstance(op, FilterOp):
-        return {op.predicate.lcl}
-    if isinstance(op, TreeFilterOp):
-        return set()  # opaque predicate: treated as using nothing known
-    if isinstance(op, JoinOp):
-        out: Set[int] = set()
-        for pred in op.predicates:
-            out.add(pred.left_lcl)
-            out.add(pred.right_lcl)
-        return out
-    if isinstance(op, ProjectOp):
-        return set(op.keep_lcls)
-    if isinstance(op, DedupOp):
-        return set(op.lcls)
-    if isinstance(op, AggregateOp):
-        return {op.lcl}
-    if isinstance(op, SortOp):
-        return set(op.lcls)
-    if isinstance(op, (FlattenOp, ShadowOp)):
-        return {op.parent_lcl, op.child_lcl}
-    if isinstance(op, IlluminateOp):
-        return {op.lcl}
-    if isinstance(op, SelectOp):
-        ref = op.apt.root.lc_ref
-        return {ref} if ref is not None else set()
-    if isinstance(op, ConstructOp):
-        return set(_construct_refs(op.ctree))
-    if isinstance(op, UnionOp):
-        return {op.dedup_lcl} if op.dedup_lcl is not None else set()
-    return set()
+    """Classes whose members this operator reads.
+
+    Thin wrapper over the :meth:`Operator.lc_consumed` protocol, kept as a
+    function because the rewrite detectors predate the protocol.
+    """
+    return op.lc_consumed()
 
 
 def defined_lcls(op: Operator) -> Set[int]:
-    """Classes this operator introduces."""
-    if isinstance(op, AggregateOp):
-        return {op.new_lcl}
-    if isinstance(op, SelectOp):
-        return set(op.apt.lcls())
-    if isinstance(op, JoinOp):
-        return {op.root_lcl} if op.root_lcl else set()
-    if isinstance(op, ConstructOp):
-        return set(_construct_defs(op.ctree))
-    return set()
-
-
-def _construct_refs(spec) -> Iterator[int]:
-    if isinstance(spec, CClassRef):
-        yield spec.lcl
-        return
-    if isinstance(spec, CElement):
-        for _, value in spec.attrs:
-            if isinstance(value, CClassRef):
-                yield value.lcl
-        for child in spec.children:
-            yield from _construct_refs(child)
-
-
-def _construct_defs(spec) -> Iterator[int]:
-    if isinstance(spec, CElement):
-        if spec.lcl:
-            yield spec.lcl
-        for child in spec.children:
-            yield from _construct_defs(child)
+    """Classes this operator introduces (``Operator.lc_produced``)."""
+    return op.lc_produced()
 
 
 def parent_map(root: Operator) -> Dict[int, Operator]:
@@ -148,6 +95,21 @@ def rename_lcl(op: Operator, old: int, new: int) -> None:
             op.apt.root.lc_ref = new
     elif isinstance(op, ConstructOp):
         _rename_in_construct(op.ctree, old, new)
+    elif isinstance(op, TreeFilterOp):
+        # the predicate closure itself is opaque and cannot be renamed;
+        # keeping the declared class list current preserves the analysis
+        op.lcls = [new if l == old else l for l in op.lcls]
+    elif isinstance(op, (FlattenOp, ShadowOp)):
+        if op.parent_lcl == old:
+            op.parent_lcl = new
+        if op.child_lcl == old:
+            op.child_lcl = new
+    elif isinstance(op, IlluminateOp):
+        if op.lcl == old:
+            op.lcl = new
+    elif isinstance(op, UnionOp):
+        if op.dedup_lcl == old:
+            op.dedup_lcl = new
 
 
 def _rename_in_construct(spec, old: int, new: int) -> None:

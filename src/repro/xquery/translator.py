@@ -87,6 +87,15 @@ class TranslationResult:
         """Readable plan rendering."""
         return self.plan.describe()
 
+    def lint(self):
+        """Run the static LC-flow analyzer over this plan.
+
+        Returns a :class:`repro.analysis.AnalysisReport`.
+        """
+        from ..analysis import lint_plan  # local import: avoids a cycle
+
+        return lint_plan(self.plan)
+
 
 # ----------------------------------------------------------------------
 # sources
@@ -146,7 +155,9 @@ class _Block:
         self.translator = translator
         self.flwor = flwor
         self.parent = parent
-        self.lcls = translator.lcls
+        # a fork shares the translator's counter: labels allocated while
+        # building this block can never collide with a sibling block's
+        self.lcls = translator.lcls.fork()
         self.class_tags = translator.class_tags
         self.sources: List[Union[_DocSource, _FlworSource]] = []
         self.bindings: Dict[str, _Binding] = {}
@@ -354,8 +365,11 @@ class _Block:
         if left_src == right_src:
             predicate = cross_class_predicate(left_lcl, expr.op, right_lcl)
             label = f"({left_lcl}) {expr.op} ({right_lcl})"
+            refs = [left_lcl, right_lcl]
             self.post_join.append(
-                lambda top, p=predicate, lab=label: TreeFilterOp(p, lab, top)
+                lambda top, p=predicate, lab=label, r=refs: TreeFilterOp(
+                    p, lab, top, lcls=r
+                )
             )
             return
         self.join_preds.append(
@@ -475,8 +489,11 @@ class _Block:
                 )
         predicate = disjunctive_predicate(class_preds)
         label = " or ".join(p.describe() for p in class_preds)
+        refs = [p.lcl for p in class_preds]
         self.post_join.append(
-            lambda top, p=predicate, lab=label: TreeFilterOp(p, lab, top)
+            lambda top, p=predicate, lab=label, r=refs: TreeFilterOp(
+                p, lab, top, lcls=r
+            )
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,103 @@
+"""Unit tests for the LC-flow environment and its merge semantics."""
+
+from repro.analysis.environment import (
+    ClassInfo,
+    LCEnv,
+    merge_join,
+    merge_union,
+)
+
+
+def info(label, producer=1, parent=None, known=False, origin="select"):
+    return ClassInfo(
+        label,
+        producer,
+        f"op{producer}",
+        origin,
+        parent_label=parent,
+        parent_known=known,
+    )
+
+
+class TestLCEnv:
+    def test_basic_queries(self):
+        env = LCEnv({1: info(1), 2: info(2, parent=1, known=True)})
+        assert env.has(1) and env.has(2) and not env.has(3)
+        assert env.labels() == {1, 2}
+        assert env.info(2).parent_label == 1
+        assert env.info(99) is None
+
+    def test_copy_is_independent(self):
+        env = LCEnv({1: info(1)}, frozenset({1}))
+        clone = env.copy()
+        clone.classes[2] = info(2)
+        clone.shadowed = frozenset()
+        assert not env.has(2)
+        assert env.shadowed == frozenset({1})
+
+    def test_descendants_transitive(self):
+        env = LCEnv(
+            {
+                1: info(1),
+                2: info(2, parent=1, known=True),
+                3: info(3, parent=2, known=True),
+                4: info(4, parent=None),
+            }
+        )
+        assert {i.label for i in env.descendants_of(1)} == {2, 3}
+        assert {i.label for i in env.descendants_of(2)} == {3}
+        assert env.descendants_of(4) == []
+
+    def test_descendants_cycle_guard(self):
+        # a provenance cycle must not hang the walk
+        env = LCEnv(
+            {
+                1: info(1, parent=2, known=True),
+                2: info(2, parent=1, known=True),
+            }
+        )
+        assert {i.label for i in env.descendants_of(1)} == {2}
+
+    def test_reparented(self):
+        original = info(5, parent=1, known=True)
+        moved = original.reparented(9)
+        assert moved.parent_label == 9 and moved.parent_known
+        assert original.parent_label == 1  # frozen: copy, not mutation
+
+
+class TestMerges:
+    def test_join_merge_disjoint(self):
+        env, conflicts = merge_join(
+            LCEnv({1: info(1)}), LCEnv({2: info(2, producer=2)})
+        )
+        assert env.labels() == {1, 2}
+        assert conflicts == []
+
+    def test_join_merge_shared_subplan_is_clean(self):
+        shared = info(1, producer=7)
+        _, conflicts = merge_join(LCEnv({1: shared}), LCEnv({1: shared}))
+        assert conflicts == []
+
+    def test_join_merge_conflict(self):
+        _, conflicts = merge_join(
+            LCEnv({1: info(1, producer=7)}), LCEnv({1: info(1, producer=8)})
+        )
+        assert len(conflicts) == 1
+        existing, incoming = conflicts[0]
+        assert (existing.producer, incoming.producer) == (7, 8)
+
+    def test_join_merge_unions_shadows(self):
+        env, _ = merge_join(
+            LCEnv({1: info(1)}, frozenset({1})),
+            LCEnv({2: info(2, producer=2)}, frozenset({2})),
+        )
+        assert env.shadowed == frozenset({1, 2})
+
+    def test_union_merge_never_conflicts(self):
+        env = merge_union(
+            [
+                LCEnv({1: info(1, producer=7)}),
+                LCEnv({1: info(1, producer=8)}),
+            ]
+        )
+        assert env.info(1).producer == 7  # first branch wins

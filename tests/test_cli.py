@@ -114,3 +114,49 @@ class TestExplainDot:
         assert code == 0
         assert out.startswith("digraph plan {")
         assert "Construct" in out
+
+
+class TestLint:
+    def test_lint_positional_query(self, capsys):
+        code = main(["lint", QUERY])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_query_flag_and_optimize(self, capsys):
+        for extra in ([], ["-O"]):
+            code = main(["lint", "-q", QUERY] + extra)
+            assert code == 0
+            assert "clean" in capsys.readouterr().out
+
+    def test_lint_query_file(self, tmp_path, capsys):
+        query_path = tmp_path / "q.xq"
+        query_path.write_text(QUERY)
+        assert main(["lint", "-f", str(query_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_needs_no_document(self, capsys):
+        # lint is purely static: no document argument anywhere
+        assert main(["lint", QUERY]) == 0
+        capsys.readouterr()
+
+    def test_lint_rejects_double_query(self, capsys):
+        assert main(["lint", QUERY, "-q", QUERY]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_lint_syntax_error_exits_nonzero(self, capsys):
+        assert main(["lint", "NOT A QUERY"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_explain_lint_annotates_flow(self, xml_file, capsys):
+        code = main(["explain", xml_file, "-q", QUERY, "--lint"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "live [" in out
+        assert "reads [" in out
+
+    def test_explain_lint_is_tlc_only(self, xml_file, capsys):
+        code = main(
+            ["explain", xml_file, "-q", QUERY, "-e", "gtp", "--lint"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
