@@ -9,7 +9,10 @@ Commands:
 * ``bench``    — regenerate one of the paper's figures;
 * ``explain``  — print the algebraic plan for a query;
 * ``lint``     — statically check a query's TLC plan with the LC-flow
-  analyzer (no document needed; exits 1 on error diagnostics).
+  analyzer (no document needed; exits 1 on error diagnostics);
+* ``profile``  — EXPLAIN ANALYZE: run a query with the runtime tracer
+  and print the plan annotated with per-operator wall time,
+  cardinalities and work-counter deltas.
 """
 
 from __future__ import annotations
@@ -124,27 +127,73 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    if args.inline_query and (args.query or args.query_file):
+        raise ReproError("give the query either inline or via -q/-f")
+    query = args.inline_query or _read_query(args)
+    engine = _open_engine(args.document)
+    report = engine.measure(
+        query,
+        engine=args.engine,
+        optimize=args.optimize,
+        label="profile",
+        strict=args.strict,
+        trace=True,
+    )
+    trace = report.trace
+    if args.dot:
+        from .trace import trace_to_dot
+
+        print(trace_to_dot(trace, title=f"{args.engine} plan (traced)"))
+    else:
+        print(trace.render())
+        print(
+            f"-- query: {report.result_trees} trees in "
+            f"{report.seconds * 1000:.1f} ms under {report.engine} "
+            f"(wall time includes parse + translate)",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (
         Harness,
         figure15_speedups,
         figure15_table,
+        figure16_breakdown,
         figure16_table,
         figure17_table,
+        operator_breakdown,
     )
 
     harness = Harness()
+    trace = getattr(args, "trace", False)
+    if trace and args.figure == "17":
+        raise ReproError(
+            "--trace breaks down Figures 15 and 16; Figure 17 sweeps "
+            "scale factors and has no per-operator report"
+        )
     if args.figure == "15":
         reports = harness.figure15(
-            factor=args.factor, repeats=args.repeats
+            factor=args.factor, repeats=args.repeats, trace=trace
         )
         print(figure15_table(reports))
         print()
         print(figure15_speedups(reports))
+        if trace:
+            for report in reports:
+                if report.trace is not None:
+                    print()
+                    print(operator_breakdown(report))
     elif args.figure == "16":
-        print(figure16_table(
-            harness.figure16(factor=args.factor, repeats=args.repeats)
-        ))
+        reports = harness.figure16(
+            factor=args.factor, repeats=args.repeats, trace=trace
+        )
+        print(figure16_table(reports))
+        if trace:
+            print()
+            print(figure16_breakdown(reports))
     else:
         print(figure17_table(harness.figure17(repeats=args.repeats)))
     return 0
@@ -216,10 +265,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.set_defaults(func=cmd_lint)
 
+    profile = sub.add_parser(
+        "profile",
+        help="EXPLAIN ANALYZE: run a query and print its plan annotated "
+        "with per-operator costs",
+    )
+    profile.add_argument(
+        "inline_query", nargs="?", default=None, metavar="query",
+        help="the XQuery text (or use -q/-f/stdin)",
+    )
+    profile.add_argument(
+        "-d", "--document", default="xmark:0.002",
+        help=".xml file, .tlcdb file, or xmark:<factor> "
+        "(default: xmark:0.002)",
+    )
+    profile.add_argument("-q", "--query", help="inline query text")
+    profile.add_argument("-f", "--query-file", help="query file")
+    profile.add_argument(
+        "-e", "--engine", default="tlc", choices=("tlc", "gtp", "tax"),
+        help="algebraic engine to profile (nav has no operator plan)",
+    )
+    profile.add_argument(
+        "-O", "--optimize", action="store_true",
+        help="apply the Section 4 rewrites (TLC only)",
+    )
+    profile.add_argument(
+        "--strict", action="store_true",
+        help="lint the TLC plan with the static analyzer before running",
+    )
+    profile.add_argument(
+        "--dot", action="store_true",
+        help="emit annotated Graphviz DOT instead of the text tree",
+    )
+    profile.set_defaults(func=cmd_profile)
+
     bench = sub.add_parser("bench", help="regenerate a paper figure")
     bench.add_argument("figure", choices=("15", "16", "17"))
     bench.add_argument("--factor", type=float, default=0.002)
     bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument(
+        "--trace", action="store_true",
+        help="per-operator breakdown (Figures 15 and 16): trace every "
+        "run and attribute costs to individual operators",
+    )
     bench.set_defaults(func=cmd_bench)
     return parser
 

@@ -5,9 +5,11 @@ from .reporting import (
     counters_table,
     figure15_speedups,
     figure15_table,
+    figure16_breakdown,
     figure16_table,
     figure17_table,
     linear_r2,
+    operator_breakdown,
 )
 
 __all__ = [
@@ -17,7 +19,9 @@ __all__ = [
     "counters_table",
     "figure15_speedups",
     "figure15_table",
+    "figure16_breakdown",
     "figure16_table",
     "figure17_table",
     "linear_r2",
+    "operator_breakdown",
 ]

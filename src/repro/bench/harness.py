@@ -56,6 +56,7 @@ class Harness:
         factor: float = DEFAULT_FACTOR,
         optimize: bool = False,
         repeats: int = 1,
+        trace: bool = False,
     ) -> QueryReport:
         """One measurement: query × engine × factor.
 
@@ -65,13 +66,21 @@ class Harness:
         A cell whose first run already exceeds a tenth of the DNF budget
         is not repeated (repeating a minutes-long navigational query adds
         nothing but wall-clock time).
+
+        With ``trace`` each run is instrumented per operator and the
+        returned report carries the :class:`~repro.trace.PlanTrace` of
+        its final execution (``report.trace``) — the opt-in Figure 15/16
+        per-operator breakdown.  Tracing applies to the algebraic
+        engines only; ``nav`` measurements ignore the flag.
         """
         engine = self.engine_for(factor)
+        trace = trace and engine_name != "nav"
         first = engine.measure(
             QUERIES[name].text,
             engine=engine_name,
             optimize=optimize,
             label=name,
+            trace=trace,
         )
         if first.seconds >= self.budget_seconds / 10:
             # too slow to repeat; the single (cold) run is the result
@@ -83,6 +92,7 @@ class Harness:
                 engine=engine_name,
                 optimize=optimize,
                 label=name,
+                trace=trace,
             )
             for _ in range(max(1, repeats))
         ]
@@ -102,6 +112,7 @@ class Harness:
         queries: Optional[Sequence[str]] = None,
         engines: Sequence[str] = FIGURE15_ENGINES,
         repeats: int = 1,
+        trace: bool = False,
     ) -> List[QueryReport]:
         """Execution-time grid of Figure 15 (DNF rows marked)."""
         reports: List[QueryReport] = []
@@ -110,7 +121,8 @@ class Harness:
                 started = time.perf_counter()
                 try:
                     report = self.run_query(
-                        name, engine_name, factor, repeats=repeats
+                        name, engine_name, factor,
+                        repeats=repeats, trace=trace,
                     )
                 except Exception as error:  # a DNF-equivalent failure
                     report = QueryReport(
@@ -132,16 +144,25 @@ class Harness:
         factor: float = DEFAULT_FACTOR,
         queries: Sequence[str] = tuple(FIGURE16_QUERIES),
         repeats: int = 1,
+        trace: bool = False,
     ) -> List[QueryReport]:
-        """TLC vs OPT timing for the rewrite-applicable queries."""
+        """TLC vs OPT timing for the rewrite-applicable queries.
+
+        With ``trace`` every report carries a per-operator trace, which
+        :func:`~repro.bench.reporting.figure16_breakdown` turns into the
+        operator-level attribution of each rewrite win.
+        """
         reports: List[QueryReport] = []
         for name in queries:
             reports.append(
-                self.run_query(name, "tlc", factor, repeats=repeats)
+                self.run_query(
+                    name, "tlc", factor, repeats=repeats, trace=trace
+                )
             )
             reports.append(
                 self.run_query(
-                    name, "tlc", factor, optimize=True, repeats=repeats
+                    name, "tlc", factor,
+                    optimize=True, repeats=repeats, trace=trace,
                 )
             )
         return reports

@@ -157,6 +157,74 @@ def counters_table(reports: Sequence[QueryReport]) -> str:
     return "\n".join(lines)
 
 
+def operator_breakdown(report: QueryReport) -> str:
+    """EXPLAIN-ANALYZE rendering of one traced report's plan.
+
+    Requires the report to have been measured with ``trace=True``
+    (``Harness.run_query(..., trace=True)`` or
+    ``Engine.measure(..., trace=True)``).
+    """
+    title = f"{report.query} × {report.engine}"
+    if report.trace is None:
+        return f"{title}: no trace (measure with trace=True)"
+    return f"{title}\n{report.trace.render()}"
+
+
+def figure16_breakdown(reports: Sequence[QueryReport]) -> str:
+    """Attribute each Figure 16 rewrite win to specific operators.
+
+    For every query measured with traces under both plain TLC and the
+    rewritten (OPT) plan, aggregates per-operator self time by operator
+    name and prints them side by side: an operator the rewrite removed
+    shows ``-`` in the OPT column (its cost is the win), one it
+    introduced (Flatten's nest-join, say) shows ``-`` under TLC.
+    """
+    grid = _grid(reports)
+    sections: List[str] = []
+    for name in sorted({r.query for r in reports}, key=_query_order):
+        plain = grid.get((name, "tlc"))
+        opt = grid.get((name, "tlc+opt"))
+        if (
+            plain is None or opt is None
+            or plain.trace is None or opt.trace is None
+        ):
+            continue
+        plain_ms = {
+            op: seconds * 1000
+            for op, seconds in plain.trace.self_seconds_by_name().items()
+        }
+        opt_ms = {
+            op: seconds * 1000
+            for op, seconds in opt.trace.self_seconds_by_name().items()
+        }
+        header = (
+            f"{'operator':24s}{'TLC(ms)':>10s}{'OPT(ms)':>10s}"
+            f"{'delta':>10s}"
+        )
+        lines = [
+            f"{name}: self time per operator", header, "-" * len(header)
+        ]
+        for op in sorted(set(plain_ms) | set(opt_ms)):
+            before = plain_ms.get(op)
+            after = opt_ms.get(op)
+            delta = (after or 0.0) - (before or 0.0)
+            cells = "".join(
+                f"{value:>10.3f}" if value is not None else f"{'-':>10s}"
+                for value in (before, after)
+            )
+            lines.append(f"{op:24s}{cells}{delta:>+10.3f}")
+        total_before = sum(plain_ms.values())
+        total_after = sum(opt_ms.values())
+        lines.append(
+            f"{'total':24s}{total_before:>10.3f}{total_after:>10.3f}"
+            f"{total_after - total_before:>+10.3f}"
+        )
+        sections.append("\n".join(lines))
+    if not sections:
+        return "no traced TLC/OPT pairs (run figure16 with trace=True)"
+    return "\n\n".join(sections)
+
+
 def _query_order(name: str) -> tuple:
     try:
         return (FIGURE15_ORDER.index(name),)

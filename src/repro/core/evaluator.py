@@ -3,31 +3,73 @@
 Plans are operator trees (occasionally DAGs after rewrites share a
 sub-plan); evaluation memoises by operator identity so shared sub-plans
 run exactly once — the executable counterpart of pattern-tree reuse.
+
+The walk is an explicit-stack post-order traversal rather than a
+recursive one: fuzzer-generated or deeply nested FLWOR plans can be
+thousands of operators deep, far past Python's recursion limit.  Each
+operator is pushed twice — once to expand its inputs, once (``ready``)
+to execute after they are all memoised; LIFO ordering guarantees a
+shared operator's first expansion finishes before any later reference
+pops, so every later reference is a memo hit, exactly as in the
+recursive formulation.
+
+Passing a :class:`~repro.trace.record.Tracer` records per-operator wall
+time, cardinalities and counter deltas; the default ``tracer=None`` path
+is a separate loop that does no trace bookkeeping at all.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+import time
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..model.sequence import TreeSequence
 from ..storage.database import Database
 from .base import Context, Operator
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..trace.record import Tracer
 
-def evaluate(plan: Operator, ctx: Context) -> TreeSequence:
+
+def evaluate(
+    plan: Operator, ctx: Context, tracer: Optional["Tracer"] = None
+) -> TreeSequence:
     """Evaluate ``plan`` bottom-up and return its output sequence."""
     memo: Dict[int, TreeSequence] = {}
-
-    def run(op: Operator) -> TreeSequence:
-        key = id(op)
-        if key in memo:
-            return memo[key]
-        inputs = [run(child) for child in op.inputs]
-        result = op.execute(ctx, inputs)
-        memo[key] = result
-        return result
-
-    return run(plan)
+    stack: List[Tuple[Operator, bool]] = [(plan, False)]
+    if tracer is None:
+        while stack:
+            op, ready = stack.pop()
+            key = id(op)
+            if key in memo:
+                continue
+            if ready:
+                inputs = [memo[id(child)] for child in op.inputs]
+                memo[key] = op.execute(ctx, inputs)
+            else:
+                stack.append((op, True))
+                for child in reversed(op.inputs):
+                    stack.append((child, False))
+    else:
+        while stack:
+            op, ready = stack.pop()
+            key = id(op)
+            if key in memo:
+                tracer.memo_hit(op)
+                continue
+            if ready:
+                inputs = [memo[id(child)] for child in op.inputs]
+                before = tracer.counters_before()
+                started = time.perf_counter()
+                result = op.execute(ctx, inputs)
+                elapsed = time.perf_counter() - started
+                tracer.record(op, inputs, result, elapsed, before)
+                memo[key] = result
+            else:
+                stack.append((op, True))
+                for child in reversed(op.inputs):
+                    stack.append((child, False))
+    return memo[id(plan)]
 
 
 def evaluate_on(plan: Operator, db: Database) -> TreeSequence:

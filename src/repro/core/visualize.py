@@ -11,7 +11,7 @@ parameters, edges following dataflow bottom-up.  Feed the output to
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
 
 from .base import Operator
 
@@ -24,12 +24,17 @@ def _escape(text: str) -> str:
     )
 
 
-def plan_to_dot(root: Operator, title: str = "TLC plan") -> str:
+def plan_to_dot(
+    root: Operator,
+    title: str = "TLC plan",
+    annotate: Optional[Callable[[Operator], str]] = None,
+) -> str:
     """Render the plan rooted at ``root`` as a DOT digraph.
 
     Shared sub-plans (after the reuse rewrite) appear once with multiple
     incoming edges — the DAG structure is visible, unlike in the
-    indented text rendering.
+    indented text rendering.  ``annotate`` may supply extra label text
+    per operator (the runtime tracer uses it for measured costs).
     """
     ids: Dict[int, str] = {}
     lines: List[str] = [
@@ -45,6 +50,8 @@ def plan_to_dot(root: Operator, title: str = "TLC plan") -> str:
             ids[key] = f"op{len(ids)}"
             params = op.params()
             label = op.name if not params else f"{op.name}\\n{_escape(params)}"
+            if annotate is not None:
+                label += f"\\n{_escape(annotate(op))}"
             lines.append(f'  {ids[key]} [label="{label}"];')
         return ids[key]
 

@@ -31,6 +31,17 @@ from .xquery.translator import TranslationResult, translate_query
 ENGINES = ("tlc", "tax", "gtp", "nav")
 
 
+def _require_query_text(query: str) -> None:
+    """Reject empty/whitespace-only query text with a clear error.
+
+    Without this guard a blank query would surface as a confusing parser
+    error (or, historically, an ``IndexError`` from the benchmark label
+    fallback in :meth:`Engine.measure`).
+    """
+    if not query or not query.strip():
+        raise ReproError("query text is empty")
+
+
 def _validate_plan(plan: Operator) -> None:
     """Lint a TLC plan, raising on error-severity diagnostics."""
     from .analysis import analyze
@@ -76,6 +87,7 @@ class Engine:
 
         ``nav`` has no plan (it interprets the AST); asking for one raises.
         """
+        _require_query_text(query)
         if engine == "tlc":
             translation = translate_query(query)
             if optimize:
@@ -99,6 +111,7 @@ class Engine:
         engine: str = "tlc",
         optimize: bool = False,
         strict: bool = False,
+        trace: bool = False,
     ) -> TreeSequence:
         """Evaluate a query and return the result forest.
 
@@ -107,25 +120,50 @@ class Engine:
         :class:`~repro.errors.PlanValidationError` is raised when any
         error-severity diagnostic is found.  The baseline algebras do not
         carry LC-flow metadata, so ``strict`` applies to ``tlc`` only.
+
+        With ``trace`` the evaluation is instrumented per operator and
+        the resulting :class:`~repro.trace.PlanTrace` is attached to the
+        returned sequence as ``result.trace``.  Tracing instruments the
+        shared ``Operator`` protocol, so it works for every algebraic
+        plan (``tlc``, ``tax``, ``gtp``); the navigational baseline
+        interprets the AST and has no operators to trace.
         """
         if engine not in ENGINES:
             raise ReproError(
                 f"unknown engine {engine!r}; choose one of {ENGINES}"
             )
+        _require_query_text(query)
         if engine == "nav":
             if optimize:
                 raise ReproError("rewrites do not apply to navigation")
+            if trace:
+                raise ReproError(
+                    "the tracer instruments algebraic plans; 'nav' "
+                    "interprets the AST and has no operators to trace"
+                )
             return NavEvaluator(self.db).run(query)
         translation = self.plan(query, engine, optimize)
         return self.run_plan(
-            translation.plan, strict=strict and engine == "tlc"
+            translation.plan,
+            strict=strict and engine == "tlc",
+            trace=trace,
         )
 
-    def run_plan(self, plan: Operator, strict: bool = False) -> TreeSequence:
+    def run_plan(
+        self, plan: Operator, strict: bool = False, trace: bool = False
+    ) -> TreeSequence:
         """Evaluate an already-built plan against this engine's database."""
         if strict:
             _validate_plan(plan)
-        return evaluate(plan, Context(self.db))
+        ctx = Context(self.db)
+        if not trace:
+            return evaluate(plan, ctx)
+        from .trace import Tracer
+
+        tracer = Tracer(ctx.metrics)
+        result = evaluate(plan, ctx, tracer)
+        result.trace = tracer.finish(plan)
+        return result
 
     # ------------------------------------------------------------------
     # measurement (the benchmark harness entry point)
@@ -137,17 +175,41 @@ class Engine:
         optimize: bool = False,
         label: str = "",
         cold_cache: bool = False,
+        strict: bool = False,
+        trace: bool = False,
     ) -> QueryReport:
-        """Run a query and report wall time plus the work counters."""
+        """Run a query and report wall time plus the work counters.
+
+        ``strict`` and ``trace`` are forwarded to :meth:`run`: a
+        benchmark run can lint its plan pre-execution and/or attach the
+        per-operator :class:`~repro.trace.PlanTrace` to the report
+        (``report.trace``).
+        """
+        _require_query_text(query)
         self.db.reset_metrics(cold_cache=cold_cache)
         started = time.perf_counter()
-        result = self.run(query, engine=engine, optimize=optimize)
+        result = self.run(
+            query,
+            engine=engine,
+            optimize=optimize,
+            strict=strict,
+            trace=trace,
+        )
         elapsed = time.perf_counter() - started
         name = engine + ("+opt" if optimize else "")
+        first_line = next(
+            (
+                line.strip()
+                for line in query.splitlines()
+                if line.strip()
+            ),
+            "<query>",
+        )
         return QueryReport(
             engine=name,
-            query=label or query.strip().splitlines()[0],
+            query=label or first_line,
             seconds=elapsed,
             counters=self.db.metrics.snapshot(),
             result_trees=len(result),
+            trace=result.trace,
         )

@@ -20,10 +20,13 @@ class TreeSequence:
     lists, plus ordering helpers used by the physical operators.
     """
 
-    __slots__ = ("trees",)
+    __slots__ = ("trees", "trace")
 
     def __init__(self, trees: Optional[Iterable[XTree]] = None) -> None:
         self.trees: List[XTree] = list(trees) if trees is not None else []
+        #: execution trace attached by ``Engine.run(..., trace=True)``
+        #: (a :class:`repro.trace.PlanTrace`); ``None`` otherwise
+        self.trace = None
 
     # ------------------------------------------------------------------
     # container protocol

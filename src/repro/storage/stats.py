@@ -11,6 +11,10 @@ and navigation steps (children fetched by the navigational baseline).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..trace.model import PlanTrace
 
 
 @dataclass
@@ -66,6 +70,8 @@ class QueryReport:
     seconds: float
     counters: dict = field(default_factory=dict)
     result_trees: int = 0
+    #: per-operator execution trace when measured with ``trace=True``
+    trace: Optional["PlanTrace"] = None
 
     def row(self) -> tuple:
         """Compact tuple for tabular reports."""

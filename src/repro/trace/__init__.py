@@ -1,0 +1,22 @@
+"""Runtime execution tracing: per-operator costs for TLC/TAX/GTP plans.
+
+The static analyzer (:mod:`repro.analysis`) checks a plan *before* it
+runs; this package measures it *while* it runs.  ``evaluate(plan, ctx,
+tracer)`` drives a :class:`Tracer`, which seals into a
+:class:`PlanTrace` of per-operator wall times, cardinalities and
+:class:`~repro.storage.stats.Metrics` counter deltas — surfaced through
+``Engine.run(..., trace=True)``, ``Engine.measure(..., trace=True)`` and
+the CLI ``profile`` command.
+"""
+
+from .model import OperatorTrace, PlanTrace
+from .record import Tracer
+from .render import render_trace, trace_to_dot
+
+__all__ = [
+    "OperatorTrace",
+    "PlanTrace",
+    "Tracer",
+    "render_trace",
+    "trace_to_dot",
+]

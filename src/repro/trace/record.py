@@ -1,0 +1,92 @@
+"""The runtime tracer the evaluator drives.
+
+One :class:`Tracer` instruments one ``evaluate()`` call.  The evaluator
+owns the timing of each ``execute`` (so the tracer adds no work between
+the clock reads) and hands the measurements over through two hooks:
+
+* :meth:`Tracer.record` — once per operator, right after its first (and
+  only) execution;
+* :meth:`Tracer.memo_hit` — once per extra reference to an operator
+  whose result was served from the memo (a shared sub-plan).
+
+``finish`` seals the collection into a :class:`~repro.trace.model.PlanTrace`,
+computing cumulative times in one pass over the post-order records.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from ..core.base import Operator
+from ..model.sequence import TreeSequence
+from ..storage.stats import Metrics
+from .model import OperatorTrace, PlanTrace
+
+
+class Tracer:
+    """Collects per-operator measurements during one plan evaluation."""
+
+    def __init__(self, metrics: Metrics) -> None:
+        self.metrics = metrics
+        self.records: List[OperatorTrace] = []
+        self._index_of: Dict[int, int] = {}
+        self._started = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # evaluator hooks
+    # ------------------------------------------------------------------
+    def counters_before(self) -> dict:
+        """Snapshot the work counters just before an ``execute``."""
+        return self.metrics.snapshot()
+
+    def record(
+        self,
+        op: Operator,
+        inputs: List[TreeSequence],
+        result: TreeSequence,
+        self_seconds: float,
+        counters_before: dict,
+    ) -> None:
+        """Store one operator's measurements (called once per operator)."""
+        delta = self.metrics.diff(counters_before)
+        self._index_of[id(op)] = len(self.records)
+        self.records.append(
+            OperatorTrace(
+                index=len(self.records),
+                name=op.name,
+                params=op.params(),
+                input_cards=[len(seq) for seq in inputs],
+                output_card=len(result),
+                self_seconds=self_seconds,
+                cumulative_seconds=0.0,  # filled in by finish()
+                counters={k: v for k, v in delta.items() if v},
+                children=[self._index_of[id(child)] for child in op.inputs],
+            )
+        )
+
+    def memo_hit(self, op: Operator) -> None:
+        """Count one extra reference to an already-evaluated operator."""
+        self.records[self._index_of[id(op)]].memo_hits += 1
+
+    # ------------------------------------------------------------------
+    def finish(self, plan: Operator) -> PlanTrace:
+        """Seal the records into a :class:`PlanTrace`.
+
+        Records arrive in execution (post) order, so every operator's
+        inputs are finalised before the operator itself: one forward
+        pass computes cumulative times, counting each *distinct* input
+        once even when an operator reads the same shared sub-plan
+        through several edges.
+        """
+        for record in self.records:
+            record.cumulative_seconds = record.self_seconds + sum(
+                self.records[child].cumulative_seconds
+                for child in dict.fromkeys(record.children)
+            )
+        return PlanTrace(
+            records=self.records,
+            total_seconds=time.perf_counter() - self._started,
+            plan=plan,
+            index_of=self._index_of,
+        )

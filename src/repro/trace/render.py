@@ -1,0 +1,100 @@
+"""EXPLAIN-ANALYZE-style renderings of a :class:`PlanTrace`.
+
+``render_trace`` produces the annotated text tree the CLI ``profile``
+command prints; ``trace_to_dot`` reuses the Graphviz plan renderer of
+:mod:`repro.core.visualize`, annotating each operator box with its
+measured costs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Set
+
+from .model import OperatorTrace, PlanTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.base import Operator
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000:.3f}ms"
+
+
+def _counters(record: OperatorTrace) -> str:
+    return " ".join(
+        f"{name}={value}" for name, value in sorted(record.counters.items())
+    )
+
+
+def _annotation(record: OperatorTrace) -> str:
+    cards = ",".join(str(card) for card in record.input_cards) or "-"
+    parts = [
+        f"self {_ms(record.self_seconds)}",
+        f"cum {_ms(record.cumulative_seconds)}",
+        f"in [{cards}] out {record.output_card}",
+    ]
+    if record.memo_hits:
+        parts.append(f"shared x{record.memo_hits + 1}")
+    counters = _counters(record)
+    if counters:
+        parts.append(counters)
+    return " · ".join(parts)
+
+
+def render_trace(trace: PlanTrace, show_counters: bool = True) -> str:
+    """The annotated plan tree, one operator per line.
+
+    Mirrors ``Operator.describe`` / the analyzer's ``annotated_plan``:
+    indentation follows the plan shape, each line is suffixed with the
+    operator's measured costs, and a memoised sub-plan appears in full
+    once — later references render as a one-line ``(shared)`` stub.
+    """
+    lines: List[str] = []
+    seen: Set[int] = set()
+    # explicit stack: traced plans can be deeper than the recursion limit
+    stack = [(trace.root.index, 0)]
+    while stack:
+        index, depth = stack.pop()
+        record = trace.records[index]
+        pad = "  " * depth
+        if index in seen:
+            lines.append(f"{pad}{record.label()}  (shared)")
+            continue
+        seen.add(index)
+        note = _annotation(record)
+        if not show_counters:
+            note = " · ".join(
+                part for part in note.split(" · ") if "=" not in part
+            )
+        lines.append(f"{pad}{record.label()}   # {note}")
+        for child in reversed(record.children):
+            stack.append((child, depth + 1))
+    total_self = trace.total_self_seconds()
+    share = (
+        f" ({total_self / trace.total_seconds:.0%} of wall)"
+        if trace.total_seconds > 0
+        else ""
+    )
+    shared = trace.shared_count()
+    lines.append(
+        f"-- total {_ms(trace.total_seconds)} · operator self "
+        f"{_ms(total_self)}{share} · {len(trace.records)} operators"
+        + (f", {shared} shared" if shared else "")
+    )
+    return "\n".join(lines)
+
+
+def trace_to_dot(trace: PlanTrace, title: str = "traced plan") -> str:
+    """Graphviz DOT of the traced plan, costs inside each operator box."""
+    from ..core.visualize import plan_to_dot
+
+    def annotate(op: "Operator") -> str:
+        record = trace.record_for(op)
+        cards = ",".join(str(card) for card in record.input_cards) or "-"
+        return (
+            f"self {_ms(record.self_seconds)} · "
+            f"cum {_ms(record.cumulative_seconds)}\n"
+            f"in [{cards}] out {record.output_card}"
+        )
+
+    return plan_to_dot(trace.plan, title=title, annotate=annotate)

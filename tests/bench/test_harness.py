@@ -9,9 +9,11 @@ from repro.bench import (
     counters_table,
     figure15_speedups,
     figure15_table,
+    figure16_breakdown,
     figure16_table,
     figure17_table,
     linear_r2,
+    operator_breakdown,
 )
 from repro.storage.stats import QueryReport
 
@@ -57,6 +59,36 @@ class TestHarness:
             factor=0.001, queries=("x1",), engines=("tlc", "nav")
         )
         assert len(reports) == 2
+
+    def test_run_query_trace_optin(self, harness):
+        report = harness.run_query("x1", "tlc", factor=0.001, trace=True)
+        assert report.trace is not None
+        assert report.trace.root.output_card == report.result_trees
+        # default stays untraced
+        assert harness.run_query("x1", "tlc", factor=0.001).trace is None
+
+    def test_run_query_trace_ignored_for_nav(self, harness):
+        report = harness.run_query("x1", "nav", factor=0.001, trace=True)
+        assert report.trace is None
+        assert report.result_trees > 0
+
+    def test_figure16_trace_and_breakdown(self, harness):
+        reports = harness.figure16(
+            factor=0.001, queries=("x5",), trace=True
+        )
+        assert all(r.trace is not None for r in reports)
+        text = figure16_breakdown(reports)
+        assert "x5: self time per operator" in text
+        # the Shadow rewrite introduces operators the plain plan lacks
+        assert "Shadow" in text or "Flatten" in text
+
+    def test_figure15_trace_optin(self, harness):
+        reports = harness.figure15(
+            factor=0.001, queries=("x1",), engines=("tlc", "gtp"),
+            trace=True,
+        )
+        assert all(r.trace is not None for r in reports)
+        assert "# self " in operator_breakdown(reports[0])
 
 
 class TestReporting:
@@ -107,6 +139,17 @@ class TestReporting:
         table = counters_table(self.rows())
         assert "pages" in table
         assert "x1" in table
+
+    def test_operator_breakdown_without_trace(self):
+        text = operator_breakdown(self.rows()[0])
+        assert "no trace" in text
+
+    def test_figure16_breakdown_without_traces(self):
+        text = figure16_breakdown([
+            QueryReport("tlc", "Q1", 0.04, {}, 1),
+            QueryReport("tlc+opt", "Q1", 0.02, {}, 1),
+        ])
+        assert "no traced" in text
 
 
 class TestBudget:

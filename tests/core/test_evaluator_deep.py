@@ -1,0 +1,99 @@
+"""The evaluator must handle plans far deeper than the recursion limit."""
+
+from repro.core.base import Context, Operator
+from repro.core.evaluator import evaluate
+from repro.model.sequence import TreeSequence
+from repro.model.tree import TNode, XTree
+from repro.storage.database import Database
+from repro.trace import Tracer
+
+DEPTH = 5000
+
+
+class _Source(Operator):
+    """Test-only leaf producing one tree."""
+
+    name = "Source"
+
+    def execute(self, ctx, inputs):
+        return TreeSequence([XTree(TNode("leaf"))])
+
+
+class _Pass(Operator):
+    """Test-only pass-through operator."""
+
+    name = "Pass"
+
+    def __init__(self, child):
+        super().__init__([child])
+        self.executions = 0
+
+    def execute(self, ctx, inputs):
+        self.executions += 1
+        return inputs[0]
+
+
+def _chain(depth):
+    plan = _Source()
+    for _ in range(depth):
+        plan = _Pass(plan)
+    return plan
+
+
+def test_deep_plan_does_not_recurse():
+    plan = _chain(DEPTH)
+    result = evaluate(plan, Context(Database()))
+    assert len(result) == 1
+
+
+def test_deep_plan_traced():
+    plan = _chain(DEPTH)
+    ctx = Context(Database())
+    tracer = Tracer(ctx.metrics)
+    evaluate(plan, ctx, tracer)
+    trace = tracer.finish(plan)
+    assert len(trace.records) == DEPTH + 1
+    # cumulative accumulates along the whole chain, and rendering the
+    # deep trace is iterative too
+    assert trace.root.cumulative_seconds >= trace.records[0].self_seconds
+    assert len(trace.render().splitlines()) == DEPTH + 2
+
+
+def test_memo_runs_shared_sub_plans_once():
+    shared = _Pass(_Source())
+    left = _Pass(shared)
+    right = _Pass(shared)
+
+    class _Both(Operator):
+        name = "Both"
+
+        def execute(self, ctx, inputs):
+            merged = TreeSequence()
+            for seq in inputs:
+                merged.extend(seq)
+            return merged
+
+    result = evaluate(_Both([left, right]), Context(Database()))
+    assert shared.executions == 1
+    assert len(result) == 2
+
+
+def test_evaluation_order_is_post_order():
+    order = []
+
+    class _Logging(Operator):
+        name = "Logging"
+
+        def __init__(self, tag, children=()):
+            super().__init__(children)
+            self.tag = tag
+
+        def execute(self, ctx, inputs):
+            order.append(self.tag)
+            return TreeSequence()
+
+    a = _Logging("a")
+    b = _Logging("b")
+    root = _Logging("root", [a, b])
+    evaluate(root, Context(Database()))
+    assert order == ["a", "b", "root"]

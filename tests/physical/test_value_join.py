@@ -3,7 +3,7 @@
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.model.value import compare
+from repro.model.value import compare, sort_key
 from repro.physical.value_join import merge_equi_join, nest_merge, theta_join
 from repro.storage.stats import Metrics
 
@@ -45,6 +45,77 @@ class TestMergeEquiJoin:
         )
         assert metrics.value_joins == 1
         assert metrics.sort_ops == 2
+
+
+class TestMixedKeyJoin:
+    """Numeric and string keys in one input: the ``sort_key`` contract.
+
+    ``merge_equi_join`` sorts both sides by
+    :func:`repro.model.value.sort_key`, whose total order is
+    ``None < numbers < strings``; mixed inputs must neither raise (the
+    Python 3 ``float < str`` TypeError) nor match across categories.
+    """
+
+    def _join(self, left_vals, right_vals):
+        return merge_equi_join(
+            list(enumerate(left_vals)),
+            list(enumerate(right_vals)),
+            lambda x: x[1],
+            lambda x: x[1],
+        )
+
+    def test_mixed_inputs_do_not_raise(self):
+        pairs = self._join(
+            ["10", "apple", 7, "7"], ["banana", "10", 7.0, "apple"]
+        )
+        matches = {(l[1], r[1]) for l, r in pairs}
+        assert matches == {
+            ("10", "10"), ("apple", "apple"), (7, 7.0), ("7", 7.0),
+        }
+
+    def test_no_cross_category_matches(self):
+        # the string "apple" never equals any number, and numeric
+        # strings only match numerically-equal keys
+        assert self._join(["apple"], [7]) == []
+        assert self._join(["10"], ["10.5"]) == []
+
+    def test_numeric_strings_collapse(self):
+        pairs = self._join(["07"], [7, "7.0", " 7 "])
+        assert len(pairs) == 3
+
+    def test_agrees_with_compare_on_mixed_inputs(self):
+        left = ["9", "10", "apple", 3.5, "3.50"]
+        right = ["apple", "applet", 9, "10.0", "3.5"]
+        fast = sorted(
+            (l[0], r[0]) for l, r in self._join(left, right)
+        )
+        naive = sorted(
+            (i, j)
+            for i, lv in enumerate(left)
+            for j, rv in enumerate(right)
+            if compare(lv, "=", rv)
+        )
+        assert fast == naive
+
+    def test_sort_key_total_order(self):
+        # None < numbers < strings; within numbers numeric order, within
+        # strings lexicographic — sorting mixed content never raises
+        values = ["b", 2, None, "10", "a", 1.5, None, "09"]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[:2] == [None, None]
+        assert ordered[2:5] == [1.5, 2, "09"] or ordered[2:5] == [1.5, 2, "10"]
+        assert sort_key("09") == sort_key(9)
+        assert sort_key(None) < sort_key(-1e9) < sort_key("")
+
+    def test_sort_key_is_deterministic_under_shuffle(self):
+        # ties (1 vs "1") keep input order under the stable sort, so the
+        # deterministic object is the key sequence, not the value list
+        values = ["x", 1, "02", None, 2.0, "y", "1"]
+        baseline = [sort_key(v) for v in sorted(values, key=sort_key)]
+        shuffled = [
+            sort_key(v) for v in sorted(reversed(values), key=sort_key)
+        ]
+        assert shuffled == baseline
 
 
 class TestThetaJoin:

@@ -106,6 +106,64 @@ class TestBench:
         out = capsys.readouterr().out
         assert "OPT" in out
 
+    def test_bench_figure16_trace_breakdown(self, capsys):
+        code = main([
+            "bench", "16", "--factor", "0.001", "--repeats", "1", "--trace",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "self time per operator" in out
+        assert "delta" in out
+
+    def test_bench_figure17_rejects_trace(self, capsys):
+        code = main(["bench", "17", "--trace"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestProfile:
+    def test_profile_annotated_plan(self, xml_file, capsys):
+        code = main(["profile", "-d", xml_file, QUERY])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "# self " in captured.out
+        assert "cum " in captured.out
+        assert "out " in captured.out
+        assert "-- total" in captured.out
+        assert "trees in" in captured.err
+
+    def test_profile_query_flag(self, xml_file, capsys):
+        code = main(["profile", "-d", xml_file, "-q", QUERY])
+        assert code == 0
+        assert "Construct" in capsys.readouterr().out
+
+    def test_profile_baseline_engines(self, xml_file, capsys):
+        for engine in ("gtp", "tax"):
+            code = main(["profile", "-d", xml_file, "-e", engine, QUERY])
+            assert code == 0
+            assert "# self " in capsys.readouterr().out
+
+    def test_profile_optimized_and_strict(self, xml_file, capsys):
+        code = main(["profile", "-d", xml_file, "-O", "--strict", QUERY])
+        assert code == 0
+        assert "# self " in capsys.readouterr().out
+
+    def test_profile_dot_flag(self, xml_file, capsys):
+        code = main(["profile", "-d", xml_file, "--dot", QUERY])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("digraph plan {")
+        assert "self " in out
+
+    def test_profile_rejects_double_query(self, xml_file, capsys):
+        assert main(["profile", "-d", xml_file, QUERY, "-q", QUERY]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_profile_blank_query_is_clean_error(self, xml_file, capsys):
+        code = main(["profile", "-d", xml_file, "-q", "   "])
+        assert code == 1
+        assert "empty" in capsys.readouterr().err
+
 
 class TestExplainDot:
     def test_explain_dot_flag(self, xml_file, capsys):

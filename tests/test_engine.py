@@ -71,6 +71,60 @@ class TestPlan:
         assert "p" in translation.var_lcls
 
 
+class TestEmptyQuery:
+    def test_measure_blank_query_raises_repro_error(self, engine):
+        # regression: the benchmark label fallback used to hit an
+        # IndexError on query.strip().splitlines()[0]
+        for blank in ("", "   ", " \n \n\t"):
+            with pytest.raises(ReproError, match="empty"):
+                engine.measure(blank)
+
+    def test_run_and_plan_reject_blank_query(self, engine):
+        for entry in (engine.run, engine.plan):
+            with pytest.raises(ReproError, match="empty"):
+                entry("  \n ")
+
+    def test_nav_rejects_blank_query(self, engine):
+        with pytest.raises(ReproError, match="empty"):
+            engine.run("", engine="nav")
+
+    def test_default_label_is_first_nonempty_line(self, engine):
+        report = engine.measure("\n\n   \n" + QUERY)
+        assert report.query == QUERY
+
+
+class TestMeasurePlumbing:
+    def test_measure_forwards_strict_and_trace(self, engine):
+        seen = {}
+        original = engine.run
+
+        def spy(query, **kwargs):
+            seen.update(kwargs)
+            return original(query, **kwargs)
+
+        engine.run = spy
+        report = engine.measure(QUERY, strict=True, trace=True)
+        assert seen["strict"] is True
+        assert seen["trace"] is True
+        assert report.trace is not None
+
+    def test_measure_strict_lints_plan(self, engine):
+        report = engine.measure(QUERY, strict=True)
+        assert report.result_trees == 2
+
+    def test_measure_trace_defaults_off(self, engine):
+        seen = {}
+        original = engine.run
+
+        def spy(query, **kwargs):
+            seen.update(kwargs)
+            return original(query, **kwargs)
+
+        engine.run = spy
+        engine.measure(QUERY)
+        assert seen["strict"] is False and seen["trace"] is False
+
+
 class TestMeasure:
     def test_report_contents(self, engine):
         report = engine.measure(QUERY, label="demo")

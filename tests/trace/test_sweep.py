@@ -1,0 +1,57 @@
+"""Trace invariants over the full benchmark corpus.
+
+Every one of the 23 benchmark queries is traced under TLC (and, for the
+rewrite-applicable subset, under the rewritten plan): the per-operator
+self times must decompose the query's wall time, the counter deltas must
+sum to the whole-query totals, and the record graph must be a well-formed
+post-order DAG with each memoised sub-plan reported exactly once.
+"""
+
+import pytest
+
+from repro.xmark.queries import FIGURE16_QUERIES, QUERIES
+
+
+def _check_invariants(report):
+    trace = report.trace
+    assert trace is not None and trace.records
+    # post-order: every child is recorded before its parent
+    for record in trace.records:
+        assert all(child < record.index for child in record.children)
+        assert record.self_seconds >= 0
+        assert record.cumulative_seconds >= record.self_seconds
+        assert record.input_cards == [
+            trace.records[child].output_card for child in record.children
+        ]
+    # the root's output is the query result
+    assert trace.root.output_card == report.result_trees
+    # self times are disjoint slices of the wall time
+    assert trace.total_self_seconds() <= report.seconds
+    # work counters decompose exactly: everything the query did happened
+    # inside some operator's execute()
+    totals = {k: v for k, v in report.counters.items() if v}
+    assert trace.counters_total() == totals
+    # rendering never fails and annotates every first occurrence
+    text = trace.render()
+    assert text.splitlines()[-1].startswith("-- total")
+    assert text.count("# self ") == len(trace.records)
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_trace_invariants_all_queries(xmark_engine, name):
+    report = xmark_engine.measure(
+        QUERIES[name].text, engine="tlc", label=name, trace=True
+    )
+    _check_invariants(report)
+
+
+@pytest.mark.parametrize("name", sorted(FIGURE16_QUERIES))
+def test_trace_invariants_rewritten_plans(xmark_engine, name):
+    report = xmark_engine.measure(
+        QUERIES[name].text,
+        engine="tlc",
+        optimize=True,
+        label=name,
+        trace=True,
+    )
+    _check_invariants(report)

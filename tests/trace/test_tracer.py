@@ -1,0 +1,153 @@
+"""Unit tests for the runtime operator tracer."""
+
+import pytest
+
+from repro import Engine, ReproError
+from repro.core.base import Context, Operator
+from repro.core.evaluator import evaluate
+from repro.model.sequence import TreeSequence
+from repro.storage.database import Database
+from repro.trace import Tracer, render_trace, trace_to_dot
+
+QUERY = (
+    'FOR $p IN document("auction.xml")//person '
+    "WHERE $p//age > 25 RETURN <o>{$p/name/text()}</o>"
+)
+
+
+class _Leaf(Operator):
+    """Test-only source operator producing a fixed-size sequence."""
+
+    name = "Leaf"
+
+    def __init__(self, size: int = 1) -> None:
+        super().__init__()
+        self.size = size
+        self.executions = 0
+
+    def execute(self, ctx, inputs):
+        self.executions += 1
+        return TreeSequence()
+
+
+class _Pass(Operator):
+    """Test-only pass-through operator."""
+
+    name = "Pass"
+
+    def execute(self, ctx, inputs):
+        return inputs[0]
+
+
+def _traced(plan):
+    ctx = Context(Database())
+    tracer = Tracer(ctx.metrics)
+    evaluate(plan, ctx, tracer)
+    return tracer.finish(plan)
+
+
+class TestEngineTrace:
+    def test_trace_attached_to_result(self, tiny_engine):
+        result = tiny_engine.run(QUERY, trace=True)
+        assert result.trace is not None
+        assert result.trace.root.output_card == len(result)
+
+    def test_no_trace_by_default(self, tiny_engine):
+        result = tiny_engine.run(QUERY)
+        assert result.trace is None
+
+    def test_measure_attaches_trace(self, tiny_engine):
+        report = tiny_engine.measure(QUERY, trace=True)
+        assert report.trace is not None
+        assert report.trace.root.output_card == report.result_trees
+
+    def test_measure_without_trace(self, tiny_engine):
+        assert tiny_engine.measure(QUERY).trace is None
+
+    def test_self_times_sum_below_wall_time(self, tiny_engine):
+        report = tiny_engine.measure(QUERY, trace=True)
+        assert 0 < report.trace.total_self_seconds() <= report.seconds
+
+    def test_counter_deltas_sum_to_query_totals(self, tiny_engine):
+        report = tiny_engine.measure(QUERY, trace=True)
+        totals = {k: v for k, v in report.counters.items() if v}
+        assert report.trace.counters_total() == totals
+
+    def test_input_cards_match_child_outputs(self, tiny_engine):
+        trace = tiny_engine.run(QUERY, trace=True).trace
+        for record in trace.records:
+            assert record.input_cards == [
+                trace.records[child].output_card
+                for child in record.children
+            ]
+
+    def test_all_algebraic_engines_traced(self, tiny_engine):
+        for name in ("tlc", "tax", "gtp"):
+            trace = tiny_engine.run(QUERY, engine=name, trace=True).trace
+            assert trace is not None
+            assert len(trace.records) >= 2
+
+    def test_nav_rejects_trace(self, tiny_engine):
+        with pytest.raises(ReproError):
+            tiny_engine.run(QUERY, engine="nav", trace=True)
+
+    def test_trace_composes_with_strict(self, tiny_engine):
+        result = tiny_engine.run(QUERY, strict=True, trace=True)
+        assert result.trace is not None
+
+    def test_trace_with_optimized_plan(self, tiny_engine):
+        trace = tiny_engine.run(QUERY, optimize=True, trace=True).trace
+        assert trace.root.output_card == 2
+
+
+class TestSharedSubPlans:
+    def test_memoised_sub_plan_reported_once(self):
+        leaf = _Leaf()
+        plan = _Pass([_Pass([leaf]), _Pass([leaf])])
+        trace = _traced(plan)
+        assert leaf.executions == 1
+        leaf_records = [r for r in trace.records if r.name == "Leaf"]
+        assert len(leaf_records) == 1
+        assert leaf_records[0].memo_hits == 1
+
+    def test_duplicate_input_edges_count_hits(self):
+        leaf = _Leaf()
+        plan = _Pass([leaf, leaf])
+        trace = _traced(plan)
+        assert leaf.executions == 1
+        assert trace.record_for(leaf).memo_hits == 1
+
+    def test_cumulative_counts_distinct_children_once(self):
+        leaf = _Leaf()
+        plan = _Pass([leaf, leaf])
+        trace = _traced(plan)
+        root = trace.root
+        expected = root.self_seconds + trace.record_for(leaf).self_seconds
+        assert root.cumulative_seconds == pytest.approx(expected)
+
+    def test_render_marks_shared_stub(self):
+        leaf = _Leaf()
+        plan = _Pass([_Pass([leaf]), _Pass([leaf])])
+        text = render_trace(_traced(plan))
+        assert text.count("(shared)") == 1
+        assert "shared x2" in text
+
+
+class TestRendering:
+    def test_render_annotates_every_operator(self, tiny_engine):
+        trace = tiny_engine.run(QUERY, trace=True).trace
+        text = trace.render()
+        assert "Construct" in text and "Select" in text
+        assert "self " in text and "cum " in text
+        assert text.splitlines()[-1].startswith("-- total")
+
+    def test_render_without_counters(self, tiny_engine):
+        trace = tiny_engine.run(QUERY, trace=True).trace
+        text = render_trace(trace, show_counters=False)
+        assert "pattern_matches=" not in text
+
+    def test_dot_rendering(self, tiny_engine):
+        trace = tiny_engine.run(QUERY, trace=True).trace
+        dot = trace_to_dot(trace)
+        assert dot.startswith("digraph plan {")
+        assert "self " in dot and "out " in dot
