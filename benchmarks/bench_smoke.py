@@ -1,0 +1,100 @@
+"""CI smoke check for the columnar fast path (guards BENCH_3.json).
+
+Re-runs the before/after fast-path sweep and compares it against the
+committed ``BENCH_3.json`` baseline.  The check fails (exit 1) when
+
+* the geomean of structural_joins-normalised wall time over the
+  join-heavy queries regresses by more than the threshold (default 25%,
+  ``--threshold`` / ``REPRO_BENCH_THRESHOLD``),
+* any work counter (pages, joins, index entries, ...) is higher under
+  the fast path than under the legacy path, or
+* the fast path loses its net speedup on join-heavy queries.
+
+Normalising wall time by structural joins executed makes the check
+tolerant of scale-factor changes and (to first order) machine speed;
+the threshold absorbs the rest.  Run ``python -m repro bench fastpath
+--factor 0.005 --out BENCH_3.json`` to refresh the baseline after an
+intentional performance change.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_smoke.py --baseline BENCH_3.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+from repro.bench import (
+    FastPathReport,
+    check_against_baseline,
+    compare_fastpath,
+    fastpath_table,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_3.json",
+        help="committed baseline report (default: BENCH_3.json)",
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=None,
+        help="XMark scale factor (default: the baseline's factor)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="measurement repeats per cell (default 1: a smoke check)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_THRESHOLD", "0.25")),
+        help="allowed fractional regression in normalised wall time",
+    )
+    parser.add_argument(
+        "--out",
+        help="also write the fresh report as JSON (for refreshing "
+        "the baseline)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+        return 1
+    baseline = FastPathReport.from_json(baseline_path.read_text())
+    factor = args.factor if args.factor is not None else baseline.factor
+
+    current = compare_fastpath(factor=factor, repeats=args.repeats)
+    print(fastpath_table(current))
+    if args.out:
+        Path(args.out).write_text(current.to_json())
+        print(f"wrote {args.out}", file=sys.stderr)
+
+    findings = check_against_baseline(current, baseline, args.threshold)
+    if findings:
+        print("\nFAIL: fast-path smoke check", file=sys.stderr)
+        for finding in findings:
+            print(f"  - {finding}", file=sys.stderr)
+        return 1
+    print(
+        f"\nOK: join-heavy speedup {current.join_heavy_speedup():.2f}x, "
+        f"normalised {current.normalized_after_geomean():.1f} us/join "
+        f"(baseline {baseline.normalized_after_geomean():.1f}, "
+        f"threshold +{args.threshold:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

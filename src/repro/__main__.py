@@ -82,7 +82,9 @@ def cmd_query(args: argparse.Namespace) -> int:
             f"nodes={counters['nodes_touched']} "
             f"sjoins={counters['structural_joins']} "
             f"groupbys={counters['groupby_ops']} "
-            f"navsteps={counters['navigation_steps']}",
+            f"navsteps={counters['navigation_steps']} "
+            f"cachehits={counters['scan_cache_hits']} "
+            f"reused={counters['postings_reused']}",
             file=sys.stderr,
         )
     return 0
@@ -169,12 +171,22 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     harness = Harness()
     trace = getattr(args, "trace", False)
-    if trace and args.figure == "17":
+    if trace and args.figure in ("17", "fastpath"):
         raise ReproError(
-            "--trace breaks down Figures 15 and 16; Figure 17 sweeps "
-            "scale factors and has no per-operator report"
+            "--trace breaks down Figures 15 and 16; the other benches "
+            "have no per-operator report"
         )
-    if args.figure == "15":
+    if args.figure == "fastpath":
+        from .bench import compare_fastpath, fastpath_table
+
+        report = compare_fastpath(
+            factor=args.factor, repeats=args.repeats, harness=harness
+        )
+        print(fastpath_table(report))
+        if args.out:
+            Path(args.out).write_text(report.to_json())
+            print(f"wrote {args.out}", file=sys.stderr)
+    elif args.figure == "15":
         reports = harness.figure15(
             factor=args.factor, repeats=args.repeats, trace=trace
         )
@@ -299,14 +311,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.set_defaults(func=cmd_profile)
 
-    bench = sub.add_parser("bench", help="regenerate a paper figure")
-    bench.add_argument("figure", choices=("15", "16", "17"))
+    bench = sub.add_parser(
+        "bench",
+        help="regenerate a paper figure or the fast-path comparison",
+    )
+    bench.add_argument("figure", choices=("15", "16", "17", "fastpath"))
     bench.add_argument("--factor", type=float, default=0.002)
     bench.add_argument("--repeats", type=int, default=3)
     bench.add_argument(
         "--trace", action="store_true",
         help="per-operator breakdown (Figures 15 and 16): trace every "
         "run and attribute costs to individual operators",
+    )
+    bench.add_argument(
+        "--out",
+        help="fastpath only: also write the report as JSON "
+        "(e.g. BENCH_3.json)",
     )
     bench.set_defaults(func=cmd_bench)
     return parser

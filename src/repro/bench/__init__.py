@@ -1,5 +1,12 @@
 """Benchmark harness and paper-style reporting."""
 
+from .fastpath import (
+    FastPathReport,
+    FastPathRow,
+    check_against_baseline,
+    compare_fastpath,
+    fastpath_table,
+)
 from .harness import DEFAULT_FACTOR, FIGURE15_ENGINES, Harness
 from .reporting import (
     counters_table,
@@ -15,7 +22,12 @@ from .reporting import (
 __all__ = [
     "DEFAULT_FACTOR",
     "FIGURE15_ENGINES",
+    "FastPathReport",
+    "FastPathRow",
     "Harness",
+    "check_against_baseline",
+    "compare_fastpath",
+    "fastpath_table",
     "counters_table",
     "figure15_speedups",
     "figure15_table",

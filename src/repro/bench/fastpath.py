@@ -1,0 +1,292 @@
+"""Before/after harness for the columnar fast path (BENCH_3 experiment).
+
+"Before" is the seed's execution strategy: structural joins rebuild
+their probe-key arrays per call (``*_legacy`` in
+:mod:`repro.physical.structural_join`) and every pattern node re-scans
+its index.  "After" is the optimised stack: shared :class:`Postings`
+columns, the skip-aware merge cursor, and the query-scoped
+:class:`~repro.patterns.scan_cache.ScanCache`.  Both configurations run
+the *same* plans over the *same* cached XMark engine, so the only
+variable is the physical execution strategy.
+
+Absolute seconds belong to this machine; what travels is
+
+* the per-query **speedup** (after is the same code base, so the ratio
+  is machine-independent to first order), and
+* the **structural_joins-normalised wall time** (microseconds of wall
+  time per structural join executed), which the CI smoke check compares
+  against the committed ``BENCH_3.json`` baseline.
+
+The harness also verifies the fast path never *works harder*: for every
+query it diffs the before/after work counters and records any counter
+the fast path increased (``counters_regressed`` — expected to stay
+empty; the observability counters ``scan_cache_hits`` and
+``postings_reused`` are excluded since they only exist on the new path).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..physical.structural_join import use_fast_path
+from ..storage.stats import QueryReport
+from ..xmark.queries import FIGURE15_ORDER
+from .harness import DEFAULT_FACTOR, Harness
+
+#: Work counters that must never increase under the fast path.  The
+#: observability counters (scan_cache_hits, postings_reused) are new-path
+#: telemetry, not work, and buffer_hits can only *drop* together with the
+#: scans it measures.
+WORK_COUNTERS = (
+    "pages_read",
+    "pages_written",
+    "nodes_touched",
+    "index_lookups",
+    "index_entries_scanned",
+    "structural_joins",
+    "value_joins",
+    "nest_joins",
+    "groupby_ops",
+    "pattern_matches",
+    "navigation_steps",
+    "trees_built",
+    "sort_ops",
+)
+
+#: A query counts as structural-join-dominated when its plan executes at
+#: least this many structural joins (at the default factor the join-heavy
+#: XMark queries sit orders of magnitude above it).
+JOIN_HEAVY_MIN = 25
+
+
+@dataclass
+class FastPathRow:
+    """One query's before/after measurement."""
+
+    query: str
+    before_seconds: float
+    after_seconds: float
+    speedup: float
+    #: the *before* (legacy) run's count — the batched anchored
+    #: extension collapses many per-anchor joins into one per edge, so
+    #: the after-side count no longer reflects how join-dominated the
+    #: query's plan is
+    structural_joins: int
+    join_heavy: bool
+    #: wall microseconds per structural join, the scale-robust quantity
+    #: the CI smoke check tracks
+    normalized_before_us: float
+    normalized_after_us: float
+    scan_cache_hits: int
+    postings_reused: int
+    #: work counters the fast path increased (must stay empty)
+    counters_regressed: List[str] = field(default_factory=list)
+
+
+@dataclass
+class FastPathReport:
+    """The full before/after sweep plus its summary statistics."""
+
+    factor: float
+    repeats: int
+    engine: str
+    rows: List[FastPathRow] = field(default_factory=list)
+
+    def join_heavy_speedup(self) -> float:
+        """Geometric-mean speedup over the join-dominated queries."""
+        return _geomean([r.speedup for r in self.rows if r.join_heavy])
+
+    def overall_speedup(self) -> float:
+        """Geometric-mean speedup over every measured query."""
+        return _geomean([r.speedup for r in self.rows])
+
+    def normalized_after_geomean(self) -> float:
+        """Geomean of after-side µs-per-structural-join (join-heavy only).
+
+        This is the single number the CI smoke check compares against
+        the committed baseline's value.
+        """
+        return _geomean(
+            [r.normalized_after_us for r in self.rows if r.join_heavy]
+        )
+
+    def to_json(self) -> str:
+        payload = {
+            "experiment": "fastpath",
+            "factor": self.factor,
+            "repeats": self.repeats,
+            "engine": self.engine,
+            "summary": {
+                "join_heavy_speedup": round(self.join_heavy_speedup(), 3),
+                "overall_speedup": round(self.overall_speedup(), 3),
+                "normalized_after_us_geomean": round(
+                    self.normalized_after_geomean(), 3
+                ),
+            },
+            "rows": [asdict(row) for row in self.rows],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "FastPathReport":
+        payload = json.loads(text)
+        report = cls(
+            factor=payload["factor"],
+            repeats=payload["repeats"],
+            engine=payload["engine"],
+        )
+        report.rows = [FastPathRow(**row) for row in payload["rows"]]
+        return report
+
+
+def _geomean(values: Sequence[float]) -> float:
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))
+
+
+def _normalized_us(seconds: float, joins: int) -> float:
+    return seconds * 1e6 / max(joins, 1)
+
+
+def compare_fastpath(
+    queries: Optional[Sequence[str]] = None,
+    factor: float = DEFAULT_FACTOR,
+    engine: str = "tlc",
+    repeats: int = 3,
+    harness: Optional[Harness] = None,
+    join_heavy_min: int = JOIN_HEAVY_MIN,
+) -> FastPathReport:
+    """Measure every query before (legacy) and after (fast path).
+
+    The "before" configuration runs the retained legacy join
+    implementations with the scan cache disabled; "after" runs the
+    defaults.  Both are measured through the Figure 15 harness on one
+    shared engine, with the paper's repeat-and-trim methodology.
+    """
+    harness = harness or Harness()
+    report = FastPathReport(factor=factor, repeats=repeats, engine=engine)
+    for name in queries or FIGURE15_ORDER:
+        with use_fast_path(False):
+            before = harness.run_query(
+                name, engine, factor,
+                repeats=repeats, scan_cache=False,
+            )
+        after = harness.run_query(name, engine, factor, repeats=repeats)
+        regressed = [
+            key
+            for key in WORK_COUNTERS
+            if after.counters.get(key, 0) > before.counters.get(key, 0)
+        ]
+        # classify and normalise by the legacy run's join count: it
+        # reflects the plan's join work independent of the batching that
+        # collapses the after-side counter
+        joins = before.counters.get("structural_joins", 0)
+        report.rows.append(
+            FastPathRow(
+                query=name,
+                before_seconds=round(before.seconds, 6),
+                after_seconds=round(after.seconds, 6),
+                speedup=round(
+                    before.seconds / after.seconds
+                    if after.seconds else float("inf"),
+                    3,
+                ),
+                structural_joins=joins,
+                join_heavy=joins >= join_heavy_min,
+                normalized_before_us=round(
+                    _normalized_us(before.seconds, joins), 3
+                ),
+                normalized_after_us=round(
+                    _normalized_us(after.seconds, joins), 3
+                ),
+                scan_cache_hits=after.counters.get("scan_cache_hits", 0),
+                postings_reused=after.counters.get("postings_reused", 0),
+                counters_regressed=regressed,
+            )
+        )
+    return report
+
+
+def fastpath_table(report: FastPathReport) -> str:
+    """Render the before/after sweep as a fixed-width table."""
+    header = (
+        f"{'query':6s}{'before':>9s}{'after':>9s}{'speedup':>9s}"
+        f"{'sjoins':>8s}{'us/join':>9s}{'hits':>6s}{'reuse':>7s}  flags"
+    )
+    lines = [header, "-" * len(header)]
+    for row in report.rows:
+        flags = []
+        if row.join_heavy:
+            flags.append("join-heavy")
+        if row.counters_regressed:
+            flags.append("REGRESSED:" + ",".join(row.counters_regressed))
+        lines.append(
+            f"{row.query:6s}"
+            f"{row.before_seconds:>9.3f}"
+            f"{row.after_seconds:>9.3f}"
+            f"{row.speedup:>8.2f}x"
+            f"{row.structural_joins:>8d}"
+            f"{row.normalized_after_us:>9.1f}"
+            f"{row.scan_cache_hits:>6d}"
+            f"{row.postings_reused:>7d}"
+            f"  {' '.join(flags)}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"geomean speedup: {report.overall_speedup():.2f}x overall, "
+        f"{report.join_heavy_speedup():.2f}x on join-heavy queries"
+    )
+    return "\n".join(lines)
+
+
+def check_against_baseline(
+    current: FastPathReport,
+    baseline: FastPathReport,
+    threshold: float = 0.25,
+) -> List[str]:
+    """Regression findings of ``current`` vs a committed baseline.
+
+    Compares the geomean of structural_joins-normalised wall time over
+    the join-heavy queries; a finding is produced when the current run
+    is more than ``threshold`` (fractional) slower per join than the
+    baseline, when any work counter regressed, or when the fast path
+    lost its join-heavy speedup.  Returns human-readable findings
+    (empty list == pass).
+    """
+    findings: List[str] = []
+    base = baseline.normalized_after_geomean()
+    cur = current.normalized_after_geomean()
+    if base > 0 and not math.isnan(base) and not math.isnan(cur):
+        ratio = cur / base
+        if ratio > 1.0 + threshold:
+            findings.append(
+                "normalised wall time regressed: "
+                f"{cur:.1f} us/join vs baseline {base:.1f} us/join "
+                f"({ratio:.2f}x, threshold {1.0 + threshold:.2f}x)"
+            )
+    for row in current.rows:
+        if row.counters_regressed:
+            findings.append(
+                f"{row.query}: fast path increased work counters "
+                f"{row.counters_regressed}"
+            )
+    speedup = current.join_heavy_speedup()
+    if not math.isnan(speedup) and speedup < 1.0:
+        findings.append(
+            "fast path is net slower than legacy on join-heavy queries "
+            f"(geomean speedup {speedup:.2f}x)"
+        )
+    return findings
+
+
+def counter_totals(report: FastPathReport) -> Dict[str, int]:
+    """Aggregate after-side observability counters across the sweep."""
+    return {
+        "scan_cache_hits": sum(r.scan_cache_hits for r in report.rows),
+        "postings_reused": sum(r.postings_reused for r in report.rows),
+    }

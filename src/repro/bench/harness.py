@@ -57,6 +57,7 @@ class Harness:
         optimize: bool = False,
         repeats: int = 1,
         trace: bool = False,
+        scan_cache: bool = True,
     ) -> QueryReport:
         """One measurement: query × engine × factor.
 
@@ -72,6 +73,10 @@ class Harness:
         its final execution (``report.trace``) — the opt-in Figure 15/16
         per-operator breakdown.  Tracing applies to the algebraic
         engines only; ``nav`` measurements ignore the flag.
+
+        ``scan_cache`` is forwarded to :meth:`Engine.measure`; the
+        fast-path comparison harness (:mod:`repro.bench.fastpath`)
+        disables it for its "before" configuration.
         """
         engine = self.engine_for(factor)
         trace = trace and engine_name != "nav"
@@ -81,6 +86,7 @@ class Harness:
             optimize=optimize,
             label=name,
             trace=trace,
+            scan_cache=scan_cache,
         )
         if first.seconds >= self.budget_seconds / 10:
             # too slow to repeat; the single (cold) run is the result
@@ -93,6 +99,7 @@ class Harness:
                 optimize=optimize,
                 label=name,
                 trace=trace,
+                scan_cache=scan_cache,
             )
             for _ in range(max(1, repeats))
         ]

@@ -11,22 +11,42 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set
+from typing import List, Optional, Sequence, Set, Union
 
 from ..model.sequence import TreeSequence
 from ..model.tree import TNode, XTree
 from ..model.value import Atomic, compare
 from ..patterns.match import PatternMatcher
+from ..patterns.scan_cache import ScanCache
 from ..storage.database import Database
 from ..storage.stats import Metrics
 
 
 class Context:
-    """Evaluation context: the database, its matcher and metrics."""
+    """Evaluation context: the database, its matcher and metrics.
 
-    def __init__(self, db: Database) -> None:
+    One context is created per plan execution, so the attached
+    :class:`~repro.patterns.scan_cache.ScanCache` is **query-scoped**:
+    identical index scans and APT-leaf matches issued by different
+    operators of the same plan are answered from the memo, and nothing
+    survives into the next query.  Pass ``scan_cache=False`` to reproduce
+    the uncached behaviour (every pattern node re-scans), or an existing
+    :class:`ScanCache` instance to share one across executions of
+    *immutable* data (benchmark warm runs).
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        scan_cache: Union[bool, ScanCache, None] = True,
+    ) -> None:
         self.db = db
-        self.matcher = PatternMatcher(db)
+        if scan_cache is True:
+            scan_cache = ScanCache(db.metrics)
+        elif scan_cache is False:
+            scan_cache = None
+        self.scan_cache: Optional[ScanCache] = scan_cache
+        self.matcher = PatternMatcher(db, scan_cache=scan_cache)
 
     @property
     def metrics(self) -> Metrics:
@@ -139,7 +159,7 @@ def class_node_id(tree: XTree, lcl: int, operator: str):
     """Node id of the singleton node of ``lcl`` (None when empty)."""
     from ..errors import CardinalityError
 
-    nodes = tree.nodes_in_class(lcl)
+    nodes = tree.class_nodes(lcl)
     if not nodes:
         return None
     if len(nodes) > 1:
@@ -158,7 +178,7 @@ def class_value(tree: XTree, lcl: int, operator: str) -> Optional[Atomic]:
     """
     from ..errors import CardinalityError
 
-    nodes = tree.nodes_in_class(lcl, include_shadowed=True)
+    nodes = tree.class_nodes(lcl, include_shadowed=True)
     if not nodes:
         return None
     if len(nodes) > 1:

@@ -31,6 +31,7 @@ from typing import List, Optional, Tuple, Union
 from ..model.node_id import NodeId
 from ..model.sequence import TreeSequence
 from ..model.tree import TNode, XTree
+from ..physical.structural_join import fast_path_enabled
 from .base import Context, Operator
 
 
@@ -173,20 +174,31 @@ class ConstructOp(Operator):
         return element
 
     def _class_text(self, tree: XTree, lcl: int) -> str:
-        nodes = tree.nodes_in_class(lcl)
+        nodes = tree.class_nodes(lcl)
         if not nodes or nodes[0].value is None:
             return ""
         return str(nodes[0].value)
 
     def _materialize(self, ctx: Context, tree: XTree, ref: CClassRef):
         """Yield the spliced content for one class reference."""
-        for node in tree.nodes_in_class(ref.lcl):
+        for node in tree.class_nodes(ref.lcl):
             if ref.text_only:
                 if node.value is not None:
                     yield str(node.value)
                 continue
             if isinstance(node.nid, NodeId):
                 copy = ctx.db.subtree(node.nid, node.lcls)
+            elif fast_path_enabled():
+                if not ref.hidden:
+                    # constructed content needs no private copy: splicing
+                    # only re-parents in the *output* tree and inputs are
+                    # never mutated in place
+                    yield node
+                    continue
+                # hidden splices set the shadow flag, so copy the top
+                # node (its subtree can still be shared)
+                copy = TNode(node.tag, node.value, node.nid, node.lcls)
+                copy.children = node.children
             else:
                 copy = node.clone()
             if ref.hidden:

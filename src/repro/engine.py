@@ -112,6 +112,7 @@ class Engine:
         optimize: bool = False,
         strict: bool = False,
         trace: bool = False,
+        scan_cache: bool = True,
     ) -> TreeSequence:
         """Evaluate a query and return the result forest.
 
@@ -127,6 +128,11 @@ class Engine:
         shared ``Operator`` protocol, so it works for every algebraic
         plan (``tlc``, ``tax``, ``gtp``); the navigational baseline
         interprets the AST and has no operators to trace.
+
+        ``scan_cache`` controls the query-scoped memo of identical index
+        scans and pattern-leaf matches (on by default; hits show up as
+        ``scan_cache_hits`` in the counters).  Disable it to reproduce
+        the uncached behaviour, e.g. for before/after benchmarking.
         """
         if engine not in ENGINES:
             raise ReproError(
@@ -147,15 +153,20 @@ class Engine:
             translation.plan,
             strict=strict and engine == "tlc",
             trace=trace,
+            scan_cache=scan_cache,
         )
 
     def run_plan(
-        self, plan: Operator, strict: bool = False, trace: bool = False
+        self,
+        plan: Operator,
+        strict: bool = False,
+        trace: bool = False,
+        scan_cache: bool = True,
     ) -> TreeSequence:
         """Evaluate an already-built plan against this engine's database."""
         if strict:
             _validate_plan(plan)
-        ctx = Context(self.db)
+        ctx = Context(self.db, scan_cache=scan_cache)
         if not trace:
             return evaluate(plan, ctx)
         from .trace import Tracer
@@ -177,6 +188,7 @@ class Engine:
         cold_cache: bool = False,
         strict: bool = False,
         trace: bool = False,
+        scan_cache: bool = True,
     ) -> QueryReport:
         """Run a query and report wall time plus the work counters.
 
@@ -194,6 +206,7 @@ class Engine:
             optimize=optimize,
             strict=strict,
             trace=trace,
+            scan_cache=scan_cache,
         )
         elapsed = time.perf_counter() - started
         name = engine + ("+opt" if optimize else "")

@@ -101,9 +101,14 @@ class TempIdAllocator:
         self._lock = threading.Lock()
 
     def next(self) -> TempId:
-        """Allocate a fresh temporary id."""
-        with self._lock:
-            return TempId(next(self._counter))
+        """Allocate a fresh temporary id.
+
+        Lockless: ``next()`` on :func:`itertools.count` is atomic in
+        CPython, and id allocation is hot enough (one per constructed
+        tree node) for lock overhead to show up in profiles.  The lock
+        still guards :meth:`reset`, which swaps the counter object.
+        """
+        return TempId(next(self._counter))
 
     def reset(self) -> None:
         """Restart numbering from zero (test isolation only)."""

@@ -17,7 +17,16 @@ trees*.  Each tree node carries:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .node_id import AnyNodeId, new_temp_id
 from .value import Atomic
@@ -177,23 +186,48 @@ class XTree:
     :meth:`invalidate` (or construct a fresh ``XTree``).
     """
 
-    __slots__ = ("root", "_lc_index", "_lc_index_shadowed")
+    __slots__ = ("root", "_lc_index", "_lc_index_shadowed", "_saw_shadowed")
 
     def __init__(self, root: TNode) -> None:
         self.root = root
         self._lc_index: Optional[Dict[int, List[TNode]]] = None
         self._lc_index_shadowed: Optional[Dict[int, List[TNode]]] = None
+        #: True/False once a visible-index build observed (or ruled out)
+        #: shadowed nodes; None while unknown.  Lets shadow-free trees
+        #: serve shadow-inclusive probes from the visible index.
+        self._saw_shadowed: Optional[bool] = None
 
     def invalidate(self) -> None:
         """Drop the cached LC index after structural modification."""
         self._lc_index = None
         self._lc_index_shadowed = None
+        self._saw_shadowed = None
 
     def _build_index(self, include_shadowed: bool) -> Dict[int, List[TNode]]:
+        # the walk is inlined: index building is the hottest whole-tree
+        # traversal in the system and generator overhead is measurable
         index: Dict[int, List[TNode]] = {}
-        for node in self.root.walk(include_shadowed=include_shadowed):
+        root = self.root
+        saw_shadowed = root.shadowed
+        if root.shadowed and not include_shadowed:
+            self._saw_shadowed = True
+            return index
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node.shadowed:
+                saw_shadowed = True
+                if not include_shadowed and node is not root:
+                    continue
             for lcl in node.lcls:
                 index.setdefault(lcl, []).append(node)
+            stack.extend(reversed(node.children))
+        if include_shadowed:
+            self._saw_shadowed = saw_shadowed
+        else:
+            # the visible walk skips shadowed *subtrees*, but it still
+            # sees each skipped subtree's root, so the flag is exact
+            self._saw_shadowed = saw_shadowed
         return index
 
     def nodes_in_class(
@@ -206,13 +240,30 @@ class XTree:
         information exists in a tree we assume the class maps to the empty
         set").
         """
+        return list(self.class_nodes(lcl, include_shadowed))
+
+    def class_nodes(
+        self, lcl: int, include_shadowed: bool = False
+    ) -> Sequence[TNode]:
+        """Borrowed read-only view of a class's member list.
+
+        Unlike :meth:`nodes_in_class` this returns the index's own list
+        without copying — callers must not mutate it.  Index lists may
+        be shared between trees that share structure, so mutation would
+        corrupt more than this tree.  A shadow-inclusive probe on a
+        tree known to be shadow-free is answered from the visible index
+        (the two are identical then).
+        """
         if include_shadowed:
-            if self._lc_index_shadowed is None:
-                self._lc_index_shadowed = self._build_index(True)
-            return list(self._lc_index_shadowed.get(lcl, ()))
+            if self._lc_index_shadowed is not None:
+                return self._lc_index_shadowed.get(lcl, ())
+            if self._lc_index is not None and self._saw_shadowed is False:
+                return self._lc_index.get(lcl, ())
+            self._lc_index_shadowed = self._build_index(True)
+            return self._lc_index_shadowed.get(lcl, ())
         if self._lc_index is None:
             self._lc_index = self._build_index(False)
-        return list(self._lc_index.get(lcl, ()))
+        return self._lc_index.get(lcl, ())
 
     def singleton(self, lcl: int, operator: str) -> TNode:
         """The unique node of class ``lcl``; raises CardinalityError else."""

@@ -4,6 +4,7 @@ from .apt import APT, AXES, MSPECS, APTEdge, APTNode, pattern_node
 from .logical_class import LCLAllocator
 from .match import PatternMatcher, match_in_tree
 from .predicates import NodeTest
+from .scan_cache import Candidates, ScanCache
 
 __all__ = [
     "APT",
@@ -16,4 +17,6 @@ __all__ = [
     "PatternMatcher",
     "match_in_tree",
     "NodeTest",
+    "Candidates",
+    "ScanCache",
 ]

@@ -25,9 +25,15 @@ from ..errors import PatternError
 from ..model.node_id import NodeId, TempId
 from ..model.sequence import TreeSequence
 from ..model.tree import TNode, XTree
-from ..physical.structural_join import join_for_mspec
+from ..physical.structural_join import (
+    child_columns,
+    fast_path_enabled,
+    join_for_mspec,
+)
 from ..storage.database import Database
 from .apt import APT, APTEdge, APTNode
+from .predicates import NodeTest
+from .scan_cache import Candidates, ScanCache
 
 
 class _MTree:
@@ -93,10 +99,14 @@ def _expand_nested(
 def _combine_edge(
     partials: List[_MTree],
     joined: List[Tuple[_MTree, List[List[_MTree]]]],
-) -> List[_MTree]:
-    """Extend each partial with its alternatives for one more edge."""
+) -> "Candidates":
+    """Extend each partial with its alternatives for one more edge.
+
+    Returns a fresh :class:`Candidates` list (never the input), so the
+    next edge's structural join can attach its probe columns to it.
+    """
     by_parent = {id(parent): alts for parent, alts in joined}
-    out: List[_MTree] = []
+    out: Candidates = Candidates()
     for partial in partials:
         alternatives = by_parent.get(id(partial))
         if alternatives is None:
@@ -122,8 +132,14 @@ class PatternMatcher:
         db: Database,
         order_edges: bool = False,
         strategy: str = "binary",
+        scan_cache: Optional[ScanCache] = None,
     ) -> None:
         self.db = db
+        #: Query-scoped memo of identical scans (see
+        #: :mod:`repro.patterns.scan_cache`).  ``None`` disables caching:
+        #: every pattern node re-scans its index postings as the original
+        #: substrate did.
+        self.scan_cache = scan_cache
         #: With ``order_edges`` the matcher processes a node's mandatory
         #: edges in ascending candidate-count order before its optional
         #: edges — the structural-join-order idea of the paper's reference
@@ -222,14 +238,28 @@ class PatternMatcher:
         clone of the input with the new branches attached (stored anchors)
         or with existing nodes marked into the new classes (temporary
         anchors, matched in memory).
+
+        On the columnar fast path all stored anchors are matched in one
+        *batch*: every edge runs a single merge-style structural join
+        over the document-ordered set of distinct anchors (the skip
+        cursor advances monotonically across them), and the per-anchor
+        variants are assembled from the per-edge alternatives — instead
+        of an independent join cascade per anchor per input tree, which
+        paid the per-call join overhead thousands of times on
+        extension-heavy plans.
         """
         root = apt.root
         if root.lc_ref is None:
             raise PatternError("extension pattern must reference a class")
         apt.validate()
         self.db.metrics.pattern_matches += 1
+        if fast_path_enabled():
+            return self._extend_fast(root, trees)
+        return self._extend_legacy(root, trees)
+
+    def _extend_legacy(self, root: APTNode, trees: TreeSequence) -> TreeSequence:
+        """The original per-anchor extension cascade (BENCH_3 baseline)."""
         memo: Dict[int, List[_MTree]] = {}
-        starts_cache: Dict[int, list] = {}
         mandatory = any(e.mspec in ("-", "+") for e in root.edges)
         out = TreeSequence()
         for tree in trees:
@@ -246,7 +276,7 @@ class PatternMatcher:
             dead = False
             for anchor in anchors:
                 variants = self._anchor_variants(
-                    anchor, root.edges, memo, starts_cache
+                    anchor, root.edges, memo
                 )
                 if not variants:
                     dead = True
@@ -259,20 +289,206 @@ class PatternMatcher:
                 self.db.metrics.trees_built += 1
         return out
 
+    def _extend_fast(self, root: APTNode, trees: TreeSequence) -> TreeSequence:
+        """Batched extension: one structural join per edge for all anchors.
+
+        Pass 1 collects each tree's anchors and the set of distinct
+        stored anchor ids.  The batch then joins every edge once across
+        all anchors in document order and memoises the variant list per
+        anchor id — input trees sharing an anchor (or repeating one) get
+        the shared, immutable variants.  Pass 2 emits the grafted output
+        trees in the original input order.  Temporary anchors are still
+        matched per tree against their in-memory host.
+        """
+        edges = root.edges
+        mandatory = any(e.mspec in ("-", "+") for e in edges)
+        check_content = bool(root.test.comparisons)
+        pattern_lcls = [
+            node.lcl for edge in edges for node in edge.child.walk()
+        ]
+        #: anchors per input tree; None marks an anchor-less tree and
+        #: False a tree dropped by the root content test
+        entries: List[Tuple[XTree, object]] = []
+        db_anchors: Dict[NodeId, TNode] = {}
+        for tree in trees:
+            anchors = tree.class_nodes(root.lc_ref)
+            if not anchors:
+                entries.append((tree, None))
+                continue
+            if check_content and not all(
+                root.test.matches_content(a.value) for a in anchors
+            ):
+                entries.append((tree, False))
+                continue
+            entries.append((tree, anchors))
+            for anchor in anchors:
+                if isinstance(anchor.nid, NodeId):
+                    db_anchors.setdefault(anchor.nid, anchor)
+        variants_by_nid = (
+            self._batch_anchor_variants(db_anchors, edges)
+            if db_anchors
+            else {}
+        )
+        #: built-subtree memo shared by every graft of this batch (see
+        #: the ``cache`` parameter of :func:`_apply_match`)
+        built_cache: Dict[int, Tuple[TNode, List[Tuple[int, TNode]]]] = {}
+        out = TreeSequence()
+        for tree, anchors in entries:
+            if anchors is None:
+                if not mandatory:
+                    out.append(tree.clone())
+                continue
+            if anchors is False:
+                continue
+            per_anchor: List[List[_MTree]] = []
+            dead = False
+            for anchor in anchors:
+                if isinstance(anchor.nid, NodeId):
+                    variants = variants_by_nid[anchor.nid]
+                else:
+                    variants = _match_tree_variants(
+                        _MTree(
+                            anchor.nid, anchor.tag, anchor.value, ref=anchor
+                        ),
+                        edges,
+                    )
+                if not variants:
+                    dead = True
+                    break
+                per_anchor.append(variants)
+            if dead:
+                continue
+            # the output LC index can be derived from the input's when
+            # grafts only *append* below stored, non-nested anchors and
+            # the pattern's classes are fresh to this tree: existing
+            # entries keep their pre-order positions (remapped through
+            # the copies) and new entries arrive in anchor/edge/match
+            # order, which *is* output pre-order among themselves
+            base_index = tree._lc_index
+            if (
+                base_index is None
+                or not all(isinstance(a.nid, NodeId) for a in anchors)
+                or any(lcl in base_index for lcl in pattern_lcls)
+            ):
+                base_index = None
+            combos = 1
+            for variants in per_anchor:
+                combos *= len(variants)
+            if combos == 1:
+                # the common case: one output tree — fuse path
+                # discovery and copying into a single bottom-up pass
+                combo = tuple(v[0] for v in per_anchor)
+                out.append(
+                    self._graft_once(
+                        tree, anchors, combo, edges, base_index, built_cache
+                    )
+                )
+                self.db.metrics.trees_built += 1
+                continue
+            copy_ids, nested = _graft_copy_ids(tree, anchors)
+            if nested:
+                base_index = None
+            for combo in itertools.product(*per_anchor):
+                out.append(
+                    self._graft_shared(
+                        tree,
+                        copy_ids,
+                        anchors,
+                        combo,
+                        edges,
+                        base_index,
+                        built_cache,
+                    )
+                )
+                self.db.metrics.trees_built += 1
+        return out
+
+    def _batch_anchor_variants(
+        self,
+        db_anchors: Dict[NodeId, TNode],
+        edges: List[APTEdge],
+    ) -> Dict[NodeId, List[_MTree]]:
+        """Match variants for every distinct stored anchor, in one batch.
+
+        The per-anchor alternatives of one edge depend only on the
+        anchor's node id, so each edge is answered by a single
+        structural join over all anchors sorted in document order — the
+        merge cursor then probes the shared candidate columns strictly
+        forward.  An anchor's variants are the cross product of its
+        per-edge alternatives (same order the sequential cascade
+        produced: later edges vary fastest).
+        """
+        memo: Dict[int, List[_MTree]] = {}
+        result: Dict[NodeId, List[_MTree]] = {}
+        by_doc: Dict[int, List[NodeId]] = {}
+        for nid in db_anchors:
+            by_doc.setdefault(nid.doc, []).append(nid)
+        for doc, nids in by_doc.items():
+            nids.sort(key=lambda n: (n.doc, n.start))
+            doc_name = self.db.owner(nids[0]).name
+            bases = [
+                _MTree(nid, db_anchors[nid].tag, db_anchors[nid].value)
+                for nid in nids
+            ]
+            alts_per_edge: List[Dict[NodeId, List[List[_MTree]]]] = []
+            for edge in edges:
+                children = self._match_node_db(edge.child, doc_name, memo)
+                starts, levels = child_columns(children, lambda m: m.nid)
+                joined = join_for_mspec(
+                    bases,
+                    children,
+                    edge.axis,
+                    edge.mspec,
+                    self.db.metrics,
+                    parent_id=lambda m: m.nid,
+                    child_id=lambda m: m.nid,
+                    child_starts=starts,
+                    child_levels=levels,
+                )
+                joined = _expand_nested(joined, edge.mspec, lambda m: m.nid)
+                alts_per_edge.append(
+                    {parent.nid: alts for parent, alts in joined}
+                )
+            for base in bases:
+                result[base.nid] = [
+                    _MTree(base.nid, base.tag, base.value, list(combo))
+                    for combo in itertools.product(
+                        *(alts.get(base.nid, ()) for alts in alts_per_edge)
+                    )
+                ]
+        return result
+
     # ------------------------------------------------------------------
     # internals: database-side matching
     # ------------------------------------------------------------------
-    def _candidates(self, node: APTNode, doc_name: str) -> List[_MTree]:
-        """Stored candidates for one pattern node, document order."""
-        db = self.db
+    def _candidates(self, node: APTNode, doc_name: str) -> Candidates:
+        """Stored candidates for one pattern node, document order.
+
+        With a :class:`ScanCache` attached, identical scans — same
+        document, tag test and content comparisons — are answered from
+        the query-scoped memo: the index probe, per-posting record
+        fetches and predicate filtering run once per query instead of
+        once per pattern node (``Metrics.scan_cache_hits`` counts the
+        repeats).  The cached list and its match variants are shared and
+        never mutated (combination always builds fresh variants).
+        """
         test = node.test
+        if self.scan_cache is None:
+            return self._scan_candidates(test, doc_name)
+        key = (doc_name, test.tag, test.comparisons)
+        return self.scan_cache.candidates(
+            key, lambda: self._scan_candidates(test, doc_name)
+        )
+
+    def _scan_candidates(self, test: NodeTest, doc_name: str) -> Candidates:
+        """One actual index/record scan for a node test (uncached)."""
+        db = self.db
         if test.tag == "doc_root":
             document = db.document(doc_name)
-            root_id = document.root_id
-            return [_MTree(root_id, "doc_root", None)]
+            return Candidates([_MTree(document.root_id, "doc_root", None)])
+        out = Candidates()
         if test.tag is None:
             document = db.document(doc_name)
-            out = []
             for idx in range(len(document.records)):
                 rec = document.fetch(idx)
                 if test.matches_content(rec.value):
@@ -291,11 +507,28 @@ class PatternMatcher:
             rest = tuple(
                 c for c in test.comparisons if c != indexable[0]
             )
-        else:
-            ids = db.tag_lookup(doc_name, test.tag)
-            rest = test.comparisons
-        out = []
-        for nid in ids:
+            for nid in ids:
+                rec = db.owner(nid).fetch_by_id(nid)
+                if all(
+                    _compare_ok(rec.value, op, val) for op, val in rest
+                ):
+                    out.append(_MTree(nid, rec.tag, rec.value))
+            return out
+        # tag-only scan: the columnar postings carry the record indexes,
+        # so each fetch skips the per-node id resolution (same metering —
+        # one record touch per posting — just less interpreter work)
+        document = db.document(doc_name)
+        postings = db.tag_lookup(doc_name, test.tag)
+        rest = test.comparisons
+        if postings.record_indexes is not None:
+            for ridx, nid in zip(postings.record_indexes, postings.ids):
+                rec = document.fetch(ridx)
+                if all(
+                    _compare_ok(rec.value, op, val) for op, val in rest
+                ):
+                    out.append(_MTree(nid, rec.tag, rec.value))
+            return out
+        for nid in postings:
             rec = db.owner(nid).fetch_by_id(nid)
             if all(
                 _compare_ok(rec.value, op, val) for op, val in rest
@@ -356,28 +589,26 @@ class PatternMatcher:
         anchor: TNode,
         edges: List[APTEdge],
         memo: Dict[int, List[_MTree]],
-        starts_cache: Dict[int, list] = None,
     ) -> List[_MTree]:
         """Match variants of the pattern edges below one anchor node.
 
-        ``starts_cache`` memoises the sorted probe keys of each edge's
-        candidate list across anchors — the extension Select visits one
-        anchor per input tree, and rebuilding the key array every time
-        would make pattern reuse quadratic.
+        The candidate lists of the pattern edges are memoised across
+        anchors (``memo``) and carry their probe columns after the first
+        join (see :func:`~repro.physical.structural_join.child_columns`),
+        so the extension Select — which visits one anchor per input tree
+        — probes each anchor in logarithmic time instead of rebuilding
+        key arrays per anchor (which would make pattern reuse quadratic).
         """
         if isinstance(anchor.nid, NodeId):
             doc_name = self.db.owner(anchor.nid).name
             partials = [_MTree(anchor.nid, anchor.tag, anchor.value)]
             for edge in edges:
                 children = self._match_node_db(edge.child, doc_name, memo)
-                child_starts = None
-                if starts_cache is not None:
-                    key = id(children)
-                    if key not in starts_cache:
-                        starts_cache[key] = [
-                            (m.nid.doc, m.nid.start) for m in children
-                        ]
-                    child_starts = starts_cache[key]
+                # computed once per candidate list (cached on it), probed
+                # once per anchor — logarithmic on both paths
+                starts, levels = child_columns(
+                    children, lambda m: m.nid
+                )
                 joined = join_for_mspec(
                     partials,
                     children,
@@ -386,7 +617,8 @@ class PatternMatcher:
                     self.db.metrics,
                     parent_id=lambda m: m.nid,
                     child_id=lambda m: m.nid,
-                    child_starts=child_starts,
+                    child_starts=starts,
+                    child_levels=levels,
                 )
                 joined = _expand_nested(joined, edge.mspec, lambda m: m.nid)
                 partials = _combine_edge(partials, joined)
@@ -413,11 +645,259 @@ class PatternMatcher:
                     _apply_match(child, edge.child, host, mapping)
         return XTree(root_copy)
 
+    def _graft_once(
+        self,
+        tree: XTree,
+        anchors: List[TNode],
+        combo: Sequence[_MTree],
+        edges: List[APTEdge],
+        base_index: Optional[Dict[int, List[TNode]]] = None,
+        cache: Optional[Dict[int, Tuple[TNode, List[Tuple[int, TNode]]]]] = None,
+    ) -> XTree:
+        """Single-combination graft: find and copy anchor paths in one pass.
+
+        A bottom-up traversal returns a copy for any node that is an
+        anchor or has a copied descendant, and ``None`` for subtrees
+        that can be shared outright; with all anchors stored, subtrees
+        whose stored interval holds no anchor are skipped without
+        descending (a stored node's interval bounds its structural
+        subtree in every intermediate tree).
+        """
+        single = anchors[0] if len(anchors) == 1 else None
+        anchor_ids = (
+            None if single is not None else {id(a) for a in anchors}
+        )
+        spans = [
+            anchor.nid
+            for anchor in anchors
+            if isinstance(anchor.nid, NodeId)
+        ]
+        prune = len(spans) == len(anchors)
+        span = spans[0] if len(spans) == 1 else None
+        if span is not None:
+            span_doc, span_start, span_end = span.doc, span.start, span.end
+        mapping: Dict[int, TNode] = {}
+        nested = False
+
+        def build(node: TNode) -> Optional[TNode]:
+            nonlocal nested
+            is_anchor = (
+                node is single
+                if single is not None
+                else id(node) in anchor_ids
+            )
+            nid = node.nid
+            if not is_anchor and prune and isinstance(nid, NodeId):
+                if span is not None:
+                    if not (
+                        nid.doc == span_doc
+                        and nid.start < span_start
+                        and span_end < nid.end
+                    ):
+                        return None
+                elif not any(
+                    nid.doc == s.doc
+                    and nid.start < s.start
+                    and s.end < nid.end
+                    for s in spans
+                ):
+                    return None
+            if is_anchor and not isinstance(nid, NodeId):
+                # temporary anchor: marking may touch any descendant,
+                # so the whole subtree needs a private copy
+                return _clone_with_map(node, mapping)
+            new_children = None
+            for i, child in enumerate(node.children):
+                built = build(child)
+                if built is not None:
+                    if new_children is None:
+                        new_children = list(node.children[:i])
+                    new_children.append(built)
+                elif new_children is not None:
+                    new_children.append(child)
+            if new_children is None and not is_anchor:
+                return None
+            if is_anchor and new_children is not None:
+                nested = True
+            copy = TNode(node.tag, node.value, nid, node.lcls)
+            copy.shadowed = node.shadowed
+            copy.children = (
+                new_children
+                if new_children is not None
+                else list(node.children)
+            )
+            mapping[id(node)] = copy
+            return copy
+
+        root_copy = build(tree.root)
+        if root_copy is None:  # pragma: no cover - anchors are in-tree
+            root_copy = tree.root.clone()
+        if nested:
+            base_index = None
+        recorder: Optional[List[Tuple[int, TNode]]] = (
+            [] if base_index is not None else None
+        )
+        for anchor, variant in zip(anchors, combo):
+            host = mapping[id(anchor)]
+            for edge, matches in zip(edges, variant.slots):
+                for child in matches:
+                    _apply_match(
+                        child, edge.child, host, mapping, recorder, cache
+                    )
+        result = XTree(root_copy)
+        # grafts never add shadowed nodes and copies keep flags, so the
+        # input's shadow-presence knowledge carries over
+        result._saw_shadowed = tree._saw_shadowed
+        if base_index is not None and recorder is not None:
+            result._lc_index = _derive_index(base_index, mapping, recorder)
+        return result
+
+    def _graft_shared(
+        self,
+        tree: XTree,
+        copy_ids: set,
+        anchors: List[TNode],
+        combo: Sequence[_MTree],
+        edges: List[APTEdge],
+        base_index: Optional[Dict[int, List[TNode]]] = None,
+        cache: Optional[Dict[int, Tuple[TNode, List[Tuple[int, TNode]]]]] = None,
+    ) -> XTree:
+        """One output tree, sharing unmodified subtrees with the input.
+
+        Only the nodes in ``copy_ids`` — the root-to-anchor paths, plus
+        whole subtrees of in-memory anchors (whose descendants may be
+        *marked* by the match) — are copied; every other subtree is the
+        input tree's own node, shared structurally.  This is safe
+        because operators never mutate their inputs (the evaluator
+        shares memoised results between consumers, so in-place mutation
+        was already forbidden) — any operator that needs to modify a
+        tree clones it first, which deep-copies through shared nodes.
+        """
+        mapping: Dict[int, TNode] = {}
+
+        def copy_node(node: TNode) -> TNode:
+            copy = TNode(node.tag, node.value, node.nid, node.lcls)
+            copy.shadowed = node.shadowed
+            mapping[id(node)] = copy
+            copy.children = [
+                copy_node(c) if id(c) in copy_ids else c
+                for c in node.children
+            ]
+            return copy
+
+        root_copy = copy_node(tree.root)
+        recorder: Optional[List[Tuple[int, TNode]]] = (
+            [] if base_index is not None else None
+        )
+        for anchor, variant in zip(anchors, combo):
+            host = mapping[id(anchor)]
+            for edge, matches in zip(edges, variant.slots):
+                for child in matches:
+                    _apply_match(
+                        child, edge.child, host, mapping, recorder, cache
+                    )
+        result = XTree(root_copy)
+        result._saw_shadowed = tree._saw_shadowed
+        if base_index is not None and recorder is not None:
+            result._lc_index = _derive_index(base_index, mapping, recorder)
+        return result
+
 
 def _compare_ok(value, op, rhs) -> bool:
     from ..model.value import compare
 
     return compare(value, op, rhs)
+
+
+def _derive_index(
+    base_index: Dict[int, List[TNode]],
+    mapping: Dict[int, TNode],
+    recorder: List[Tuple[int, TNode]],
+) -> Dict[int, List[TNode]]:
+    """The grafted tree's LC index, derived from the input tree's.
+
+    Classes untouched by the path copies share the input's entry list
+    outright (``nodes_in_class`` hands out copies, so shared lists are
+    never mutated by callers); classes of copied nodes are remapped
+    entry by entry, and the recorder's fresh nodes append in graft
+    order, which is output pre-order among themselves.
+    """
+    index: Dict[int, List[TNode]] = dict(base_index)
+    dirty: set = set()
+    for copy in mapping.values():
+        dirty.update(copy.lcls)
+    for lcl in dirty:
+        nodes = base_index.get(lcl)
+        if nodes is not None:
+            index[lcl] = [mapping.get(id(n), n) for n in nodes]
+    for lcl, node in recorder:
+        index.setdefault(lcl, []).append(node)
+    return index
+
+
+def _graft_copy_ids(
+    tree: XTree, anchors: List[TNode]
+) -> Tuple[set, bool]:
+    """Ids of the nodes a shared graft must copy, plus a nesting flag.
+
+    Every node on a root-to-anchor path is copied (its children list
+    changes, or a descendant's does).  A temporary anchor additionally
+    contributes its whole subtree: in-memory matches *mark* existing
+    descendant nodes into new classes, and marking must never write
+    through to the shared input tree.
+
+    The second return value reports whether any anchor sits inside
+    another anchor's subtree — nested anchors interleave appended
+    branches with existing subtrees in pre-order, which disqualifies
+    the incremental LC-index derivation.
+    """
+    anchor_ids = {id(anchor) for anchor in anchors}
+    copy_ids: set = set()
+    nested = False
+    # with all anchors stored, a stored node's interval bounds its whole
+    # structural subtree in every intermediate tree (grafts and splices
+    # attach only descendants-by-interval under stored nodes), so
+    # subtrees whose interval holds no anchor are skipped wholesale
+    spans = [
+        anchor.nid
+        for anchor in anchors
+        if isinstance(anchor.nid, NodeId)
+    ]
+    prune = len(spans) == len(anchors)
+
+    def visit(node: TNode) -> bool:
+        nonlocal nested
+        is_anchor = id(node) in anchor_ids
+        nid = node.nid
+        if (
+            prune
+            and not is_anchor
+            and isinstance(nid, NodeId)
+            and not any(
+                nid.doc == span.doc
+                and nid.start < span.start
+                and span.end < nid.end
+                for span in spans
+            )
+        ):
+            return False
+        below = False
+        for child in node.children:
+            if visit(child):
+                below = True
+        if is_anchor and below:
+            nested = True
+        if is_anchor or below:
+            copy_ids.add(id(node))
+            return True
+        return False
+
+    visit(tree.root)
+    for anchor in anchors:
+        if not isinstance(anchor.nid, NodeId):
+            for node in anchor.walk(include_shadowed=True):
+                copy_ids.add(id(node))
+    return copy_ids, nested
 
 
 def _clone_with_map(node: TNode, mapping: Dict[int, TNode]) -> TNode:
@@ -435,20 +915,58 @@ def _apply_match(
     pattern: APTNode,
     host: TNode,
     mapping: Dict[int, TNode],
+    recorder: Optional[List[Tuple[int, TNode]]] = None,
+    cache: Optional[Dict[int, Tuple[TNode, List[Tuple[int, TNode]]]]] = None,
 ) -> None:
-    """Attach a stored match under ``host``, or mark an in-memory match."""
+    """Attach a stored match under ``host``, or mark an in-memory match.
+
+    With ``recorder`` every freshly built node is recorded with its
+    class label, in attachment (pre-)order, for the incremental
+    LC-index derivation of :meth:`PatternMatcher._graft_shared`.
+
+    With ``cache`` the subtree built for a stored match is memoised by
+    variant identity and *shared* between every output tree that
+    applies the same variant — variants are immutable and the built
+    nodes are never mutated in place (marking and shadowing always
+    copy first), so the trees of one extension batch may hold the same
+    grafted branch object.  In-memory matches (``ref`` set) mark
+    tree-private copies and are never cached; their slots only ever
+    hold further in-memory matches, so a cached subtree is ref-free.
+    """
     if mtree.ref is not None:
         target = mapping[id(mtree.ref)]
         target.lcls.add(pattern.lcl)
         for edge, matches in zip(pattern.edges, mtree.slots):
             for child in matches:
-                _apply_match(child, edge.child, target, mapping)
+                _apply_match(
+                    child, edge.child, target, mapping, recorder, cache
+                )
+        return
+    if cache is not None:
+        hit = cache.get(id(mtree))
+        if hit is None:
+            recs: List[Tuple[int, TNode]] = []
+            built = TNode(mtree.tag, mtree.value, mtree.nid, {pattern.lcl})
+            recs.append((pattern.lcl, built))
+            for edge, matches in zip(pattern.edges, mtree.slots):
+                for child in matches:
+                    _apply_match(
+                        child, edge.child, built, mapping, recs, cache
+                    )
+            cache[id(mtree)] = (built, recs)
+        else:
+            built, recs = hit
+        host.add_child(built)
+        if recorder is not None:
+            recorder.extend(recs)
         return
     built = TNode(mtree.tag, mtree.value, mtree.nid, {pattern.lcl})
+    if recorder is not None:
+        recorder.append((pattern.lcl, built))
     host.add_child(built)
     for edge, matches in zip(pattern.edges, mtree.slots):
         for child in matches:
-            _apply_match(child, edge.child, built, mapping)
+            _apply_match(child, edge.child, built, mapping, recorder)
 
 
 def _holistic_eligible(root: APTNode) -> bool:

@@ -1,0 +1,88 @@
+"""Query-scoped memoisation of index scans and APT-leaf matches.
+
+A TLC plan routinely evaluates several Select operators whose pattern
+trees scan the *same* tag with the *same* content predicate — the FOR
+clause binds ``//person``, the RETURN paths scan ``name`` and ``age``,
+a correlated sub-plan scans ``//person`` again.  The stored documents
+are immutable for the duration of one plan execution, so those repeated
+scans (index probe + record fetch per posting + predicate filter) are
+pure rework.
+
+:class:`ScanCache` memoises the candidate lists of pattern-node scans
+within one query execution, keyed on ``(doc, tag, predicate)``.  A fresh
+cache is created per :class:`~repro.core.base.Context` — i.e. per
+``Engine.run_plan`` — so nothing leaks across queries or documents
+reloaded between runs.  Hits are metered as ``Metrics.scan_cache_hits``
+(and the skipped index/record work simply never happens, which is why
+the work counters of a cached run are never higher than an uncached
+one).
+
+:class:`Candidates` is the list type the matcher builds candidate lists
+with: a plain ``list`` that can additionally carry the columnar
+``starts``/``levels`` probe columns a structural join attaches on first
+use (see :func:`repro.physical.structural_join.child_columns`), so a
+cached scan's join columns are computed once per query, not once per
+join.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from ..storage.stats import Metrics
+
+#: Cache key: (document name, tag test, content comparisons).
+ScanKey = Tuple[Hashable, ...]
+
+
+class Candidates(List[Any]):
+    """Candidate-match list that can cache its columnar probe columns."""
+
+    starts: Optional[List[Tuple[int, int]]]
+    levels: Optional[List[int]]
+
+    # list subclasses carry a __dict__ unless slotted; keep the two
+    # column attributes explicit so mypy and readers see the contract
+    __slots__ = ("starts", "levels")
+
+    def __init__(self, *args: Any) -> None:
+        super().__init__(*args)
+        self.starts = None
+        self.levels = None
+
+
+class ScanCache:
+    """Memo of identical scans within one plan execution."""
+
+    def __init__(self, metrics: Optional[Metrics] = None) -> None:
+        self._entries: Dict[ScanKey, Candidates] = {}
+        self.metrics = metrics
+
+    def candidates(
+        self, key: ScanKey, build: Callable[[], Candidates]
+    ) -> Candidates:
+        """The cached candidate list for ``key``, building it on miss.
+
+        The returned list is shared between all scans with the same key:
+        callers treat it (and the match variants inside) as immutable,
+        which the matcher guarantees — combination always builds fresh
+        variant objects.
+        """
+        hit = self._entries.get(key)
+        if hit is not None:
+            if self.metrics is not None:
+                self.metrics.scan_cache_hits += 1
+            return hit
+        value = build()
+        self._entries[key] = value
+        return value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every memoised scan (the cache becomes cold)."""
+        self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ScanCache entries={len(self._entries)}>"

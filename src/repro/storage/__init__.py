@@ -4,6 +4,7 @@ from .database import DEFAULT_POOL_PAGES, Database
 from .document import Document, NodeRecord
 from .indexes import ENTRIES_PER_PAGE, TagIndex, ValueIndex
 from .page import NODES_PER_PAGE, BufferPool
+from .postings import EMPTY_POSTINGS, Postings
 from .stats import Metrics, QueryReport
 from .xml_parser import ParsedElement, parse_xml
 from .xml_serializer import serialize_parsed, serialize_result, serialize_stored
@@ -18,6 +19,8 @@ __all__ = [
     "ValueIndex",
     "NODES_PER_PAGE",
     "BufferPool",
+    "EMPTY_POSTINGS",
+    "Postings",
     "Metrics",
     "QueryReport",
     "ParsedElement",

@@ -15,6 +15,7 @@ from ..model.tree import TNode
 from .document import Document
 from .indexes import TagIndex, ValueIndex
 from .page import BufferPool
+from .postings import Postings
 from .stats import Metrics
 from .xml_parser import ParsedElement, parse_xml
 
@@ -101,8 +102,15 @@ class Database:
     # ------------------------------------------------------------------
     # indexes
     # ------------------------------------------------------------------
-    def tag_lookup(self, doc_name: str, tag: str) -> List[NodeId]:
-        """Node ids with ``tag`` in the named document (via tag index)."""
+    def tag_lookup(self, doc_name: str, tag: str) -> Postings:
+        """Postings with ``tag`` in the named document (via tag index).
+
+        Returns the index's immutable columnar
+        :class:`~repro.storage.postings.Postings` view — node ids in
+        document order, with the precomputed ``starts``/``ends``/``levels``
+        columns the structural joins consume directly.  The view is shared,
+        not copied; callers must not mutate it (they cannot).
+        """
         document = self.document(doc_name)
         return self._tag_indexes[document.doc_id].lookup(
             tag, self.pool, self.metrics

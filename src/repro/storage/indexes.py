@@ -6,6 +6,12 @@ all queries that had a condition on content we used a value index, which
 returns the node ids given a content value."  No join-value index exists —
 a limitation the paper calls out and we keep.
 
+Both indexes are **columnar**: at build time the postings of each tag are
+frozen into a :class:`~repro.storage.postings.Postings` view carrying the
+parallel ``(doc, start)`` / ``end`` / ``level`` arrays the structural
+joins probe, and the value index stores its sorted key column once, so no
+lookup ever rebuilds a key array or copies a posting list.
+
 Index leaf pages are metered through the buffer pool so that index scans
 contribute to the I/O counts (one simulated page per ``ENTRIES_PER_PAGE``
 postings).
@@ -20,6 +26,7 @@ from ..model.node_id import NodeId
 from ..model.value import sort_key
 from .document import Document
 from .page import BufferPool
+from .postings import EMPTY_POSTINGS, Postings
 from .stats import Metrics
 
 #: Postings per simulated index leaf page.
@@ -27,27 +34,39 @@ ENTRIES_PER_PAGE = 256
 
 
 class TagIndex:
-    """tag name -> node ids in document order."""
+    """tag name -> columnar postings of node ids in document order."""
 
     def __init__(self, document: Document) -> None:
         self._doc = document
-        self._postings: Dict[str, List[NodeId]] = {}
+        by_tag: Dict[str, Tuple[List[NodeId], List[int]]] = {}
         for idx, rec in enumerate(document.records):
-            self._postings.setdefault(rec.tag, []).append(
-                document.node_id(idx)
-            )
+            ids, record_idxs = by_tag.setdefault(rec.tag, ([], []))
+            ids.append(document.node_id(idx))
+            record_idxs.append(idx)
         # document order == record order, already sorted
+        self._postings: Dict[str, Postings] = {
+            tag: Postings(ids, record_idxs)
+            for tag, (ids, record_idxs) in by_tag.items()
+        }
 
     def lookup(
         self,
         tag: str,
         pool: Optional[BufferPool] = None,
         metrics: Optional[Metrics] = None,
-    ) -> List[NodeId]:
-        """All nodes with the given tag, in document order (metered)."""
-        postings = self._postings.get(tag, [])
+    ) -> Postings:
+        """All nodes with the given tag, in document order (metered).
+
+        Returns the index's own immutable :class:`Postings` view — no
+        copy is taken, so callers must not (and cannot) mutate it.
+        """
+        postings = self._postings.get(tag, EMPTY_POSTINGS)
         _meter(("tagidx", self._doc.doc_id, tag), len(postings), pool, metrics)
-        return list(postings)
+        return postings
+
+    def postings(self, tag: str) -> Postings:
+        """The raw columnar view for ``tag`` (unmetered; optimizer use)."""
+        return self._postings.get(tag, EMPTY_POSTINGS)
 
     def tags(self) -> List[str]:
         """All distinct tags in the document."""
@@ -63,7 +82,9 @@ class ValueIndex:
 
     Postings for each tag are kept sorted by the total-order
     :func:`~repro.model.value.sort_key` of the content, so equality uses
-    binary search and range predicates scan a contiguous run.
+    binary search and range predicates scan a contiguous run.  The sorted
+    key column of each tag is computed once at build time — lookups no
+    longer rebuild it per call.
     """
 
     def __init__(self, document: Document) -> None:
@@ -77,6 +98,11 @@ class ValueIndex:
             )
         for entries in self._by_tag.values():
             entries.sort(key=lambda pair: (pair[0], pair[1].order_key))
+        #: per-tag sorted key column, parallel to the entry list
+        self._keys: Dict[str, List[tuple]] = {
+            tag: [e[0] for e in entries]
+            for tag, entries in self._by_tag.items()
+        }
 
     def lookup(
         self,
@@ -91,24 +117,35 @@ class ValueIndex:
         Supported operators: ``=  !=  <  <=  >  >=``.  Results are returned
         in document order.  ``!=`` degrades to a full scan of the tag's
         postings (as a real B-tree would).
+
+        Metering counts the entries the index actually scanned: the
+        binary-search slice for ``=`` and the range operators (before the
+        value-kind filter drops mixed-type entries), and the full posting
+        list for ``!=``.
         """
         entries = self._by_tag.get(tag, [])
         key = sort_key(value)
-        keys = [e[0] for e in entries]
+        keys = self._keys.get(tag, [])
         if op == "=":
             lo = bisect.bisect_left(keys, key)
             hi = bisect.bisect_right(keys, key)
             hits = entries[lo:hi]
+            scanned = hi - lo
         elif op == "<":
             hits = entries[: bisect.bisect_left(keys, key)]
+            scanned = len(hits)
         elif op == "<=":
             hits = entries[: bisect.bisect_right(keys, key)]
+            scanned = len(hits)
         elif op == ">":
             hits = entries[bisect.bisect_right(keys, key) :]
+            scanned = len(hits)
         elif op == ">=":
             hits = entries[bisect.bisect_left(keys, key) :]
+            scanned = len(hits)
         elif op == "!=":
             hits = [e for e in entries if e[0] != key]
+            scanned = len(entries)
         else:
             raise ValueError(f"unsupported index operator: {op!r}")
         # range operators must not match non-numeric content against numbers
@@ -116,7 +153,7 @@ class ValueIndex:
             hits = [e for e in hits if e[0][0] == key[0]]
         _meter(
             ("validx", self._doc.doc_id, tag),
-            max(len(hits), 1),
+            max(scanned, 1),
             pool,
             metrics,
         )

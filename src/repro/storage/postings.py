@@ -1,0 +1,129 @@
+"""Columnar posting lists: the storage side of the structural-join fast path.
+
+The paper's performance argument (Sections 5-6) rests on interval-encoded
+structural joins being cheap.  In the original Python substrate every join
+call rebuilt a ``(doc, start)`` key array from its input node ids and every
+index lookup copied its posting list — pure interpreter overhead on the
+hottest primitive.  A :class:`Postings` object fixes both: it is an
+**immutable, columnar view** of one tag's node ids, carrying the parallel
+``starts`` / ``ends`` / ``levels`` arrays precomputed once at index build
+time, so joins binary-search ready-made columns instead of rebuilding them
+per call.
+
+``at_level`` additionally partitions the postings by tree level (lazily,
+cached), which lets a parent-child join probe only the ``parent.level + 1``
+slice instead of scanning the parent's whole descendant range and filtering
+— the level-split trick of the structural-join lineage (Al-Khalifa et al.,
+survey in "A Survey of XML Tree Patterns").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..model.node_id import NodeId
+
+
+class Postings(Sequence[NodeId]):
+    """Immutable columnar view of a sorted node-id posting list.
+
+    Behaves as a read-only ``Sequence[NodeId]`` (so existing callers that
+    iterated or indexed the old list results keep working, and ``== []``
+    style comparisons still hold), while exposing the parallel columns the
+    structural joins consume directly:
+
+    * ``ids``     — the node ids themselves, document order;
+    * ``starts``  — ``(doc, start)`` probe keys, sorted ascending;
+    * ``ends``    — interval ends, aligned with ``ids``;
+    * ``levels``  — tree levels, aligned with ``ids``;
+    * ``record_indexes`` — optional document record indexes aligned with
+      ``ids``, letting scans fetch records without per-node id resolution.
+    """
+
+    __slots__ = ("ids", "starts", "ends", "levels", "record_indexes",
+                 "_by_level")
+
+    def __init__(
+        self,
+        ids: Sequence[NodeId],
+        record_indexes: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.ids: Tuple[NodeId, ...] = tuple(ids)
+        self.starts: List[Tuple[int, int]] = [
+            (n.doc, n.start) for n in self.ids
+        ]
+        self.ends: List[int] = [n.end for n in self.ids]
+        self.levels: List[int] = [n.level for n in self.ids]
+        self.record_indexes: Optional[Tuple[int, ...]] = (
+            tuple(record_indexes) if record_indexes is not None else None
+        )
+        self._by_level: Optional[Dict[int, "Postings"]] = None
+
+    # ------------------------------------------------------------------
+    # level partitions (the pc-axis fast path)
+    # ------------------------------------------------------------------
+    def at_level(self, level: int) -> "Postings":
+        """The sub-postings at exactly ``level``, document order.
+
+        Partitions are built lazily on first use and cached; a level with
+        no postings returns the shared empty view.
+        """
+        if self._by_level is None:
+            groups: Dict[int, List[int]] = {}
+            for position, node_level in enumerate(self.levels):
+                groups.setdefault(node_level, []).append(position)
+            self._by_level = {
+                node_level: Postings(
+                    [self.ids[i] for i in positions],
+                    (
+                        [self.record_indexes[i] for i in positions]
+                        if self.record_indexes is not None
+                        else None
+                    ),
+                )
+                for node_level, positions in groups.items()
+            }
+        return self._by_level.get(level, EMPTY_POSTINGS)
+
+    def levels_present(self) -> List[int]:
+        """Distinct tree levels with at least one posting (ascending)."""
+        return sorted(set(self.levels))
+
+    # ------------------------------------------------------------------
+    # Sequence protocol (read-only)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[NodeId, Tuple[NodeId, ...]]:
+        return self.ids[index]
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self.ids)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self.ids
+
+    def __eq__(self, other: object) -> bool:
+        """Element-wise equality against any sequence of node ids.
+
+        Keeps ``lookup(tag) == []`` and list-result comparisons working
+        now that lookups return views instead of fresh lists.
+        """
+        if isinstance(other, Postings):
+            return self.ids == other.ids
+        if isinstance(other, (list, tuple)):
+            return list(self.ids) == list(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Postings n={len(self.ids)}>"
+
+
+#: Shared empty view (missing tags, empty level partitions).
+EMPTY_POSTINGS = Postings(())

@@ -35,6 +35,12 @@ class Metrics:
     navigation_steps: int = 0
     trees_built: int = 0
     sort_ops: int = 0
+    #: observability counters for the columnar fast path: identical index
+    #: scans / leaf matches served from the query-scoped ScanCache, and
+    #: structural joins that consumed precomputed posting columns instead
+    #: of rebuilding their probe-key arrays
+    scan_cache_hits: int = 0
+    postings_reused: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""

@@ -1,0 +1,70 @@
+"""Integration sweep: the fast path is invisible except in the clock.
+
+Every XMark benchmark query runs in three configurations — the seed
+behaviour (legacy joins, no scan cache), the fast path without the
+cache, and the full fast configuration — and must produce the *same
+trees in the same order*.  On top of output equality, the full fast
+configuration must never do more metered work than the seed: caching
+and skipping only ever remove index probes, record fetches and
+comparisons, never add them.
+"""
+
+import pytest
+
+from repro.bench.fastpath import WORK_COUNTERS
+from repro.physical.structural_join import use_fast_path
+from repro.xmark import FIGURE15_ORDER, QUERIES
+
+
+def _run(engine, name, fast, scan_cache, optimize=False):
+    with use_fast_path(fast):
+        engine.db.reset_metrics()
+        result = engine.run(
+            QUERIES[name].text,
+            engine="tlc",
+            optimize=optimize,
+            scan_cache=scan_cache,
+        )
+        counters = engine.db.metrics.snapshot()
+    return [tree.to_xml() for tree in result], counters
+
+
+@pytest.mark.parametrize("name", FIGURE15_ORDER)
+def test_fast_configurations_match_seed(xmark_engine, name):
+    seed, seed_counters = _run(
+        xmark_engine, name, fast=False, scan_cache=False
+    )
+    fast_uncached, _ = _run(
+        xmark_engine, name, fast=True, scan_cache=False
+    )
+    fast_cached, fast_counters = _run(
+        xmark_engine, name, fast=True, scan_cache=True
+    )
+    assert fast_uncached == seed, f"{name}: fast path changed the result"
+    assert fast_cached == seed, f"{name}: scan cache changed the result"
+    grew = {
+        key: (seed_counters.get(key, 0), fast_counters.get(key, 0))
+        for key in WORK_COUNTERS
+        if fast_counters.get(key, 0) > seed_counters.get(key, 0)
+    }
+    assert not grew, f"{name}: fast path increased work counters {grew}"
+
+
+@pytest.mark.parametrize("name", ("x8", "x10", "x10a", "x14", "x20"))
+def test_optimized_pipeline_equivalence(xmark_engine, name):
+    """The -O pipeline (Shadow/Illuminate, Flatten) stays equivalent too."""
+    seed, _ = _run(
+        xmark_engine, name, fast=False, scan_cache=False, optimize=True
+    )
+    fast, _ = _run(
+        xmark_engine, name, fast=True, scan_cache=True, optimize=True
+    )
+    assert fast == seed
+
+
+def test_cache_hits_observed_on_repeat_scans(xmark_engine):
+    """A query that scans the same tag twice registers cache hits."""
+    with use_fast_path(True):
+        xmark_engine.db.reset_metrics()
+        xmark_engine.run(QUERIES["x10"].text, engine="tlc")
+        assert xmark_engine.db.metrics.scan_cache_hits > 0

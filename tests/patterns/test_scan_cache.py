@@ -1,0 +1,105 @@
+"""Unit and engine-level tests for the query-scoped ScanCache."""
+
+import pytest
+
+from repro import Engine
+from repro.patterns.scan_cache import Candidates, ScanCache
+from repro.storage.stats import Metrics
+from tests.conftest import TINY_AUCTION
+
+QUERY = (
+    'FOR $p IN document("auction.xml")//person '
+    "WHERE $p//age > 25 RETURN <o>{$p/name/text()}</o>"
+)
+
+
+class TestScanCache:
+    def test_builds_on_miss_and_shares_on_hit(self):
+        cache = ScanCache()
+        built = []
+
+        def build():
+            built.append(1)
+            return Candidates([1, 2, 3])
+
+        first = cache.candidates(("doc", "tag", ()), build)
+        second = cache.candidates(("doc", "tag", ()), build)
+        assert first is second
+        assert built == [1]
+        assert len(cache) == 1
+
+    def test_distinct_keys_do_not_collide(self):
+        cache = ScanCache()
+        a = cache.candidates(("doc", "a", ()), lambda: Candidates([1]))
+        b = cache.candidates(("doc", "b", ()), lambda: Candidates([2]))
+        assert a != b
+        assert len(cache) == 2
+
+    def test_hits_are_metered(self):
+        metrics = Metrics()
+        cache = ScanCache(metrics)
+        key = ("doc", "tag", ())
+        cache.candidates(key, lambda: Candidates())
+        assert metrics.scan_cache_hits == 0
+        cache.candidates(key, lambda: Candidates())
+        cache.candidates(key, lambda: Candidates())
+        assert metrics.scan_cache_hits == 2
+
+    def test_clear_makes_cache_cold(self):
+        cache = ScanCache()
+        key = ("doc", "tag", ())
+        first = cache.candidates(key, lambda: Candidates([1]))
+        cache.clear()
+        assert len(cache) == 0
+        second = cache.candidates(key, lambda: Candidates([1]))
+        assert first is not second
+
+
+class TestCandidates:
+    def test_columns_start_unset(self):
+        candidates = Candidates([1, 2])
+        assert candidates.starts is None
+        assert candidates.levels is None
+        assert list(candidates) == [1, 2]
+
+    def test_slots_reject_arbitrary_attributes(self):
+        candidates = Candidates()
+        with pytest.raises(AttributeError):
+            candidates.extra = 1
+
+
+class TestEngineIntegration:
+    @pytest.fixture
+    def engine(self):
+        instance = Engine()
+        instance.load_xml("auction.xml", TINY_AUCTION)
+        return instance
+
+    def test_cached_and_uncached_results_identical(self, engine):
+        cached = [t.to_xml() for t in engine.run(QUERY)]
+        uncached = [t.to_xml() for t in engine.run(QUERY, scan_cache=False)]
+        assert cached == uncached
+
+    def test_cache_is_query_scoped(self, engine):
+        """A fresh Context gets a fresh cache: runs do not warm each other."""
+        engine.db.reset_metrics()
+        engine.run(QUERY)
+        first = engine.db.metrics.index_lookups
+        engine.db.reset_metrics()
+        engine.run(QUERY)
+        assert engine.db.metrics.index_lookups == first
+
+    def test_cache_never_increases_work(self, engine):
+        engine.db.reset_metrics()
+        engine.run(QUERY, scan_cache=False)
+        uncached = engine.db.metrics.snapshot()
+        engine.db.reset_metrics()
+        engine.run(QUERY)
+        cached = engine.db.metrics.snapshot()
+        for counter in (
+            "index_lookups",
+            "index_entries_scanned",
+            "nodes_touched",
+            "pages_read",
+        ):
+            assert cached.get(counter, 0) <= uncached.get(counter, 0)

@@ -1,0 +1,110 @@
+"""Property tests: the skip-aware joins equal the legacy per-parent joins.
+
+The fast path (:func:`pair_join` and friends with ``_FAST_PATH`` on)
+replaces an independent binary search per parent with one merge-style
+cursor that skips monotonically across the sorted parents.  Same
+contract, same output — these tests pin exact equality (pairs, nesting
+*and* order) against the retained ``*_legacy`` implementations across
+random documents, both axes, all four matching specifications, and the
+precomputed-column entry points.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.physical.structural_join import (
+    child_columns,
+    join_for_mspec,
+    join_for_mspec_legacy,
+    nest_join,
+    nest_join_legacy,
+    pair_join,
+    pair_join_legacy,
+)
+from repro.storage import Database
+from repro.storage.stats import Metrics
+
+
+@st.composite
+def random_document(draw):
+    """A random 2-tag tree as XML text (both tags on every level)."""
+
+    def element(depth):
+        tag = draw(st.sampled_from("pq"))
+        if depth >= 4:
+            return f"<{tag}/>"
+        kids = "".join(
+            element(depth + 1) for _ in range(draw(st.integers(0, 3)))
+        )
+        return f"<{tag}>{kids}</{tag}>"
+
+    return f"<r>{element(0)}</r>"
+
+
+def _sides(xml):
+    db = Database()
+    db.load_xml("t.xml", xml)
+    return db.tag_lookup("t.xml", "p"), db.tag_lookup("t.xml", "q")
+
+
+@given(
+    random_document(),
+    st.sampled_from(["pc", "ad"]),
+    st.booleans(),
+)
+def test_pair_join_equals_legacy(xml, axis, outer):
+    parents, children = _sides(xml)
+    fast = pair_join(parents, children, axis, outer=outer)
+    slow = pair_join_legacy(parents, children, axis, outer=outer)
+    assert fast == slow  # identical pairs in identical order
+
+
+@given(
+    random_document(),
+    st.sampled_from(["pc", "ad"]),
+    st.booleans(),
+)
+def test_nest_join_equals_legacy(xml, axis, outer):
+    parents, children = _sides(xml)
+    fast = nest_join(parents, children, axis, outer=outer)
+    slow = nest_join_legacy(parents, children, axis, outer=outer)
+    assert fast == slow  # identical clusters in identical order
+
+
+@given(
+    random_document(),
+    st.sampled_from(["pc", "ad"]),
+    st.sampled_from(["-", "?", "+", "*"]),
+)
+def test_join_for_mspec_equals_legacy(xml, axis, mspec):
+    parents, children = _sides(xml)
+    fast = join_for_mspec(parents, children, axis, mspec)
+    slow = join_for_mspec_legacy(parents, children, axis, mspec)
+    assert fast == slow
+
+
+@given(random_document(), st.sampled_from(["pc", "ad"]))
+def test_precomputed_columns_change_nothing(xml, axis):
+    """Passing the columnar probe arrays must not change the output."""
+    parents, children = _sides(xml)
+    plain = join_for_mspec(parents, children, axis, "-")
+    starts, levels = child_columns(list(children), lambda n: n)
+    columnar = join_for_mspec(
+        parents,
+        children,
+        axis,
+        "-",
+        child_starts=starts,
+        child_levels=levels,
+    )
+    assert plain == columnar
+
+
+@given(random_document(), st.sampled_from(["pc", "ad"]))
+def test_fast_path_never_scans_more(xml, axis):
+    """The skip cursor's work counter never exceeds the legacy join's."""
+    parents, children = _sides(xml)
+    fast_metrics, slow_metrics = Metrics(), Metrics()
+    pair_join(parents, children, axis, metrics=fast_metrics)
+    pair_join_legacy(parents, children, axis, metrics=slow_metrics)
+    assert fast_metrics.structural_joins <= slow_metrics.structural_joins

@@ -79,3 +79,55 @@ class TestValueIndex:
     def test_unsupported_operator_raises(self, db):
         with pytest.raises(ValueError):
             db.value_lookup("inv.xml", "price", "~", 1)
+
+
+class TestScanMetering:
+    """Pin the ``index_entries_scanned`` accounting per operator.
+
+    Equality and the range operators must charge only the binary-search
+    slice they touch; ``!=`` degrades to a full scan of the tag's
+    postings.  These are the exact costs the fast-path benchmark
+    normalises by, so the numbers are pinned, not just bounded.
+    """
+
+    def _scanned(self, db, op, value):
+        db.reset_metrics()
+        db.value_lookup("inv.xml", "price", op, value)
+        assert db.metrics.index_lookups == 1
+        return db.metrics.index_entries_scanned
+
+    def test_equality_scans_only_the_slice(self, db):
+        # prices: 10, 25, 25, 99.5 -> the "= 25" run is two entries
+        assert self._scanned(db, "=", 25) == 2
+        assert self._scanned(db, "=", 10) == 1
+
+    def test_equality_miss_charges_minimum(self, db):
+        # an empty slice still accounts one probe entry
+        assert self._scanned(db, "=", 11) == 1
+
+    def test_range_scans_prefix(self, db):
+        assert self._scanned(db, "<", 25) == 1
+        assert self._scanned(db, "<=", 25) == 3
+
+    def test_not_equal_scans_everything(self, db):
+        assert self._scanned(db, "!=", 25) == 4
+        assert self._scanned(db, "!=", -1) == 4
+
+
+class TestImmutableViews:
+    def test_tag_lookup_returns_shared_view(self, db):
+        first = db.tag_lookup("inv.xml", "item")
+        second = db.tag_lookup("inv.xml", "item")
+        assert first is second
+
+    def test_tag_lookup_view_rejects_mutation(self, db):
+        postings = db.tag_lookup("inv.xml", "item")
+        with pytest.raises(AttributeError):
+            postings.append(postings[0])
+        with pytest.raises(TypeError):
+            postings.ids[0] = postings.ids[1]
+
+    def test_columns_available_without_rebuild(self, db):
+        postings = db.tag_lookup("inv.xml", "price")
+        assert postings.starts == [(n.doc, n.start) for n in postings]
+        assert postings.levels == [n.level for n in postings]

@@ -1,0 +1,107 @@
+"""Unit tests for the columnar Postings view."""
+
+import pytest
+
+from repro.storage import Database
+from repro.storage.postings import EMPTY_POSTINGS, Postings
+
+XML = """
+<r>
+  <a><b/><b/><c><b/></c></a>
+  <a><c/></a>
+</r>
+"""
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.load_xml("t.xml", XML)
+    return database
+
+
+class TestColumns:
+    def test_columns_parallel_to_ids(self, db):
+        postings = db.tag_index("t.xml").postings("b")
+        assert len(postings) == 3
+        assert postings.starts == [(n.doc, n.start) for n in postings.ids]
+        assert postings.ends == [n.end for n in postings.ids]
+        assert postings.levels == [n.level for n in postings.ids]
+
+    def test_starts_sorted_ascending(self, db):
+        postings = db.tag_index("t.xml").postings("a")
+        assert postings.starts == sorted(postings.starts)
+
+    def test_record_indexes_resolve_tag(self, db):
+        doc = db.document("t.xml")
+        postings = db.tag_index("t.xml").postings("c")
+        assert postings.record_indexes is not None
+        assert all(
+            doc.records[idx].tag == "c" for idx in postings.record_indexes
+        )
+
+
+class TestLevelPartitions:
+    def test_at_level_filters_exactly(self, db):
+        postings = db.tag_index("t.xml").postings("b")
+        shallow, deep = postings.levels_present()
+        direct = postings.at_level(shallow)
+        assert all(n.level == shallow for n in direct)
+        deeper = postings.at_level(deep)
+        assert len(direct) + len(deeper) == len(postings)
+
+    def test_empty_level_is_shared_empty_view(self, db):
+        postings = db.tag_index("t.xml").postings("b")
+        assert postings.at_level(99) is EMPTY_POSTINGS
+
+    def test_partitions_cached(self, db):
+        postings = db.tag_index("t.xml").postings("b")
+        level = postings.levels_present()[0]
+        assert postings.at_level(level) is postings.at_level(level)
+
+    def test_levels_present(self, db):
+        postings = db.tag_index("t.xml").postings("b")
+        assert postings.levels_present() == sorted(
+            {n.level for n in postings}
+        )
+
+    def test_partition_keeps_record_indexes(self, db):
+        postings = db.tag_index("t.xml").postings("b")
+        part = postings.at_level(postings.levels_present()[0])
+        assert part.record_indexes is not None
+        assert len(part.record_indexes) == len(part)
+
+
+class TestSequenceProtocol:
+    def test_len_iter_getitem_contains(self, db):
+        postings = db.tag_index("t.xml").postings("a")
+        assert len(postings) == 2
+        assert list(postings) == [postings[0], postings[1]]
+        assert postings[0] in postings
+        assert postings[0:1] == (postings[0],)
+
+    def test_equality_against_lists(self, db):
+        index = db.tag_index("t.xml")
+        postings = index.postings("a")
+        assert postings == list(postings.ids)
+        assert postings != list(reversed(postings.ids))
+        assert index.postings("missing") == []
+        assert postings == Postings(postings.ids)
+
+    def test_hashable(self, db):
+        postings = db.tag_index("t.xml").postings("a")
+        assert hash(postings) == hash(Postings(postings.ids))
+
+
+class TestImmutability:
+    def test_no_list_mutators(self, db):
+        postings = db.tag_index("t.xml").postings("a")
+        with pytest.raises(AttributeError):
+            postings.append(postings[0])
+        with pytest.raises(TypeError):
+            postings.ids[0] = postings.ids[1]
+
+    def test_no_arbitrary_attributes(self, db):
+        postings = db.tag_index("t.xml").postings("a")
+        with pytest.raises(AttributeError):
+            postings.extra = 1
