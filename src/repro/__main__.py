@@ -12,7 +12,15 @@ Commands:
   analyzer (no document needed; exits 1 on error diagnostics);
 * ``profile``  — EXPLAIN ANALYZE: run a query with the runtime tracer
   and print the plan annotated with per-operator wall time,
-  cardinalities and work-counter deltas.
+  cardinalities and work-counter deltas;
+* ``prepare``  — compile a query through the service's prepared-plan
+  cache and report what the cache would save on re-execution;
+* ``serve``    — run queries from stdin through the concurrent
+  :class:`~repro.service.QueryService` (plan cache, thread pool,
+  deadlines), one query per line.
+
+Every command is documented with copy-pasteable invocations in
+``docs/CLI.md``.
 """
 
 from __future__ import annotations
@@ -158,6 +166,82 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_prepare(args: argparse.Namespace) -> int:
+    import time
+
+    from .service import QueryService
+
+    if args.inline_query and (args.query or args.query_file):
+        raise ReproError("give the query either inline or via -q/-f")
+    query = args.inline_query or _read_query(args)
+    engine = _open_engine(args.document)
+    with QueryService(engine, threads=1, strict=args.strict) as svc:
+        started = time.perf_counter()
+        prepared = svc.prepare(query, engine=args.engine, optimize=args.optimize)
+        compile_ms = (time.perf_counter() - started) * 1000
+        started = time.perf_counter()
+        svc.prepare(query, engine=args.engine, optimize=args.optimize)
+        cached_ms = (time.perf_counter() - started) * 1000
+        if args.explain:
+            print(prepared.explain())
+        operators = sum(1 for _ in prepared.plan.walk())
+        stats = svc.stats().cache
+        print(
+            f"prepared: {operators} operators under {args.engine}"
+            + ("+opt" if args.optimize else "")
+        )
+        print(
+            f"compile {compile_ms:.2f} ms cold, {cached_ms:.3f} ms cached "
+            f"(cache {stats.hits} hits / {stats.misses} misses)"
+        )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import QueryService
+
+    engine = _open_engine(args.document)
+    queries = [
+        line.strip()
+        for line in sys.stdin
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    if not queries:
+        print("serve: no queries on stdin (one per line)", file=sys.stderr)
+        return 1
+    failures = 0
+    with QueryService(
+        engine,
+        threads=args.threads,
+        cache_size=args.cache_size,
+        default_deadline=args.deadline,
+        default_max_trees=args.max_trees,
+    ) as svc:
+        handles = [
+            svc.submit(query, engine=args.engine, optimize=args.optimize)
+            for query in queries
+        ]
+        for number, handle in enumerate(handles, 1):
+            try:
+                result = handle.result()
+            except ReproError as error:  # includes the structured aborts
+                failures += 1
+                print(f"-- query {number}: error: {error}", file=sys.stderr)
+                continue
+            print(f"-- query {number}: {len(result)} trees", file=sys.stderr)
+            for tree in result:
+                print(tree.to_xml())
+        stats = svc.stats()
+        print(
+            f"-- served {stats.executed} queries on {stats.threads} threads"
+            f" | cache hits={stats.cache.hits} misses={stats.cache.misses}"
+            f" evictions={stats.cache.evictions}"
+            f" | timeouts={stats.timeouts} failed={stats.failed}",
+            file=sys.stderr,
+        )
+    return 1 if failures and args.strict_exit else 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (
         Harness,
@@ -171,12 +255,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     harness = Harness()
     trace = getattr(args, "trace", False)
-    if trace and args.figure in ("17", "fastpath"):
+    if trace and args.figure in ("17", "fastpath", "service"):
         raise ReproError(
             "--trace breaks down Figures 15 and 16; the other benches "
             "have no per-operator report"
         )
-    if args.figure == "fastpath":
+    if args.figure == "service":
+        from .bench import bench_service, service_table
+
+        report = bench_service(
+            factor=args.factor,
+            repeats=args.repeats,
+            threads=args.threads,
+            harness=harness,
+        )
+        print(service_table(report))
+        if args.out:
+            Path(args.out).write_text(report.to_json())
+            print(f"wrote {args.out}", file=sys.stderr)
+    elif args.figure == "fastpath":
         from .bench import compare_fastpath, fastpath_table
 
         report = compare_fastpath(
@@ -315,9 +412,15 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="regenerate a paper figure or the fast-path comparison",
     )
-    bench.add_argument("figure", choices=("15", "16", "17", "fastpath"))
+    bench.add_argument(
+        "figure", choices=("15", "16", "17", "fastpath", "service")
+    )
     bench.add_argument("--factor", type=float, default=0.002)
     bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument(
+        "--threads", type=int, default=8,
+        help="service only: worker threads for the concurrent batch",
+    )
     bench.add_argument(
         "--trace", action="store_true",
         help="per-operator breakdown (Figures 15 and 16): trace every "
@@ -325,10 +428,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--out",
-        help="fastpath only: also write the report as JSON "
-        "(e.g. BENCH_3.json)",
+        help="fastpath/service only: also write the report as JSON "
+        "(e.g. BENCH_3.json / BENCH_4.json)",
     )
     bench.set_defaults(func=cmd_bench)
+
+    prepare = sub.add_parser(
+        "prepare",
+        help="compile a query through the prepared-plan cache and "
+        "report the compile cost the cache saves",
+    )
+    prepare.add_argument(
+        "inline_query", nargs="?", default=None, metavar="query",
+        help="the XQuery text (or use -q/-f/stdin)",
+    )
+    prepare.add_argument(
+        "-d", "--document", default="xmark:0.002",
+        help=".xml file, .tlcdb file, or xmark:<factor> "
+        "(default: xmark:0.002)",
+    )
+    prepare.add_argument("-q", "--query", help="inline query text")
+    prepare.add_argument("-f", "--query-file", help="query file")
+    prepare.add_argument(
+        "-e", "--engine", default="tlc", choices=("tlc", "gtp", "tax"),
+        help="algebraic engine to prepare for (nav has no plan)",
+    )
+    prepare.add_argument(
+        "-O", "--optimize", action="store_true",
+        help="cache the plan after the Section 4 rewrites",
+    )
+    prepare.add_argument(
+        "--strict", action="store_true",
+        help="lint the TLC plan before it enters the cache",
+    )
+    prepare.add_argument(
+        "--explain", action="store_true",
+        help="also print the compiled plan",
+    )
+    prepare.set_defaults(func=cmd_prepare)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run queries from stdin (one per line) through the "
+        "concurrent query service",
+    )
+    serve.add_argument(
+        "document", help=".xml file, .tlcdb file, or xmark:<factor>"
+    )
+    serve.add_argument(
+        "-e", "--engine", default="tlc", choices=("tlc", "gtp", "tax"),
+    )
+    serve.add_argument(
+        "-O", "--optimize", action="store_true",
+        help="apply the Section 4 rewrites (TLC only)",
+    )
+    serve.add_argument(
+        "--threads", type=int, default=4,
+        help="worker threads (default 4)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=64,
+        help="prepared-plan cache capacity (default 64)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-query wall-clock budget in seconds",
+    )
+    serve.add_argument(
+        "--max-trees", type=int, default=None,
+        help="per-query output-cardinality budget",
+    )
+    serve.add_argument(
+        "--strict-exit", action="store_true",
+        help="exit 1 when any query failed (default: report and exit 0)",
+    )
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -18,6 +18,12 @@ from .reporting import (
     linear_r2,
     operator_breakdown,
 )
+from .service_bench import (
+    ServiceBenchReport,
+    ServiceBenchRow,
+    bench_service,
+    service_table,
+)
 
 __all__ = [
     "DEFAULT_FACTOR",
@@ -25,6 +31,10 @@ __all__ = [
     "FastPathReport",
     "FastPathRow",
     "Harness",
+    "ServiceBenchReport",
+    "ServiceBenchRow",
+    "bench_service",
+    "service_table",
     "check_against_baseline",
     "compare_fastpath",
     "fastpath_table",

@@ -1,0 +1,219 @@
+"""Warm-vs-cold benchmark for the query service (BENCH_4 experiment).
+
+"Cold" is what every ``Engine.run`` pays today: parse, translate,
+analyze, rewrite, *then* execute.  "Warm" is the service's prepared
+path: the plan comes out of the
+:class:`~repro.service.cache.PlanCache` and the query goes straight to
+execution.  Both configurations execute the *same* plans over the same
+cached XMark engine through the same :class:`QueryService`, so the
+measured difference is exactly the compile work the cache elides.
+
+The report also measures a concurrent batch (every query × ``rounds``)
+on a single-thread pool versus the full pool.  Python's GIL serialises
+the interpreter, so this is an honesty check on dispatch overhead —
+the service's concurrency is about isolation and cancellation, not
+CPU parallelism — and the number is recorded rather than celebrated.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional, Sequence
+
+from ..service import QueryService
+from ..xmark.queries import FIGURE15_ORDER, QUERIES
+from .harness import DEFAULT_FACTOR, Harness
+
+
+@dataclass
+class ServiceBenchRow:
+    """One query's cold (compile + execute) vs warm (cached) latency."""
+
+    query: str
+    cold_ms: float
+    warm_ms: float
+    speedup: float
+    #: compile share of the cold latency, first-order: (cold - warm) / cold
+    compile_fraction: float
+
+
+@dataclass
+class ServiceBenchReport:
+    """The full warm-vs-cold sweep plus the pool-scaling observation."""
+
+    factor: float
+    repeats: int
+    threads: int
+    rows: List[ServiceBenchRow] = field(default_factory=list)
+    #: wall seconds for the concurrent batch on 1 worker vs ``threads``
+    serial_batch_seconds: float = 0.0
+    pooled_batch_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def overall_speedup(self) -> float:
+        """Geometric-mean warm-vs-cold speedup over every query."""
+        return _geomean([r.speedup for r in self.rows])
+
+    def median_compile_fraction(self) -> float:
+        """Median share of cold latency spent compiling."""
+        fractions = sorted(r.compile_fraction for r in self.rows)
+        if not fractions:
+            return float("nan")
+        mid = len(fractions) // 2
+        if len(fractions) % 2:
+            return fractions[mid]
+        return (fractions[mid - 1] + fractions[mid]) / 2
+
+    def to_json(self) -> str:
+        payload = {
+            "experiment": "service",
+            "factor": self.factor,
+            "repeats": self.repeats,
+            "threads": self.threads,
+            "summary": {
+                "warm_speedup_geomean": round(self.overall_speedup(), 3),
+                "median_compile_fraction": round(
+                    self.median_compile_fraction(), 3
+                ),
+                "serial_batch_seconds": round(self.serial_batch_seconds, 4),
+                "pooled_batch_seconds": round(self.pooled_batch_seconds, 4),
+                "plan_cache_hits": self.cache_hits,
+                "plan_cache_misses": self.cache_misses,
+            },
+            "rows": [asdict(row) for row in self.rows],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServiceBenchReport":
+        payload = json.loads(text)
+        report = cls(
+            factor=payload["factor"],
+            repeats=payload["repeats"],
+            threads=payload["threads"],
+        )
+        report.rows = [ServiceBenchRow(**row) for row in payload["rows"]]
+        summary = payload.get("summary", {})
+        report.serial_batch_seconds = summary.get("serial_batch_seconds", 0.0)
+        report.pooled_batch_seconds = summary.get("pooled_batch_seconds", 0.0)
+        report.cache_hits = summary.get("plan_cache_hits", 0)
+        report.cache_misses = summary.get("plan_cache_misses", 0)
+        return report
+
+
+def _geomean(values: Sequence[float]) -> float:
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))
+
+
+def _trimmed_mean(samples: List[float]) -> float:
+    """The paper's methodology: drop min and max, average the rest."""
+    ordered = sorted(samples)
+    if len(ordered) > 2:
+        ordered = ordered[1:-1]
+    return sum(ordered) / len(ordered)
+
+
+def bench_service(
+    queries: Optional[Sequence[str]] = None,
+    factor: float = DEFAULT_FACTOR,
+    repeats: int = 5,
+    threads: int = 8,
+    rounds: int = 2,
+    harness: Optional[Harness] = None,
+) -> ServiceBenchReport:
+    """Measure every query cold (cache cleared) and warm (cache hit).
+
+    ``repeats`` samples are taken per configuration with the paper's
+    trim-and-average; one untimed warm-up run per query precedes the
+    measurements so buffer-pool state is comparable between the two
+    sides.  ``rounds`` controls the size of the concurrent batch
+    (every query, ``rounds`` times, in submission order).
+    """
+    harness = harness or Harness()
+    engine = harness.engine_for(factor)
+    names = list(queries or FIGURE15_ORDER)
+    report = ServiceBenchReport(
+        factor=factor, repeats=repeats, threads=threads
+    )
+    with QueryService(engine, threads=threads) as svc:
+        for name in names:
+            text = QUERIES[name].text
+            svc.execute(text)  # untimed warm-up (data caches, code paths)
+            cold_samples: List[float] = []
+            for _ in range(repeats):
+                svc.cache.clear()
+                started = time.perf_counter()
+                svc.execute(text)
+                cold_samples.append(time.perf_counter() - started)
+            svc.execute(text)  # ensure the entry is resident again
+            warm_samples: List[float] = []
+            for _ in range(repeats):
+                started = time.perf_counter()
+                svc.execute(text)
+                warm_samples.append(time.perf_counter() - started)
+            cold = _trimmed_mean(cold_samples)
+            warm = _trimmed_mean(warm_samples)
+            report.rows.append(
+                ServiceBenchRow(
+                    query=name,
+                    cold_ms=round(cold * 1000, 3),
+                    warm_ms=round(warm * 1000, 3),
+                    speedup=round(cold / warm if warm else float("inf"), 3),
+                    compile_fraction=round(
+                        max(0.0, cold - warm) / cold if cold else 0.0, 3
+                    ),
+                )
+            )
+        batch = [QUERIES[name].text for name in names] * rounds
+        started = time.perf_counter()
+        svc.execute_many(batch)
+        report.pooled_batch_seconds = time.perf_counter() - started
+        stats = svc.stats()
+        report.cache_hits = stats.cache.hits
+        report.cache_misses = stats.cache.misses
+    with QueryService(engine, threads=1) as serial:
+        for name in names:  # warm the one-thread service's cache too
+            serial.prepare(QUERIES[name].text)
+        started = time.perf_counter()
+        serial.execute_many(batch)
+        report.serial_batch_seconds = time.perf_counter() - started
+    return report
+
+
+def service_table(report: ServiceBenchReport) -> str:
+    """Render the warm-vs-cold sweep as a fixed-width table."""
+    header = (
+        f"{'query':6s}{'cold ms':>10s}{'warm ms':>10s}{'speedup':>9s}"
+        f"{'compile%':>10s}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in report.rows:
+        lines.append(
+            f"{row.query:6s}"
+            f"{row.cold_ms:>10.2f}"
+            f"{row.warm_ms:>10.2f}"
+            f"{row.speedup:>8.2f}x"
+            f"{row.compile_fraction * 100:>9.1f}%"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"geomean warm speedup: {report.overall_speedup():.2f}x "
+        f"(median compile share {report.median_compile_fraction() * 100:.0f}%)"
+    )
+    lines.append(
+        f"concurrent batch: {report.pooled_batch_seconds:.2f}s on "
+        f"{report.threads} workers vs {report.serial_batch_seconds:.2f}s "
+        "on 1 (GIL-bound; isolation, not parallelism)"
+    )
+    lines.append(
+        f"plan cache: {report.cache_hits} hits / "
+        f"{report.cache_misses} misses"
+    )
+    return "\n".join(lines)

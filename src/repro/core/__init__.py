@@ -8,6 +8,7 @@ from .evaluator import evaluate, evaluate_on
 from .filter import MODES, FilterOp
 from .flatten import FlattenOp
 from .join import JoinOp
+from .limits import ExecutionLimits
 from .project import ProjectOp
 from .select import SelectOp
 from .shadow import IlluminateOp, ShadowOp
@@ -30,6 +31,7 @@ __all__ = [
     "DedupOp",
     "evaluate",
     "evaluate_on",
+    "ExecutionLimits",
     "MODES",
     "FilterOp",
     "FlattenOp",

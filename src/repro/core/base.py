@@ -20,6 +20,7 @@ from ..patterns.match import PatternMatcher
 from ..patterns.scan_cache import ScanCache
 from ..storage.database import Database
 from ..storage.stats import Metrics
+from .limits import ExecutionLimits
 
 
 class Context:
@@ -32,13 +33,20 @@ class Context:
     survives into the next query.  Pass ``scan_cache=False`` to reproduce
     the uncached behaviour (every pattern node re-scans), or an existing
     :class:`ScanCache` instance to share one across executions of
-    *immutable* data (benchmark warm runs).
+    *immutable* data (benchmark warm runs) — never across *concurrent*
+    executions; the cache asserts its single-query lifetime.
+
+    ``limits`` (a :class:`~repro.core.limits.ExecutionLimits`) arms the
+    cooperative deadline / output-budget / cancellation checks in the
+    evaluator loop and the pattern matcher; ``None`` (the default) runs
+    unbudgeted with zero checking overhead.
     """
 
     def __init__(
         self,
         db: Database,
         scan_cache: Union[bool, ScanCache, None] = True,
+        limits: Optional[ExecutionLimits] = None,
     ) -> None:
         self.db = db
         if scan_cache is True:
@@ -46,7 +54,8 @@ class Context:
         elif scan_cache is False:
             scan_cache = None
         self.scan_cache: Optional[ScanCache] = scan_cache
-        self.matcher = PatternMatcher(db, scan_cache=scan_cache)
+        self.limits = limits
+        self.matcher = PatternMatcher(db, scan_cache=scan_cache, limits=limits)
 
     @property
     def metrics(self) -> Metrics:

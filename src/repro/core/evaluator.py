@@ -34,41 +34,75 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 def evaluate(
     plan: Operator, ctx: Context, tracer: Optional["Tracer"] = None
 ) -> TreeSequence:
-    """Evaluate ``plan`` bottom-up and return its output sequence."""
+    """Evaluate ``plan`` bottom-up and return its output sequence.
+
+    When the context carries :class:`~repro.core.limits.ExecutionLimits`
+    the walk is cooperative: the limits are checked before every operator
+    execution (deadline, cancellation) and every operator output is
+    checked against the cardinality budget, so a runaway query aborts
+    with a structured :class:`~repro.errors.ExecutionLimitError` at the
+    next operator boundary instead of hanging.  The explicit stack makes
+    this cheap — one ``None`` test per operator on the unbudgeted path.
+
+    The context's scan cache is entered for the duration of the walk
+    (see :meth:`~repro.patterns.scan_cache.ScanCache.begin_query`):
+    concurrently sharing one cache between two executions raises
+    :class:`~repro.errors.ScanCacheLifetimeError` rather than mixing the
+    two queries' scans.
+    """
     memo: Dict[int, TreeSequence] = {}
     stack: List[Tuple[Operator, bool]] = [(plan, False)]
-    if tracer is None:
-        while stack:
-            op, ready = stack.pop()
-            key = id(op)
-            if key in memo:
-                continue
-            if ready:
-                inputs = [memo[id(child)] for child in op.inputs]
-                memo[key] = op.execute(ctx, inputs)
-            else:
-                stack.append((op, True))
-                for child in reversed(op.inputs):
-                    stack.append((child, False))
-    else:
-        while stack:
-            op, ready = stack.pop()
-            key = id(op)
-            if key in memo:
-                tracer.memo_hit(op)
-                continue
-            if ready:
-                inputs = [memo[id(child)] for child in op.inputs]
-                before = tracer.counters_before()
-                started = time.perf_counter()
-                result = op.execute(ctx, inputs)
-                elapsed = time.perf_counter() - started
-                tracer.record(op, inputs, result, elapsed, before)
-                memo[key] = result
-            else:
-                stack.append((op, True))
-                for child in reversed(op.inputs):
-                    stack.append((child, False))
+    limits = ctx.limits
+    if limits is not None:
+        limits.start()
+    cache = ctx.scan_cache
+    if cache is not None:
+        cache.begin_query(ctx.db)
+    try:
+        if tracer is None:
+            while stack:
+                op, ready = stack.pop()
+                key = id(op)
+                if key in memo:
+                    continue
+                if ready:
+                    inputs = [memo[id(child)] for child in op.inputs]
+                    if limits is not None:
+                        limits.check(op.name)
+                    result = op.execute(ctx, inputs)
+                    if limits is not None:
+                        limits.check_output(op.name, len(result))
+                    memo[key] = result
+                else:
+                    stack.append((op, True))
+                    for child in reversed(op.inputs):
+                        stack.append((child, False))
+        else:
+            while stack:
+                op, ready = stack.pop()
+                key = id(op)
+                if key in memo:
+                    tracer.memo_hit(op)
+                    continue
+                if ready:
+                    inputs = [memo[id(child)] for child in op.inputs]
+                    if limits is not None:
+                        limits.check(op.name)
+                    before = tracer.counters_before()
+                    started = time.perf_counter()
+                    result = op.execute(ctx, inputs)
+                    elapsed = time.perf_counter() - started
+                    tracer.record(op, inputs, result, elapsed, before)
+                    if limits is not None:
+                        limits.check_output(op.name, len(result))
+                    memo[key] = result
+                else:
+                    stack.append((op, True))
+                    for child in reversed(op.inputs):
+                        stack.append((child, False))
+    finally:
+        if cache is not None:
+            cache.end_query()
     return memo[id(plan)]
 
 

@@ -14,18 +14,22 @@ This is the entry point downstream users and the benchmark harness share::
 from __future__ import annotations
 
 import time
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from .baselines.gtp.translator import translate_gtp
 from .baselines.nav.evaluator import NavEvaluator
 from .baselines.tax.translator import translate_tax
 from .core.base import Context, Operator
 from .core.evaluator import evaluate
+from .core.limits import ExecutionLimits
 from .errors import ReproError
 from .model.sequence import TreeSequence
 from .storage.database import DEFAULT_POOL_PAGES, Database
 from .storage.stats import QueryReport
 from .xquery.translator import TranslationResult, translate_query
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .service import QueryService
 
 #: Engine names accepted by :meth:`Engine.run`.
 ENGINES = ("tlc", "tax", "gtp", "nav")
@@ -113,6 +117,9 @@ class Engine:
         strict: bool = False,
         trace: bool = False,
         scan_cache: bool = True,
+        limits: Optional[ExecutionLimits] = None,
+        deadline: Optional[float] = None,
+        max_trees: Optional[int] = None,
     ) -> TreeSequence:
         """Evaluate a query and return the result forest.
 
@@ -133,12 +140,24 @@ class Engine:
         scans and pattern-leaf matches (on by default; hits show up as
         ``scan_cache_hits`` in the counters).  Disable it to reproduce
         the uncached behaviour, e.g. for before/after benchmarking.
+
+        ``limits`` (or the ``deadline``/``max_trees`` shorthands, which
+        build one) arms the cooperative abort checks: a query past its
+        wall-clock budget raises
+        :class:`~repro.errors.QueryTimeoutError`, one past its
+        output-cardinality budget raises
+        :class:`~repro.errors.ResourceLimitError` — at the next operator
+        boundary or matcher tick, instead of hanging.  Limits apply to
+        the algebraic engines only (``nav`` interprets the AST without
+        an evaluator loop to check in).
         """
         if engine not in ENGINES:
             raise ReproError(
                 f"unknown engine {engine!r}; choose one of {ENGINES}"
             )
         _require_query_text(query)
+        if limits is None and (deadline is not None or max_trees is not None):
+            limits = ExecutionLimits(deadline=deadline, max_trees=max_trees)
         if engine == "nav":
             if optimize:
                 raise ReproError("rewrites do not apply to navigation")
@@ -147,6 +166,11 @@ class Engine:
                     "the tracer instruments algebraic plans; 'nav' "
                     "interprets the AST and has no operators to trace"
                 )
+            if limits is not None:
+                raise ReproError(
+                    "execution limits need the evaluator loop; 'nav' "
+                    "has none (use an algebraic engine)"
+                )
             return NavEvaluator(self.db).run(query)
         translation = self.plan(query, engine, optimize)
         return self.run_plan(
@@ -154,6 +178,7 @@ class Engine:
             strict=strict and engine == "tlc",
             trace=trace,
             scan_cache=scan_cache,
+            limits=limits,
         )
 
     def run_plan(
@@ -162,11 +187,12 @@ class Engine:
         strict: bool = False,
         trace: bool = False,
         scan_cache: bool = True,
+        limits: Optional[ExecutionLimits] = None,
     ) -> TreeSequence:
         """Evaluate an already-built plan against this engine's database."""
         if strict:
             _validate_plan(plan)
-        ctx = Context(self.db, scan_cache=scan_cache)
+        ctx = Context(self.db, scan_cache=scan_cache, limits=limits)
         if not trace:
             return evaluate(plan, ctx)
         from .trace import Tracer
@@ -175,6 +201,19 @@ class Engine:
         result = evaluate(plan, ctx, tracer)
         result.trace = tracer.finish(plan)
         return result
+
+    def service(self, **kwargs) -> "QueryService":
+        """A concurrent :class:`~repro.service.QueryService` over this
+        engine's database (prepared-plan cache, thread pool, deadlines).
+
+        Keyword arguments are forwarded to
+        :class:`~repro.service.QueryService` (``threads``,
+        ``cache_size``, ``default_deadline``, ``default_max_trees``,
+        ``retry_legacy``).
+        """
+        from .service import QueryService
+
+        return QueryService(self, **kwargs)
 
     # ------------------------------------------------------------------
     # measurement (the benchmark harness entry point)

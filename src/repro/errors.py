@@ -78,6 +78,77 @@ class EvaluationError(ReproError):
     """Raised when plan evaluation fails at runtime."""
 
 
+class ExecutionLimitError(EvaluationError):
+    """Base class for cooperative aborts of a running query.
+
+    Raised by the evaluator's per-operator limit check (see
+    :class:`repro.core.limits.ExecutionLimits`) when a query exceeds a
+    budget it was given.  Catching this class covers every structured
+    abort: deadline, output-cardinality, and explicit cancellation.
+    """
+
+
+class QueryTimeoutError(ExecutionLimitError):
+    """Raised when a query runs past its wall-clock deadline.
+
+    The check is cooperative — it fires between operator executions in
+    the evaluator loop and between candidate batches inside long pattern
+    matches — so the query is aborted shortly after the budget elapses
+    instead of hanging indefinitely.
+    """
+
+    def __init__(self, budget_seconds: float, elapsed_seconds: float):
+        super().__init__(
+            f"query exceeded its {budget_seconds * 1000:.0f} ms deadline "
+            f"(aborted after {elapsed_seconds * 1000:.0f} ms)"
+        )
+        self.budget_seconds = budget_seconds
+        self.elapsed_seconds = elapsed_seconds
+
+
+class ResourceLimitError(ExecutionLimitError):
+    """Raised when a query exceeds its output-cardinality budget.
+
+    The limit applies to every intermediate operator output, not just the
+    final result: a query whose Join explodes past the budget is aborted
+    at the Join instead of running to completion and failing at the root.
+    """
+
+    def __init__(self, limit: int, produced: int, operator: str):
+        super().__init__(
+            f"operator {operator} produced {produced} trees, past the "
+            f"configured budget of {limit}"
+        )
+        self.limit = limit
+        self.produced = produced
+        self.operator = operator
+
+
+class QueryCancelledError(ExecutionLimitError):
+    """Raised when a query is cancelled via its limits' cancel event."""
+
+    def __init__(self) -> None:
+        super().__init__("query cancelled")
+
+
+class ScanCacheLifetimeError(ReproError):
+    """Raised when a :class:`~repro.patterns.scan_cache.ScanCache` is
+    shared in a way that violates its single-query lifetime.
+
+    A scan cache memoises candidate lists for *one* plan execution over
+    immutable documents.  Sequential reuse across warm benchmark runs is
+    allowed; entering a second concurrent execution with the same cache
+    (or moving a cache to a different database) is a bug in the caller —
+    typically a service layer accidentally sharing one cache between
+    requests — and raises this error rather than silently returning
+    another query's scans.
+    """
+
+
+class ServiceError(ReproError):
+    """Raised for query-service misuse (closed service, bad config)."""
+
+
 class PlanValidationError(ReproError):
     """Raised when the static LC-flow analyzer rejects a plan.
 

@@ -133,8 +133,14 @@ class PatternMatcher:
         order_edges: bool = False,
         strategy: str = "binary",
         scan_cache: Optional[ScanCache] = None,
+        limits=None,
     ) -> None:
         self.db = db
+        #: Optional :class:`~repro.core.limits.ExecutionLimits` ticked in
+        #: the per-tree match/extension loops, so a deadline or
+        #: cancellation fires inside a long Select instead of waiting for
+        #: the evaluator's next between-operator check.
+        self.limits = limits
         #: Query-scoped memo of identical scans (see
         #: :mod:`repro.patterns.scan_cache`).  ``None`` disables caching:
         #: every pattern node re-scans its index postings as the original
@@ -188,7 +194,10 @@ class PatternMatcher:
         memo: Dict[int, List[_MTree]] = {}
         matches = self._match_node_db(apt.root, apt.doc, memo)
         out = TreeSequence()
+        limits = self.limits
         for mtree in matches:
+            if limits is not None:
+                limits.tick()
             out.append(XTree(self._build(mtree, apt.root)))
             self.db.metrics.trees_built += 1
         return out
@@ -262,7 +271,10 @@ class PatternMatcher:
         memo: Dict[int, List[_MTree]] = {}
         mandatory = any(e.mspec in ("-", "+") for e in root.edges)
         out = TreeSequence()
+        limits = self.limits
         for tree in trees:
+            if limits is not None:
+                limits.tick()
             anchors = tree.nodes_in_class(root.lc_ref)
             if not anchors:
                 if not mandatory:
@@ -333,7 +345,10 @@ class PatternMatcher:
         #: the ``cache`` parameter of :func:`_apply_match`)
         built_cache: Dict[int, Tuple[TNode, List[Tuple[int, TNode]]]] = {}
         out = TreeSequence()
+        limits = self.limits
         for tree, anchors in entries:
+            if limits is not None:
+                limits.tick()
             if anchors is None:
                 if not mandatory:
                     out.append(tree.clone())

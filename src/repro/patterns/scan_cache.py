@@ -17,6 +17,25 @@ reloaded between runs.  Hits are metered as ``Metrics.scan_cache_hits``
 the work counters of a cached run are never higher than an uncached
 one).
 
+**Lifetime contract.**  A cache serves *one database* and *one query
+execution at a time*.  The keys carry the document name, so entries
+could not collide across documents of one database — but entries built
+against one :class:`~repro.storage.database.Database` are meaningless
+against another, and two *concurrent* executions sharing a cache would
+race on entry construction and cross-pollinate their metering.  The
+evaluator therefore brackets every execution with
+:meth:`ScanCache.begin_query` / :meth:`ScanCache.end_query`:
+
+* sequential reuse (benchmark warm runs over immutable data) is fine —
+  begin/end pairs nest zero-deep between runs;
+* entering a cache that is already inside an execution, or moving it to
+  a different database, raises
+  :class:`~repro.errors.ScanCacheLifetimeError`.
+
+This is exactly the trap a service layer could fall into by handing one
+cache to its thread pool; :class:`repro.service.QueryService` creates a
+fresh cache per request, and this assertion keeps it honest.
+
 :class:`Candidates` is the list type the matcher builds candidate lists
 with: a plain ``list`` that can additionally carry the columnar
 ``starts``/``levels`` probe columns a structural join attaches on first
@@ -52,11 +71,50 @@ class Candidates(List[Any]):
 
 
 class ScanCache:
-    """Memo of identical scans within one plan execution."""
+    """Memo of identical scans within one plan execution.
+
+    See the module docstring for the single-database, single-execution
+    lifetime contract enforced by :meth:`begin_query`/:meth:`end_query`.
+    """
 
     def __init__(self, metrics: Optional[Metrics] = None) -> None:
         self._entries: Dict[ScanKey, Candidates] = {}
         self.metrics = metrics
+        #: identity of the database this cache's entries were built
+        #: against (pinned on first begin_query)
+        self._db: Optional[object] = None
+        #: True while an execution is inside begin_query/end_query
+        self._active = False
+
+    # ------------------------------------------------------------------
+    # lifetime bracketing (called by the evaluator)
+    # ------------------------------------------------------------------
+    def begin_query(self, db: object) -> None:
+        """Enter one query execution; assert the lifetime contract.
+
+        Raises :class:`~repro.errors.ScanCacheLifetimeError` when the
+        cache is already inside another execution (concurrent sharing)
+        or was previously used against a different database.
+        """
+        from ..errors import ScanCacheLifetimeError
+
+        if self._active:
+            raise ScanCacheLifetimeError(
+                "ScanCache is already in use by another query execution; "
+                "a scan cache is query-scoped — create one per request "
+                "(concurrent requests must never share one)"
+            )
+        if self._db is not None and self._db is not db:
+            raise ScanCacheLifetimeError(
+                "ScanCache was built against a different Database; its "
+                "entries are meaningless here — create a fresh cache"
+            )
+        self._db = db
+        self._active = True
+
+    def end_query(self) -> None:
+        """Leave the current query execution (keeps the entries warm)."""
+        self._active = False
 
     def candidates(
         self, key: ScanKey, build: Callable[[], Candidates]
@@ -81,8 +139,13 @@ class ScanCache:
         return len(self._entries)
 
     def clear(self) -> None:
-        """Drop every memoised scan (the cache becomes cold)."""
+        """Drop every memoised scan (the cache becomes cold).
+
+        Also unpins the database identity: an empty cache can be safely
+        re-entered against any database.
+        """
         self._entries.clear()
+        self._db = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<ScanCache entries={len(self._entries)}>"

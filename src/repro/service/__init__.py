@@ -1,0 +1,49 @@
+"""The query service layer: prepared plans, concurrency, deadlines.
+
+The paper evaluates TLC inside TIMBER as a database *service*; this
+package is that step for the reproduction.  See
+:class:`~repro.service.service.QueryService` for the entry point::
+
+    from repro import Engine
+    from repro.service import QueryService
+
+    engine = Engine()
+    engine.load_xml("auction.xml", xml_text)
+    with QueryService(engine, threads=8, default_deadline=1.0) as svc:
+        prepared = svc.prepare(query)      # compiled once, cached
+        result = svc.execute(prepared)     # straight to execution
+        handle = svc.submit(query)         # concurrent + cancellable
+        result = handle.result()
+
+Documented in ``docs/ARCHITECTURE.md`` (data flow) and DESIGN §11.
+"""
+
+from .cache import (
+    DEFAULT_CACHE_SIZE,
+    CacheStats,
+    PlanCache,
+    PlanCacheKey,
+    normalize_query,
+)
+from .service import (
+    DEFAULT_THREADS,
+    SERVICE_ENGINES,
+    PreparedQuery,
+    QueryHandle,
+    QueryService,
+    ServiceStats,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "DEFAULT_THREADS",
+    "SERVICE_ENGINES",
+    "CacheStats",
+    "PlanCache",
+    "PlanCacheKey",
+    "PreparedQuery",
+    "QueryHandle",
+    "QueryService",
+    "ServiceStats",
+    "normalize_query",
+]

@@ -1,0 +1,420 @@
+"""Concurrent query execution over one immutable :class:`Database`.
+
+This is the prototype-to-DBMS step of the reproduction: the paper
+evaluates TLC inside TIMBER as a database *service*, and a service is
+exactly what ``Engine.run`` is not — it re-compiles every query, runs
+single-threaded, and cannot be stopped once started.
+:class:`QueryService` wraps an :class:`~repro.engine.Engine` with:
+
+* **prepared queries** — compiles go through a bounded
+  :class:`~repro.service.cache.PlanCache`; an identical query (modulo
+  whitespace) skips parse/translate/analyze/rewrite entirely and goes
+  straight to execution;
+* **a thread pool** — many queries execute concurrently against the one
+  immutable database.  Each request gets its own
+  :class:`~repro.core.base.Context`, and with it a *fresh*, request-
+  scoped :class:`~repro.patterns.scan_cache.ScanCache` (the cache itself
+  asserts it is never shared across concurrent requests; see its
+  lifetime contract).  Stored documents, indexes and compiled plans are
+  all read-only at execution time, which is what makes the concurrent
+  results byte-identical to serial ones.  The shared work counters are
+  the one approximate piece — unsynchronised increments may drop under
+  contention, which perturbs metering, never results;
+* **deadlines and cancellation** — per-query
+  :class:`~repro.core.limits.ExecutionLimits` arm the evaluator's
+  cooperative checks, so a query past its wall-clock or cardinality
+  budget raises :class:`~repro.errors.QueryTimeoutError` /
+  :class:`~repro.errors.ResourceLimitError` instead of hanging, and
+  :meth:`QueryHandle.cancel` aborts an in-flight query at its next
+  check;
+* **graceful degradation** — if the columnar fast path raises an
+  unexpected error, the query is retried once on the legacy join path
+  (the executable specification) under the *same* remaining budget
+  before the failure is surfaced.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Union
+
+from ..core.base import Context
+from ..core.evaluator import evaluate
+from ..core.limits import ExecutionLimits
+from ..engine import Engine
+from ..errors import (
+    ExecutionLimitError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ServiceError,
+)
+from ..model.sequence import TreeSequence
+from ..storage.database import Database
+from ..xquery.translator import TranslationResult
+from .cache import CacheStats, PlanCache, PlanCacheKey, normalize_query
+
+#: Default worker-thread count.
+DEFAULT_THREADS = 4
+
+#: Engines the service can prepare plans for (``nav`` interprets the
+#: AST — no plan to cache, no evaluator loop to budget).
+SERVICE_ENGINES = ("tlc", "tax", "gtp")
+
+
+@dataclass(frozen=True)
+class PreparedQuery:
+    """A compiled query: execute it repeatedly without recompiling.
+
+    Obtained from :meth:`QueryService.prepare`; immutable and safe to
+    execute from many threads at once.  ``cache_hit`` records whether
+    preparation itself was answered from the plan cache.
+    """
+
+    text: str
+    engine: str
+    optimize: bool
+    translation: TranslationResult
+    key: PlanCacheKey
+    generation: int
+    cache_hit: bool = False
+
+    @property
+    def plan(self):
+        """The root operator of the compiled plan."""
+        return self.translation.plan
+
+    def explain(self) -> str:
+        """Readable rendering of the compiled plan."""
+        return self.translation.explain()
+
+
+class QueryHandle:
+    """An in-flight query: a future plus its cooperative limits."""
+
+    def __init__(
+        self,
+        future: "Future[TreeSequence]",
+        limits: ExecutionLimits,
+        prepared: PreparedQuery,
+    ) -> None:
+        self._future = future
+        self.limits = limits
+        self.prepared = prepared
+
+    def result(self, timeout: Optional[float] = None) -> TreeSequence:
+        """Block for the result (re-raising any structured abort)."""
+        return self._future.result(timeout)
+
+    def done(self) -> bool:
+        """Whether execution has finished (successfully or not)."""
+        return self._future.done()
+
+    def exception(self, timeout: Optional[float] = None):
+        """The exception the query raised, if any (blocks like result)."""
+        return self._future.exception(timeout)
+
+    def cancel(self) -> bool:
+        """Abort the query: drop it if still queued, else cooperatively.
+
+        A queued query is cancelled outright.  A running one has its
+        limits' cancel event set and aborts with
+        :class:`~repro.errors.QueryCancelledError` at the evaluator's
+        next check.  Returns True when the cancellation was delivered
+        (always, unless the query already finished).
+        """
+        if self._future.cancel():
+            return True
+        self.limits.cancel()
+        return not self._future.done()
+
+
+@dataclass
+class ServiceStats:
+    """Counters over a service's lifetime plus its cache snapshot."""
+
+    executed: int = 0
+    failed: int = 0
+    timeouts: int = 0
+    cancelled: int = 0
+    legacy_retries: int = 0
+    threads: int = 0
+    cache: CacheStats = field(default_factory=CacheStats)
+
+
+class QueryService:
+    """Concurrent, cached, budgeted query execution over one database.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.engine.Engine` (or bare
+        :class:`~repro.storage.database.Database`) to serve.  Documents
+        must be loaded before queries arrive; loading *during* operation
+        invalidates affected cache entries via the database generation
+        but does not lock out in-flight queries — keep loads quiescent.
+    threads:
+        Worker-thread count of the execution pool.
+    cache_size:
+        Capacity of the prepared-plan LRU.
+    default_deadline / default_max_trees:
+        Budgets applied to every query that does not bring its own.
+    retry_legacy:
+        Retry a query once on the legacy join path when the columnar
+        fast path raises an unexpected error (structured aborts —
+        timeout, cardinality, cancellation — are never retried).
+    strict:
+        Lint every freshly compiled TLC plan with the static LC-flow
+        analyzer before it enters the cache (validation is amortised
+        across all executions of the cached plan).
+    """
+
+    def __init__(
+        self,
+        engine: Union[Engine, Database],
+        threads: int = DEFAULT_THREADS,
+        cache_size: Optional[int] = None,
+        default_deadline: Optional[float] = None,
+        default_max_trees: Optional[int] = None,
+        retry_legacy: bool = True,
+        strict: bool = False,
+    ) -> None:
+        if threads <= 0:
+            raise ServiceError("thread count must be positive")
+        self.engine = engine if isinstance(engine, Engine) else Engine(engine)
+        self.db: Database = self.engine.db
+        self.cache = PlanCache(
+            capacity=cache_size if cache_size is not None else 64,
+            metrics=self.db.metrics,
+        )
+        self.default_deadline = default_deadline
+        self.default_max_trees = default_max_trees
+        self.retry_legacy = retry_legacy
+        self.strict = strict
+        self.threads = threads
+        self._pool = ThreadPoolExecutor(
+            max_workers=threads, thread_name_prefix="repro-query"
+        )
+        self._lock = threading.Lock()
+        self._degrade_lock = threading.Lock()
+        self._closed = False
+        self._executed = 0
+        self._failed = 0
+        self._timeouts = 0
+        self._cancelled = 0
+        self._legacy_retries = 0
+
+    # ------------------------------------------------------------------
+    # preparation (the plan cache front door)
+    # ------------------------------------------------------------------
+    def prepare(
+        self, query: str, engine: str = "tlc", optimize: bool = False
+    ) -> PreparedQuery:
+        """Compile ``query`` through the plan cache.
+
+        A second ``prepare`` (or ``execute``/``submit``) of the same
+        query — whitespace-insensitively — returns the cached plan and
+        performs no parsing, translation, analysis or rewriting at all;
+        the skip shows up as ``plan_cache_hits`` in the counters.
+        """
+        self._ensure_open()
+        if engine not in SERVICE_ENGINES:
+            raise ServiceError(
+                f"the service prepares algebraic plans; engine {engine!r} "
+                f"is not one of {SERVICE_ENGINES}"
+            )
+        key = PlanCacheKey(normalize_query(query), engine, bool(optimize))
+        generation = self.db.generation
+
+        def compile_fn() -> TranslationResult:
+            translation = self.engine.plan(query, engine, optimize)
+            if self.strict and engine == "tlc":
+                from ..analysis import analyze
+                from ..errors import PlanValidationError
+
+                analysis = analyze(translation.plan)
+                if not analysis.ok:
+                    raise PlanValidationError(
+                        "plan failed static LC-flow validation",
+                        analysis.errors,
+                    )
+            return translation
+
+        translation, hit = self.cache.get_or_compile(
+            key, generation, compile_fn
+        )
+        return PreparedQuery(
+            text=query,
+            engine=engine,
+            optimize=bool(optimize),
+            translation=translation,
+            key=key,
+            generation=generation,
+            cache_hit=hit,
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: Union[str, PreparedQuery],
+        engine: str = "tlc",
+        optimize: bool = False,
+        deadline: Optional[float] = None,
+        max_trees: Optional[int] = None,
+    ) -> QueryHandle:
+        """Queue a query on the pool; returns a cancellable handle.
+
+        ``query`` may be raw text (prepared through the cache first) or
+        an existing :class:`PreparedQuery`.  ``deadline``/``max_trees``
+        default to the service-wide budgets.
+        """
+        self._ensure_open()
+        if isinstance(query, PreparedQuery):
+            prepared = query
+        else:
+            prepared = self.prepare(query, engine=engine, optimize=optimize)
+        limits = ExecutionLimits(
+            deadline=deadline if deadline is not None else self.default_deadline,
+            max_trees=(
+                max_trees if max_trees is not None else self.default_max_trees
+            ),
+        )
+        future = self._pool.submit(self._run, prepared, limits)
+        return QueryHandle(future, limits, prepared)
+
+    def execute(
+        self,
+        query: Union[str, PreparedQuery],
+        engine: str = "tlc",
+        optimize: bool = False,
+        deadline: Optional[float] = None,
+        max_trees: Optional[int] = None,
+    ) -> TreeSequence:
+        """Synchronous convenience: submit and wait for the result."""
+        return self.submit(
+            query,
+            engine=engine,
+            optimize=optimize,
+            deadline=deadline,
+            max_trees=max_trees,
+        ).result()
+
+    def execute_many(
+        self,
+        queries: Iterable[Union[str, PreparedQuery]],
+        engine: str = "tlc",
+        optimize: bool = False,
+        deadline: Optional[float] = None,
+        max_trees: Optional[int] = None,
+    ) -> List[TreeSequence]:
+        """Run a batch concurrently; results in submission order.
+
+        The first structured failure is re-raised after all queries
+        finish (submission is eager, so sibling queries still run).
+        """
+        handles = [
+            self.submit(
+                q,
+                engine=engine,
+                optimize=optimize,
+                deadline=deadline,
+                max_trees=max_trees,
+            )
+            for q in queries
+        ]
+        return [handle.result() for handle in handles]
+
+    # ------------------------------------------------------------------
+    # the worker body
+    # ------------------------------------------------------------------
+    def _run(
+        self, prepared: PreparedQuery, limits: ExecutionLimits
+    ) -> TreeSequence:
+        """Execute one prepared plan with a fresh, request-scoped context."""
+        try:
+            try:
+                return self._evaluate(prepared, limits)
+            except ExecutionLimitError:
+                raise
+            except Exception as error:
+                if not self.retry_legacy:
+                    raise
+                from ..physical.structural_join import (
+                    fast_path_enabled,
+                    use_fast_path,
+                )
+
+                if not fast_path_enabled():
+                    raise
+                # graceful degradation: one retry on the legacy join
+                # path, under the same remaining budget.  The toggle is
+                # module-global, so the retry is serialised and any
+                # query racing through the window simply runs legacy
+                # too (identical results, slower).
+                with self._lock:
+                    self._legacy_retries += 1
+                with self._degrade_lock:
+                    with use_fast_path(False):
+                        try:
+                            return self._evaluate(prepared, limits)
+                        except ExecutionLimitError:
+                            raise
+                        except Exception:
+                            raise error from None
+        except BaseException as error:
+            with self._lock:
+                self._failed += 1
+                if isinstance(error, QueryTimeoutError):
+                    self._timeouts += 1
+                elif isinstance(error, QueryCancelledError):
+                    self._cancelled += 1
+            raise
+        finally:
+            with self._lock:
+                self._executed += 1
+
+    def _evaluate(
+        self, prepared: PreparedQuery, limits: ExecutionLimits
+    ) -> TreeSequence:
+        # a fresh Context per request: its ScanCache is request-scoped
+        # (and asserts that — see the ScanCache lifetime contract)
+        ctx = Context(self.db, scan_cache=True, limits=limits)
+        return evaluate(prepared.plan, ctx)
+
+    # ------------------------------------------------------------------
+    # lifecycle and introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """Lifetime counters plus the plan-cache snapshot."""
+        with self._lock:
+            return ServiceStats(
+                executed=self._executed,
+                failed=self._failed,
+                timeouts=self._timeouts,
+                cancelled=self._cancelled,
+                legacy_retries=self._legacy_retries,
+                threads=self.threads,
+                cache=self.cache.stats(),
+            )
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting queries and shut the pool down."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServiceError("the query service has been closed")
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self._closed else f"threads={self.threads}"
+        return f"<QueryService {state} cache={self.cache!r}>"

@@ -34,6 +34,10 @@ class Database:
         self._by_id: Dict[int, Document] = {}
         self._tag_indexes: Dict[int, TagIndex] = {}
         self._value_indexes: Dict[int, ValueIndex] = {}
+        #: bumped on every (re)load; compiled plans embed document
+        #: structure assumptions, so the service layer's plan cache
+        #: treats entries from an older generation as stale
+        self.generation = 0
 
     # ------------------------------------------------------------------
     # loading
@@ -53,6 +57,7 @@ class Database:
         self._by_id[doc_id] = document
         self._tag_indexes[doc_id] = TagIndex(document)
         self._value_indexes[doc_id] = ValueIndex(document)
+        self.generation += 1
         return document
 
     # ------------------------------------------------------------------

@@ -39,24 +39,44 @@ class BufferPool:
         self._resident: "OrderedDict[Hashable, None]" = OrderedDict()
 
     def access(self, page_id: Hashable) -> bool:
-        """Touch ``page_id``; returns True on a hit, False on a miss (read)."""
-        if page_id in self._resident:
+        """Touch ``page_id``; returns True on a hit, False on a miss (read).
+
+        Safe under concurrent readers (the service layer's thread pool):
+        each ``OrderedDict`` operation is a single GIL-atomic C call, and
+        the membership test is folded into a ``move_to_end`` attempt so
+        an eviction racing between "check" and "touch" surfaces as the
+        handled ``KeyError`` (counted as a miss) instead of escaping.
+        Counter increments may drop under contention — counts stay
+        approximate, residency stays consistent.
+        """
+        try:
             self._resident.move_to_end(page_id)
             self.metrics.buffer_hits += 1
             return True
+        except KeyError:
+            pass
         self.metrics.pages_read += 1
         self._resident[page_id] = None
-        if len(self._resident) > self.capacity:
-            self._resident.popitem(last=False)
+        while len(self._resident) > self.capacity:
+            try:
+                self._resident.popitem(last=False)
+            except KeyError:  # another thread evicted the last candidate
+                break
         return False
 
     def write(self, page_id: Hashable) -> None:
         """Touch ``page_id`` for writing (counts a write, keeps residency)."""
         self.metrics.pages_written += 1
         self._resident[page_id] = None
-        self._resident.move_to_end(page_id)
-        if len(self._resident) > self.capacity:
-            self._resident.popitem(last=False)
+        try:
+            self._resident.move_to_end(page_id)
+        except KeyError:  # concurrently evicted between insert and touch
+            self._resident[page_id] = None
+        while len(self._resident) > self.capacity:
+            try:
+                self._resident.popitem(last=False)
+            except KeyError:
+                break
 
     def clear(self) -> None:
         """Evict everything (cold-cache benchmarking)."""

@@ -41,6 +41,13 @@ class Metrics:
     #: of rebuilding their probe-key arrays
     scan_cache_hits: int = 0
     postings_reused: int = 0
+    #: prepared-plan cache counters (the service layer's LRU of compiled
+    #: plans): queries answered without re-parse/translate/rewrite, cache
+    #: misses that paid the full compile, and entries evicted by capacity
+    #: or invalidated by a document reload
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_cache_evictions: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""

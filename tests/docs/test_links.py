@@ -1,0 +1,35 @@
+"""The markdown link checker passes on the repo's own documentation."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_doc_links_resolve():
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_doc_links.py")],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, (
+        f"broken documentation links:\n{proc.stderr}{proc.stdout}"
+    )
+
+
+def test_checker_flags_a_broken_link(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text("# T\n\nsee [missing](does-not-exist.md)\n")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO / "tools" / "check_doc_links.py"),
+            str(page),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    assert "broken link" in proc.stderr

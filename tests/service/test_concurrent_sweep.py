@@ -1,0 +1,79 @@
+"""Concurrency equivalence sweep: pooled execution changes nothing.
+
+Every XMark benchmark query runs on an 8-thread :class:`QueryService`
+and its results are compared byte-for-byte against plain serial
+``Engine.run`` — once with a cold plan cache and once warm.  The stored
+documents, indexes and compiled plans are all immutable at execution
+time and every request gets its own ScanCache, so concurrency must be
+invisible in the output.
+"""
+
+import pytest
+
+from repro.service import QueryService
+from repro.xmark import FIGURE15_ORDER, QUERIES
+
+THREADS = 8
+
+
+def _xml(result):
+    return [tree.to_xml() for tree in result]
+
+
+@pytest.fixture(scope="module")
+def serial_results(xmark_engine):
+    """Reference output of every benchmark query, computed serially."""
+    return {
+        name: _xml(xmark_engine.run(QUERIES[name].text))
+        for name in FIGURE15_ORDER
+    }
+
+
+def test_cold_cache_sweep_matches_serial(xmark_engine, serial_results):
+    with QueryService(xmark_engine, threads=THREADS) as svc:
+        assert len(svc.cache) == 0, "cache must start cold"
+        results = svc.execute_many(
+            QUERIES[name].text for name in FIGURE15_ORDER
+        )
+        for name, result in zip(FIGURE15_ORDER, results):
+            assert _xml(result) == serial_results[name], (
+                f"{name}: pooled execution diverged from serial (cold cache)"
+            )
+        stats = svc.stats()
+        assert stats.executed == len(FIGURE15_ORDER)
+        assert stats.failed == 0
+        assert stats.cache.misses == len(FIGURE15_ORDER)
+
+
+def test_warm_cache_sweep_matches_serial(xmark_engine, serial_results):
+    with QueryService(xmark_engine, threads=THREADS) as svc:
+        for name in FIGURE15_ORDER:  # warm every plan
+            svc.prepare(QUERIES[name].text)
+        results = svc.execute_many(
+            QUERIES[name].text for name in FIGURE15_ORDER
+        )
+        for name, result in zip(FIGURE15_ORDER, results):
+            assert _xml(result) == serial_results[name], (
+                f"{name}: pooled execution diverged from serial (warm cache)"
+            )
+        stats = svc.stats()
+        assert stats.cache.hits >= len(FIGURE15_ORDER), (
+            "the warm sweep must answer every prepare from the cache"
+        )
+
+
+def test_interleaved_repeats_stay_deterministic(xmark_engine, serial_results):
+    """Each query three times, shuffled deterministically across the pool."""
+    names = [
+        name
+        for offset in range(3)
+        for name in (
+            FIGURE15_ORDER[offset:] + FIGURE15_ORDER[:offset]
+        )
+    ]
+    with QueryService(xmark_engine, threads=THREADS) as svc:
+        results = svc.execute_many(QUERIES[name].text for name in names)
+    for name, result in zip(names, results):
+        assert _xml(result) == serial_results[name], (
+            f"{name}: repeat under contention diverged"
+        )

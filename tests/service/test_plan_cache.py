@@ -1,0 +1,109 @@
+"""Unit tests for the prepared-plan LRU cache."""
+
+import pytest
+
+from repro.service import PlanCache, PlanCacheKey, normalize_query
+from repro.storage.stats import Metrics
+from repro.xquery.translator import translate_query
+
+QUERY = (
+    'FOR $p IN document("auction.xml")//person '
+    "RETURN <o>{$p/name/text()}</o>"
+)
+
+
+def _key(text: str, engine: str = "tlc", optimize: bool = False):
+    return PlanCacheKey(normalize_query(text), engine, optimize)
+
+
+class TestNormalizeQuery:
+    def test_collapses_whitespace_runs(self):
+        messy = "FOR  $p\n  IN\tdocument('d')//person\n RETURN $p"
+        assert normalize_query(messy) == (
+            "FOR $p IN document('d')//person RETURN $p"
+        )
+
+    def test_strips_ends(self):
+        assert normalize_query("  a b  ") == "a b"
+
+    def test_reformatted_copies_share_a_key(self):
+        assert _key(QUERY) == _key("  " + QUERY.replace(" RETURN", "\nRETURN"))
+
+    def test_different_configs_get_different_keys(self):
+        assert _key(QUERY) != _key(QUERY, optimize=True)
+        assert _key(QUERY) != _key(QUERY, engine="gtp")
+
+
+class TestPlanCache:
+    def test_miss_then_hit(self):
+        cache = PlanCache(capacity=4)
+        key = _key(QUERY)
+        translation = translate_query(QUERY)
+        assert cache.get(key, generation=1) is None
+        cache.put(key, 1, translation)
+        assert cache.get(key, generation=1) is translation
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_get_or_compile_compiles_once(self):
+        cache = PlanCache(capacity=4)
+        calls = []
+
+        def compile_fn():
+            calls.append(1)
+            return translate_query(QUERY)
+
+        first, hit1 = cache.get_or_compile(_key(QUERY), 1, compile_fn)
+        second, hit2 = cache.get_or_compile(_key(QUERY), 1, compile_fn)
+        assert (hit1, hit2) == (False, True)
+        assert second is first
+        assert len(calls) == 1
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(capacity=2)
+        t = translate_query(QUERY)
+        a, b, c = (_key(QUERY + f" (: {i} :)") for i in "abc")
+        cache.put(a, 1, t)
+        cache.put(b, 1, t)
+        assert cache.get(a, 1) is not None  # a becomes most-recent
+        cache.put(c, 1, t)  # evicts b, the LRU entry
+        assert b not in cache
+        assert a in cache and c in cache
+        assert cache.stats().evictions == 1
+
+    def test_generation_invalidation(self):
+        cache = PlanCache(capacity=4)
+        key = _key(QUERY)
+        cache.put(key, 1, translate_query(QUERY))
+        # a document reload bumped the generation: the entry is stale
+        assert cache.get(key, generation=2) is None
+        assert key not in cache
+        stats = cache.stats()
+        assert stats.evictions == 1
+        assert stats.misses == 1
+
+    def test_metrics_mirroring(self):
+        metrics = Metrics()
+        cache = PlanCache(capacity=1, metrics=metrics)
+        key = _key(QUERY)
+        t = translate_query(QUERY)
+        cache.get(key, 1)  # miss
+        cache.put(key, 1, t)
+        cache.get(key, 1)  # hit
+        cache.put(_key(QUERY + " (: other :)"), 1, t)  # evicts
+        assert metrics.plan_cache_hits == 1
+        assert metrics.plan_cache_misses == 1
+        assert metrics.plan_cache_evictions == 1
+
+    def test_clear_keeps_counts(self):
+        cache = PlanCache(capacity=4)
+        cache.put(_key(QUERY), 1, translate_query(QUERY))
+        cache.get(_key(QUERY), 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().hits == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)

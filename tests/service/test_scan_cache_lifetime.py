@@ -1,0 +1,136 @@
+"""The ScanCache lifetime contract: one database, one query at a time.
+
+The scan cache memoises candidate lists for a single plan execution
+over immutable documents.  Sequential reuse (warm benchmark runs) is
+legal; sharing one cache between two concurrent executions — the trap a
+service layer could fall into — or moving it to a different database
+raises :class:`~repro.errors.ScanCacheLifetimeError` instead of silently
+serving another query's scans.
+"""
+
+import threading
+
+import pytest
+
+from repro import Engine
+from repro.core.base import Context
+from repro.core.evaluator import evaluate
+from repro.errors import ScanCacheLifetimeError
+from repro.patterns.scan_cache import ScanCache
+from repro.storage.database import Database
+from tests.conftest import TINY_AUCTION
+
+QUERY = (
+    'FOR $p IN document("auction.xml")//person '
+    "RETURN <o>{$p/name/text()}</o>"
+)
+
+
+@pytest.fixture
+def engine():
+    e = Engine()
+    e.load_xml("auction.xml", TINY_AUCTION)
+    return e
+
+
+class TestBracketing:
+    def test_concurrent_entry_raises(self):
+        cache = ScanCache()
+        cache.begin_query(Database())
+        with pytest.raises(ScanCacheLifetimeError):
+            cache.begin_query(Database())
+
+    def test_sequential_reuse_is_allowed(self):
+        cache = ScanCache()
+        db = Database()
+        for _ in range(3):  # warm benchmark repeats
+            cache.begin_query(db)
+            cache.end_query()
+
+    def test_database_is_pinned_on_first_use(self):
+        cache = ScanCache()
+        cache.begin_query(Database())
+        cache.end_query()
+        with pytest.raises(ScanCacheLifetimeError):
+            cache.begin_query(Database())
+
+    def test_clear_unpins_the_database(self):
+        cache = ScanCache()
+        cache.begin_query(Database())
+        cache.end_query()
+        cache.clear()
+        cache.begin_query(Database())  # fresh cache, fresh pin
+
+
+class TestEvaluatorEnforcement:
+    def test_concurrent_evaluations_sharing_a_cache_raise(self, engine):
+        """Two threads running plans over ONE shared cache must trip."""
+        plan = engine.plan(QUERY).plan
+        shared = ScanCache(metrics=engine.db.metrics)
+        inside = threading.Event()
+        release = threading.Event()
+        errors = []
+
+        # hold one evaluation open by parking an operator mid-plan
+        from repro.core.base import Operator
+
+        class ParkOp(Operator):
+            name = "Park"
+
+            def execute(self, ctx, inputs):
+                inside.set()
+                release.wait(timeout=10)
+                return inputs[0]
+
+        parked = ParkOp([plan])
+
+        def run_parked():
+            ctx = Context(engine.db, scan_cache=False)
+            ctx.scan_cache = shared
+            try:
+                evaluate(parked, ctx)
+            except Exception as error:  # noqa: BLE001 - captured for assert
+                errors.append(error)
+
+        worker = threading.Thread(target=run_parked)
+        worker.start()
+        assert inside.wait(timeout=10)
+        try:
+            ctx = Context(engine.db, scan_cache=False)
+            ctx.scan_cache = shared
+            with pytest.raises(ScanCacheLifetimeError):
+                evaluate(plan, ctx)
+        finally:
+            release.set()
+            worker.join(timeout=10)
+        assert not worker.is_alive()
+        assert errors == [], "the first evaluation must finish cleanly"
+
+    def test_sequential_warm_reuse_through_the_evaluator(self, engine):
+        """The benchmark warm-run pattern stays legal and productive."""
+        ctx = Context(engine.db, scan_cache=True)
+        plan = engine.plan(QUERY).plan
+        first = evaluate(plan, ctx)
+        engine.db.reset_metrics()
+        second = evaluate(plan, ctx)  # same Context, warm cache
+        assert [t.to_xml() for t in first] == [t.to_xml() for t in second]
+        assert engine.db.metrics.scan_cache_hits > 0
+
+    def test_cache_pinned_to_its_database(self, engine):
+        plan = engine.plan(QUERY).plan
+        ctx = Context(engine.db, scan_cache=True)
+        evaluate(plan, ctx)
+        other = Engine()
+        other.load_xml("auction.xml", TINY_AUCTION)
+        stray = Context(other.db, scan_cache=False)
+        stray.scan_cache = ctx.scan_cache  # the bug the contract catches
+        with pytest.raises(ScanCacheLifetimeError):
+            evaluate(plan, stray)
+
+    def test_service_requests_never_share(self, engine):
+        """QueryService hands every request a fresh cache (spot check)."""
+        from repro.service import QueryService
+
+        with QueryService(engine, threads=4) as svc:
+            results = svc.execute_many([QUERY] * 12)
+        assert len(results) == 12
