@@ -17,7 +17,15 @@ Commands:
   cache and report what the cache would save on re-execution;
 * ``serve``    — run queries from stdin through the concurrent
   :class:`~repro.service.QueryService` (plan cache, thread pool,
-  deadlines), one query per line.
+  deadlines), one query per line; ``--http`` exposes ``/metrics``,
+  ``/stats``, ``/healthz`` and ``/slow`` while serving, ``--slow-ms``
+  arms slow-query capture, ``--query-log`` appends one JSON line per
+  request;
+* ``stats``    — summarise a query-log JSONL file (or fetch ``/stats``
+  from a running ``serve --http``): request counts by status/engine,
+  cache hits, latency percentiles;
+* ``tail``     — print the newest query-log events; ``--slow`` shows
+  only slow queries with each capture's hottest operators.
 
 Every command is documented with copy-pasteable invocations in
 ``docs/CLI.md``.
@@ -151,7 +159,17 @@ def cmd_profile(args: argparse.Namespace) -> int:
         trace=True,
     )
     trace = report.trace
-    if args.dot:
+    if args.json:
+        import json
+
+        from .trace import trace_to_json
+
+        payload = trace_to_json(trace)
+        payload["engine"] = report.engine
+        payload["result_trees"] = report.result_trees
+        payload["wall_seconds"] = round(report.seconds, 6)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.dot:
         from .trace import trace_to_dot
 
         print(trace_to_dot(trace, title=f"{args.engine} plan (traced)"))
@@ -177,7 +195,9 @@ def cmd_prepare(args: argparse.Namespace) -> int:
     engine = _open_engine(args.document)
     with QueryService(engine, threads=1, strict=args.strict) as svc:
         started = time.perf_counter()
-        prepared = svc.prepare(query, engine=args.engine, optimize=args.optimize)
+        prepared = svc.prepare(
+            query, engine=args.engine, optimize=args.optimize
+        )
         compile_ms = (time.perf_counter() - started) * 1000
         started = time.perf_counter()
         svc.prepare(query, engine=args.engine, optimize=args.optimize)
@@ -199,16 +219,15 @@ def cmd_prepare(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from .service import QueryService
+    from .telemetry.querylog import QueryLog
 
     engine = _open_engine(args.document)
-    queries = [
-        line.strip()
-        for line in sys.stdin
-        if line.strip() and not line.strip().startswith("#")
-    ]
-    if not queries:
-        print("serve: no queries on stdin (one per line)", file=sys.stderr)
-        return 1
+    query_log = (
+        QueryLog(sink_path=args.query_log) if args.query_log else None
+    )
+    slow_threshold = (
+        args.slow_ms / 1000.0 if args.slow_ms is not None else None
+    )
     failures = 0
     with QueryService(
         engine,
@@ -216,30 +235,237 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         default_deadline=args.deadline,
         default_max_trees=args.max_trees,
+        slow_threshold=slow_threshold,
+        query_log=query_log,
     ) as svc:
-        handles = [
-            svc.submit(query, engine=args.engine, optimize=args.optimize)
-            for query in queries
-        ]
-        for number, handle in enumerate(handles, 1):
-            try:
-                result = handle.result()
-            except ReproError as error:  # includes the structured aborts
-                failures += 1
-                print(f"-- query {number}: error: {error}", file=sys.stderr)
-                continue
-            print(f"-- query {number}: {len(result)} trees", file=sys.stderr)
-            for tree in result:
-                print(tree.to_xml())
-        stats = svc.stats()
-        print(
-            f"-- served {stats.executed} queries on {stats.threads} threads"
-            f" | cache hits={stats.cache.hits} misses={stats.cache.misses}"
-            f" evictions={stats.cache.evictions}"
-            f" | timeouts={stats.timeouts} failed={stats.failed}",
-            file=sys.stderr,
-        )
+        server = None
+        if args.http is not None:
+            from .telemetry.http import TelemetryServer
+
+            server = TelemetryServer(svc, port=args.http)
+            host, port = server.start()
+            # announced before stdin is read, so a scraper holding the
+            # stdin pipe open can find the endpoints while we serve
+            print(
+                f"-- telemetry on http://{host}:{port} "
+                "(/metrics /stats /healthz /slow)",
+                file=sys.stderr,
+                flush=True,
+            )
+        try:
+            # submit as lines arrive: queries overlap on the pool while
+            # stdin is still open (and the telemetry endpoints stay
+            # scrapeable mid-stream)
+            handles = []
+            for line in sys.stdin:
+                query = line.strip()
+                if not query or query.startswith("#"):
+                    continue
+                handles.append(
+                    svc.submit(
+                        query, engine=args.engine, optimize=args.optimize
+                    )
+                )
+            if not handles:
+                print(
+                    "serve: no queries on stdin (one per line)",
+                    file=sys.stderr,
+                )
+                return 1
+            for number, handle in enumerate(handles, 1):
+                try:
+                    result = handle.result()
+                except ReproError as error:  # includes structured aborts
+                    failures += 1
+                    print(
+                        f"-- query {number}: error: {error}",
+                        file=sys.stderr,
+                    )
+                    continue
+                print(
+                    f"-- query {number}: {len(result)} trees",
+                    file=sys.stderr,
+                )
+                for tree in result:
+                    print(tree.to_xml())
+            stats = svc.stats()
+            print(
+                f"-- served {stats.executed} queries on "
+                f"{stats.threads} threads"
+                f" | cache hits={stats.cache.hits}"
+                f" misses={stats.cache.misses}"
+                f" evictions={stats.cache.evictions}"
+                f" | timeouts={stats.timeouts} failed={stats.failed}"
+                f" slow={stats.slow_queries}",
+                file=sys.stderr,
+            )
+            latency = stats.latency.get("all", {})
+            if latency.get("count"):
+                print(
+                    f"-- latency p50={latency['p50_ms']} ms "
+                    f"p95={latency['p95_ms']} ms "
+                    f"p99={latency['p99_ms']} ms",
+                    file=sys.stderr,
+                )
+        finally:
+            if server is not None:
+                server.close()
     return 1 if failures and args.strict_exit else 0
+
+
+def _read_query_log(path: str) -> list:
+    """Parse a query-log JSONL file into event dicts (newest last)."""
+    import json
+
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError as error:
+                raise ReproError(
+                    f"{path}: not a query-log JSONL file ({error})"
+                ) from None
+    return events
+
+
+def _fetch_json(url: str) -> dict:
+    import json
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    try:
+        with urlopen(url, timeout=10) as response:
+            return json.load(response)
+    except URLError as error:
+        raise ReproError(f"cannot reach {url}: {error}") from None
+
+
+def _percentile_ms(values: list, q: float) -> float:
+    """Exact percentile over a sorted list of millisecond latencies."""
+    if not values:
+        return 0.0
+    rank = q * (len(values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(values) - 1)
+    frac = rank - low
+    return round(values[low] + (values[high] - values[low]) * frac, 3)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    if bool(args.log_file) == bool(args.url):
+        raise ReproError("give exactly one of -f/--log-file or --url")
+    if args.url:
+        payload = _fetch_json(args.url.rstrip("/") + "/stats")
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    events = _read_query_log(args.log_file)
+    by_status: dict = {}
+    by_engine: dict = {}
+    latencies = []
+    slow = 0
+    cache_hits = 0
+    for event in events:
+        by_status[event.get("status", "?")] = (
+            by_status.get(event.get("status", "?"), 0) + 1
+        )
+        by_engine[event.get("engine", "?")] = (
+            by_engine.get(event.get("engine", "?"), 0) + 1
+        )
+        latencies.append(float(event.get("ms", 0.0)))
+        slow += 1 if event.get("slow") else 0
+        cache_hits += 1 if event.get("cache_hit") else 0
+    latencies.sort()
+    summary = {
+        "requests": len(events),
+        "by_status": dict(sorted(by_status.items())),
+        "by_engine": dict(sorted(by_engine.items())),
+        "slow": slow,
+        "cache_hits": cache_hits,
+        "latency_ms": {
+            "p50": _percentile_ms(latencies, 0.50),
+            "p95": _percentile_ms(latencies, 0.95),
+            "p99": _percentile_ms(latencies, 0.99),
+            "max": latencies[-1] if latencies else 0.0,
+        },
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"{summary['requests']} requests ({slow} slow)")
+    print(
+        "status: "
+        + " ".join(f"{k}={v}" for k, v in summary["by_status"].items())
+    )
+    print(
+        "engine: "
+        + " ".join(f"{k}={v}" for k, v in summary["by_engine"].items())
+    )
+    hit_rate = cache_hits / len(events) if events else 0.0
+    print(f"plan-cache hits: {cache_hits} ({hit_rate:.0%})")
+    lat = summary["latency_ms"]
+    print(
+        f"latency: p50={lat['p50']} ms p95={lat['p95']} ms "
+        f"p99={lat['p99']} ms max={lat['max']} ms"
+    )
+    return 0
+
+
+def _format_event(event: dict) -> str:
+    mark = "SLOW " if event.get("slow") else ""
+    error = f" | {event['error']}" if event.get("error") else ""
+    return (
+        f"{event.get('trace_id', '?')} {mark}{event.get('status', '?')}"
+        f" {event.get('ms', 0.0):>9.3f} ms"
+        f" {event.get('result_trees', 0):>6} trees"
+        f" [{event.get('engine', '?')}"
+        f"{'+opt' if event.get('optimize') else ''}"
+        f"{' cached' if event.get('cache_hit') else ''}]"
+        f" {event.get('query', '')}{error}"
+    )
+
+
+def _format_trace_summary(trace: dict, top: int = 3) -> str:
+    """The hottest operators of a captured slow-query trace."""
+    records = sorted(
+        trace.get("records", []),
+        key=lambda r: r.get("self_seconds", 0.0),
+        reverse=True,
+    )
+    parts = [
+        f"{r.get('name', '?')}={r.get('self_seconds', 0.0) * 1000:.2f}ms"
+        for r in records[:top]
+    ]
+    return "hot operators: " + ", ".join(parts) if parts else ""
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    if bool(args.log_file) == bool(args.url):
+        raise ReproError("give exactly one of -f/--log-file or --url")
+    if args.url:
+        if not args.slow:
+            raise ReproError(
+                "--url serves the slow-query ring only; add --slow "
+                "(full events live in the serve-side query log file)"
+            )
+        payload = _fetch_json(args.url.rstrip("/") + "/slow")
+        events = payload.get("slow", [])
+    else:
+        events = _read_query_log(args.log_file)
+        if args.slow:
+            events = [e for e in events if e.get("slow")]
+    for event in events[-args.count:]:
+        print(_format_event(event))
+        if args.slow and event.get("trace"):
+            summary = _format_trace_summary(event["trace"])
+            if summary:
+                print(f"    {summary}")
+    return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -406,6 +632,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--dot", action="store_true",
         help="emit annotated Graphviz DOT instead of the text tree",
     )
+    profile.add_argument(
+        "--json", action="store_true",
+        help="emit the trace as JSON (trace_to_json payload) instead "
+        "of the text tree",
+    )
     profile.set_defaults(func=cmd_profile)
 
     bench = sub.add_parser(
@@ -502,7 +733,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict-exit", action="store_true",
         help="exit 1 when any query failed (default: report and exit 0)",
     )
+    serve.add_argument(
+        "--http", type=int, default=None, metavar="PORT",
+        help="expose /metrics /stats /healthz /slow on this port "
+        "(0 picks an ephemeral port; address printed to stderr)",
+    )
+    serve.add_argument(
+        "--slow-ms", type=float, default=None, metavar="MS",
+        help="slow-query threshold in milliseconds: slower requests "
+        "are logged and capture an EXPLAIN ANALYZE trace",
+    )
+    serve.add_argument(
+        "--query-log", default=None, metavar="PATH",
+        help="append one JSON line per request to this file "
+        "(read back with 'stats -f' / 'tail -f')",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    stats = sub.add_parser(
+        "stats",
+        help="summarise a query-log JSONL file, or fetch /stats from "
+        "a running serve --http",
+    )
+    stats.add_argument(
+        "-f", "--log-file", default=None,
+        help="query-log JSONL file written by serve --query-log",
+    )
+    stats.add_argument(
+        "--url", default=None,
+        help="base URL of a running serve --http (fetches /stats)",
+    )
+    stats.add_argument(
+        "--json", action="store_true",
+        help="print the aggregate as JSON instead of text",
+    )
+    stats.set_defaults(func=cmd_stats)
+
+    tail = sub.add_parser(
+        "tail",
+        help="print the newest query-log events (or the slow-query "
+        "ring of a running serve --http)",
+    )
+    tail.add_argument(
+        "-f", "--log-file", default=None,
+        help="query-log JSONL file written by serve --query-log",
+    )
+    tail.add_argument(
+        "--url", default=None,
+        help="base URL of a running serve --http (fetches /slow; "
+        "requires --slow)",
+    )
+    tail.add_argument(
+        "-n", "--count", type=int, default=20,
+        help="events to show (default 20)",
+    )
+    tail.add_argument(
+        "--slow", action="store_true",
+        help="only slow events, with each capture's hottest operators",
+    )
+    tail.set_defaults(func=cmd_tail)
     return parser
 
 

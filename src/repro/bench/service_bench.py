@@ -13,6 +13,11 @@ on a single-thread pool versus the full pool.  Python's GIL serialises
 the interpreter, so this is an honesty check on dispatch overhead —
 the service's concurrency is about isolation and cancellation, not
 CPU parallelism — and the number is recorded rather than celebrated.
+
+Since the telemetry layer (DESIGN.md §12), the report also harvests the
+service's own latency histograms: p50/p95/p99 over every request of the
+sweep, overall and per benchmark query (``BENCH_5.json`` is such a
+report with the ``latency`` section populated).
 """
 
 from __future__ import annotations
@@ -21,9 +26,11 @@ import json
 import math
 import time
 from dataclasses import asdict, dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..service import QueryService
+from ..service.cache import normalize_query
+from ..telemetry.querylog import query_hash
 from ..xmark.queries import FIGURE15_ORDER, QUERIES
 from .harness import DEFAULT_FACTOR, Harness
 
@@ -53,6 +60,9 @@ class ServiceBenchReport:
     pooled_batch_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: service-path latency percentiles from the telemetry histograms:
+    #: ``"all"`` plus one entry per benchmark query (count, p50/p95/p99 ms)
+    latency: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     def overall_speedup(self) -> float:
         """Geometric-mean warm-vs-cold speedup over every query."""
@@ -84,6 +94,7 @@ class ServiceBenchReport:
                 "plan_cache_hits": self.cache_hits,
                 "plan_cache_misses": self.cache_misses,
             },
+            "latency": self.latency,
             "rows": [asdict(row) for row in self.rows],
         }
         return json.dumps(payload, indent=2, sort_keys=True) + "\n"
@@ -102,7 +113,34 @@ class ServiceBenchReport:
         report.pooled_batch_seconds = summary.get("pooled_batch_seconds", 0.0)
         report.cache_hits = summary.get("plan_cache_hits", 0)
         report.cache_misses = summary.get("plan_cache_misses", 0)
+        report.latency = payload.get("latency", {})
         return report
+
+
+def _named_latency(
+    latency: Dict[str, Dict[str, object]], names: Sequence[str]
+) -> Dict[str, Dict[str, object]]:
+    """Re-key the service's per-class percentiles by benchmark query name.
+
+    The service buckets latency by ``engine:queryhash``; the hash is the
+    plan-cache identity (sha of the normalized text), so each benchmark
+    query's class is recoverable by hashing its text the same way.
+    Classes that match no benchmark query (none, normally) are dropped.
+    """
+    hash_to_name = {
+        query_hash(normalize_query(QUERIES[name].text)): name
+        for name in names
+    }
+    named: Dict[str, Dict[str, object]] = {}
+    for key, entry in latency.items():
+        entry = {k: v for k, v in entry.items() if k != "query"}
+        if key == "all":
+            named["all"] = entry
+        else:
+            name = hash_to_name.get(key.split(":", 1)[-1])
+            if name is not None:
+                named[name] = entry
+    return named
 
 
 def _geomean(values: Sequence[float]) -> float:
@@ -178,6 +216,7 @@ def bench_service(
         stats = svc.stats()
         report.cache_hits = stats.cache.hits
         report.cache_misses = stats.cache.misses
+        report.latency = _named_latency(stats.latency, names)
     with QueryService(engine, threads=1) as serial:
         for name in names:  # warm the one-thread service's cache too
             serial.prepare(QUERIES[name].text)
@@ -216,4 +255,12 @@ def service_table(report: ServiceBenchReport) -> str:
         f"plan cache: {report.cache_hits} hits / "
         f"{report.cache_misses} misses"
     )
+    overall = report.latency.get("all")
+    if overall:
+        lines.append(
+            f"service latency over {overall['count']} requests: "
+            f"p50 {overall['p50_ms']:.2f}ms · "
+            f"p95 {overall['p95_ms']:.2f}ms · "
+            f"p99 {overall['p99_ms']:.2f}ms"
+        )
     return "\n".join(lines)

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..model.sequence import TreeSequence
 from ..storage.database import Database
+from ..telemetry import hooks as telemetry
 from .base import Context, Operator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -58,6 +59,10 @@ def evaluate(
     cache = ctx.scan_cache
     if cache is not None:
         cache.begin_query(ctx.db)
+    # one boolean test per evaluation: telemetry never touches the
+    # per-operator loop, only the whole-plan boundary
+    telemetry_on = telemetry.enabled()
+    walk_started = time.perf_counter() if telemetry_on else 0.0
     try:
         if tracer is None:
             while stack:
@@ -103,7 +108,14 @@ def evaluate(
     finally:
         if cache is not None:
             cache.end_query()
-    return memo[id(plan)]
+    result = memo[id(plan)]
+    if telemetry_on:
+        telemetry.instrument("evaluator.run")
+        telemetry.instrument(
+            "evaluator.seconds", time.perf_counter() - walk_started
+        )
+        telemetry.instrument("evaluator.trees", len(result))
+    return result
 
 
 def evaluate_on(plan: Operator, db: Database) -> TreeSequence:

@@ -31,6 +31,7 @@ from ..physical.structural_join import (
     join_for_mspec,
 )
 from ..storage.database import Database
+from ..telemetry import hooks as telemetry
 from .apt import APT, APTEdge, APTNode
 from .predicates import NodeTest
 from .scan_cache import Candidates, ScanCache
@@ -190,7 +191,9 @@ class PatternMatcher:
         apt.validate()
         self.db.metrics.pattern_matches += 1
         if self.strategy == "holistic" and _holistic_eligible(apt.root):
-            return self._match_holistic(apt)
+            out = self._match_holistic(apt)
+            self._note_match(out)
+            return out
         memo: Dict[int, List[_MTree]] = {}
         matches = self._match_node_db(apt.root, apt.doc, memo)
         out = TreeSequence()
@@ -200,7 +203,14 @@ class PatternMatcher:
                 limits.tick()
             out.append(XTree(self._build(mtree, apt.root)))
             self.db.metrics.trees_built += 1
+        self._note_match(out)
         return out
+
+    def _note_match(self, out: TreeSequence) -> None:
+        """Telemetry boundary of one match/extend call (witness count)."""
+        if telemetry.enabled():
+            telemetry.instrument("matcher.match")
+            telemetry.instrument("matcher.trees", len(out))
 
     def _match_holistic(self, apt: APT) -> TreeSequence:
         """Match a '-'-only predicate-free pattern with TwigStack."""
@@ -263,8 +273,11 @@ class PatternMatcher:
         apt.validate()
         self.db.metrics.pattern_matches += 1
         if fast_path_enabled():
-            return self._extend_fast(root, trees)
-        return self._extend_legacy(root, trees)
+            out = self._extend_fast(root, trees)
+        else:
+            out = self._extend_legacy(root, trees)
+        self._note_match(out)
+        return out
 
     def _extend_legacy(self, root: APTNode, trees: TreeSequence) -> TreeSequence:
         """The original per-anchor extension cascade (BENCH_3 baseline)."""

@@ -49,6 +49,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from ..storage.stats import Metrics
+from ..telemetry import hooks as telemetry
 
 #: Cache key: (document name, tag test, content comparisons).
 ScanKey = Tuple[Hashable, ...]
@@ -130,9 +131,13 @@ class ScanCache:
         if hit is not None:
             if self.metrics is not None:
                 self.metrics.scan_cache_hits += 1
+            if telemetry.enabled():
+                telemetry.instrument("scan_cache.hit")
             return hit
         value = build()
         self._entries[key] = value
+        if telemetry.enabled():
+            telemetry.instrument("scan_cache.miss")
         return value
 
     def __len__(self) -> int:

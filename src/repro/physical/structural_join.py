@@ -58,6 +58,7 @@ from typing import (
 from ..model.node_id import NodeId
 from ..storage.postings import Postings
 from ..storage.stats import Metrics
+from ..telemetry import hooks as telemetry
 
 Item = TypeVar("Item")
 
@@ -77,6 +78,11 @@ def set_fast_path(enabled: bool) -> bool:
     global _FAST_PATH
     previous = _FAST_PATH
     _FAST_PATH = bool(enabled)
+    if telemetry.enabled():
+        # the toggle is the fast path's coarse telemetry surface: its
+        # per-join work already flows through the Metrics counters
+        # (structural_joins, postings_reused) exported at scrape time
+        telemetry.instrument("fastpath.enabled", float(_FAST_PATH))
     return previous
 
 

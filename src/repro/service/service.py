@@ -36,9 +36,10 @@ single-threaded, and cannot be stopped once started.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Union
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core.base import Context
 from ..core.evaluator import evaluate
@@ -48,15 +49,32 @@ from ..errors import (
     ExecutionLimitError,
     QueryCancelledError,
     QueryTimeoutError,
+    ResourceLimitError,
     ServiceError,
 )
 from ..model.sequence import TreeSequence
 from ..storage.database import Database
+from ..telemetry import hooks as telemetry
+from ..telemetry.hooks import new_latency_histogram
+from ..telemetry.querylog import (
+    DEFAULT_SLOW_CAPACITY,
+    QueryLog,
+    QueryLogEvent,
+    SlowQueryLog,
+    excerpt,
+    new_trace_id,
+    query_hash,
+)
+from ..telemetry.registry import Histogram
 from ..xquery.translator import TranslationResult
 from .cache import CacheStats, PlanCache, PlanCacheKey, normalize_query
 
 #: Default worker-thread count.
 DEFAULT_THREADS = 4
+
+#: Distinct per-query latency classes tracked before new queries fall
+#: into the ``other`` bucket (bounds ServiceStats memory).
+MAX_QUERY_CLASSES = 256
 
 #: Engines the service can prepare plans for (``nav`` interprets the
 #: AST — no plan to cache, no evaluator loop to budget).
@@ -132,15 +150,32 @@ class QueryHandle:
 
 @dataclass
 class ServiceStats:
-    """Counters over a service's lifetime plus its cache snapshot."""
+    """Counters over a service's lifetime plus its cache snapshot.
+
+    ``counters`` is the database's shared :class:`Metrics` snapshot —
+    the scan-cache / postings-reuse / plan-cache work counters the
+    service used to drop (warm-vs-cold analysis reads them straight
+    from here now).  ``latency`` maps query classes (``all`` plus one
+    ``engine:queryhash`` entry per distinct prepared query, bounded at
+    :data:`MAX_QUERY_CLASSES`) to their p50/p95/p99 percentiles.
+    """
 
     executed: int = 0
     failed: int = 0
     timeouts: int = 0
     cancelled: int = 0
     legacy_retries: int = 0
+    slow_queries: int = 0
     threads: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
+    counters: Dict[str, int] = field(default_factory=dict)
+    latency: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (the /stats endpoint's ``service`` block)."""
+        payload = asdict(self)
+        payload["cache"]["hit_rate"] = round(self.cache.hit_rate, 4)
+        return payload
 
 
 class QueryService:
@@ -168,6 +203,19 @@ class QueryService:
         Lint every freshly compiled TLC plan with the static LC-flow
         analyzer before it enters the cache (validation is amortised
         across all executions of the cached plan).
+    slow_threshold:
+        Wall-clock seconds past which a request counts as *slow*: it is
+        logged to the slow-query ring and (when it succeeded and no
+        capture for the same query hash is resident) re-executed once
+        with the runtime tracer to capture a full EXPLAIN ANALYZE
+        trace.  ``None`` (the default) disables slow-query handling.
+    slow_log_capacity:
+        Size of the slow-query ring (bounds capture memory).
+    query_log:
+        The structured :class:`~repro.telemetry.querylog.QueryLog`
+        receiving one event per request; a private ring-only log is
+        created when omitted.  Pass one with a ``sink_path`` to also
+        persist events as JSON lines.
     """
 
     def __init__(
@@ -179,9 +227,14 @@ class QueryService:
         default_max_trees: Optional[int] = None,
         retry_legacy: bool = True,
         strict: bool = False,
+        slow_threshold: Optional[float] = None,
+        slow_log_capacity: int = DEFAULT_SLOW_CAPACITY,
+        query_log: Optional[QueryLog] = None,
     ) -> None:
         if threads <= 0:
             raise ServiceError("thread count must be positive")
+        if slow_threshold is not None and slow_threshold < 0:
+            raise ServiceError("slow threshold must be >= 0 seconds")
         self.engine = engine if isinstance(engine, Engine) else Engine(engine)
         self.db: Database = self.engine.db
         self.cache = PlanCache(
@@ -193,6 +246,9 @@ class QueryService:
         self.retry_legacy = retry_legacy
         self.strict = strict
         self.threads = threads
+        self.slow_threshold = slow_threshold
+        self.query_log = query_log if query_log is not None else QueryLog()
+        self.slow_log = SlowQueryLog(capacity=slow_log_capacity)
         self._pool = ThreadPoolExecutor(
             max_workers=threads, thread_name_prefix="repro-query"
         )
@@ -204,6 +260,12 @@ class QueryService:
         self._timeouts = 0
         self._cancelled = 0
         self._legacy_retries = 0
+        self._slow_queries = 0
+        #: request-latency distributions backing the percentile stats:
+        #: the ``all`` aggregate plus one histogram per query class
+        self._latency_all = new_latency_histogram()
+        self._class_lock = threading.Lock()
+        self._class_hists: Dict[str, Tuple[str, Histogram]] = {}
 
     # ------------------------------------------------------------------
     # preparation (the plan cache front door)
@@ -334,47 +396,81 @@ class QueryService:
         self, prepared: PreparedQuery, limits: ExecutionLimits
     ) -> TreeSequence:
         """Execute one prepared plan with a fresh, request-scoped context."""
+        started = time.perf_counter()
+        before = self.db.metrics.snapshot()
+        status = "ok"
+        error_text: Optional[str] = None
+        result_trees = 0
         try:
-            try:
-                return self._evaluate(prepared, limits)
-            except ExecutionLimitError:
-                raise
-            except Exception as error:
-                if not self.retry_legacy:
-                    raise
-                from ..physical.structural_join import (
-                    fast_path_enabled,
-                    use_fast_path,
-                )
-
-                if not fast_path_enabled():
-                    raise
-                # graceful degradation: one retry on the legacy join
-                # path, under the same remaining budget.  The toggle is
-                # module-global, so the retry is serialised and any
-                # query racing through the window simply runs legacy
-                # too (identical results, slower).
-                with self._lock:
-                    self._legacy_retries += 1
-                with self._degrade_lock:
-                    with use_fast_path(False):
-                        try:
-                            return self._evaluate(prepared, limits)
-                        except ExecutionLimitError:
-                            raise
-                        except Exception:
-                            raise error from None
+            result = self._run_guarded(prepared, limits)
+            result_trees = len(result)
+            return result
         except BaseException as error:
+            if isinstance(error, QueryTimeoutError):
+                status = "timeout"
+            elif isinstance(error, QueryCancelledError):
+                status = "cancelled"
+            elif isinstance(error, ResourceLimitError):
+                status = "resource"
+            else:
+                status = "error"
+            error_text = f"{type(error).__name__}: {error}"
             with self._lock:
                 self._failed += 1
-                if isinstance(error, QueryTimeoutError):
+                if status == "timeout":
                     self._timeouts += 1
-                elif isinstance(error, QueryCancelledError):
+                elif status == "cancelled":
                     self._cancelled += 1
             raise
         finally:
+            elapsed = time.perf_counter() - started
+            self._observe(
+                prepared,
+                status,
+                error_text,
+                elapsed,
+                result_trees,
+                self.db.metrics.diff(before),
+            )
+            # counted last so an ``executed == N`` stats read implies the
+            # telemetry for all N requests is already in the registry
             with self._lock:
                 self._executed += 1
+
+    def _run_guarded(
+        self, prepared: PreparedQuery, limits: ExecutionLimits
+    ) -> TreeSequence:
+        """Evaluate with the graceful-degradation retry around it."""
+        try:
+            return self._evaluate(prepared, limits)
+        except ExecutionLimitError:
+            raise
+        except Exception as error:
+            if not self.retry_legacy:
+                raise
+            from ..physical.structural_join import (
+                fast_path_enabled,
+                use_fast_path,
+            )
+
+            if not fast_path_enabled():
+                raise
+            # graceful degradation: one retry on the legacy join
+            # path, under the same remaining budget.  The toggle is
+            # module-global, so the retry is serialised and any
+            # query racing through the window simply runs legacy
+            # too (identical results, slower).
+            with self._lock:
+                self._legacy_retries += 1
+            telemetry.instrument("service.legacy_retry")
+            with self._degrade_lock:
+                with use_fast_path(False):
+                    try:
+                        return self._evaluate(prepared, limits)
+                    except ExecutionLimitError:
+                        raise
+                    except Exception:
+                        raise error from None
 
     def _evaluate(
         self, prepared: PreparedQuery, limits: ExecutionLimits
@@ -385,10 +481,140 @@ class QueryService:
         return evaluate(prepared.plan, ctx)
 
     # ------------------------------------------------------------------
+    # telemetry: per-request observation and slow-query capture
+    # ------------------------------------------------------------------
+    def _observe(
+        self,
+        prepared: PreparedQuery,
+        status: str,
+        error_text: Optional[str],
+        elapsed: float,
+        result_trees: int,
+        delta: Dict[str, int],
+    ) -> None:
+        """Record one finished request: log event, metrics, latency.
+
+        Runs in the worker thread *after* the result future resolves;
+        it must never raise into the caller (a telemetry bug must not
+        turn a good result into a failed query), so everything here is
+        defensive.
+        """
+        try:
+            qhash = query_hash(prepared.key.text)
+            slow = (
+                self.slow_threshold is not None
+                and elapsed >= self.slow_threshold
+            )
+            trace_payload = None
+            if slow:
+                with self._lock:
+                    self._slow_queries += 1
+                telemetry.instrument("service.slow")
+                # capture a full EXPLAIN ANALYZE once per query hash:
+                # re-running a *slow* query is expensive, so the ring's
+                # dedup check keeps a hot slow query from being traced
+                # on every request
+                if status == "ok" and self.slow_log.should_capture(qhash):
+                    trace_payload = self._capture_slow(prepared)
+            event = QueryLogEvent(
+                trace_id=new_trace_id(),
+                query_hash=qhash,
+                query=excerpt(prepared.text),
+                engine=prepared.engine,
+                optimize=prepared.optimize,
+                cache_hit=prepared.cache_hit,
+                status=status,
+                seconds=elapsed,
+                result_trees=result_trees,
+                slow=slow,
+                error=error_text,
+                counters={k: v for k, v in delta.items() if v},
+                trace=trace_payload,
+            )
+            self.query_log.emit(event)
+            if slow:
+                self.slow_log.record(event)
+            if telemetry.enabled():
+                telemetry.instrument(
+                    "service.request",
+                    labels={"engine": prepared.engine, "status": status},
+                )
+                telemetry.instrument(
+                    "service.seconds",
+                    elapsed,
+                    labels={"engine": prepared.engine},
+                )
+            self._latency_all.observe(elapsed)
+            hist = self._class_hist(
+                prepared.engine, qhash, excerpt(prepared.text)
+            )
+            hist.observe(elapsed)
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+    def _capture_slow(self, prepared: PreparedQuery) -> Optional[dict]:
+        """Re-run a slow query under the tracer; JSON trace or None.
+
+        The re-run happens with telemetry suppressed on this thread so
+        the capture does not double-count the query in the exact
+        registry totals, and under the service's default budgets so a
+        pathological query cannot wedge a worker twice.
+        """
+        from ..trace import Tracer, trace_to_json
+
+        try:
+            with telemetry.disabled():
+                limits = ExecutionLimits(
+                    deadline=self.default_deadline,
+                    max_trees=self.default_max_trees,
+                )
+                ctx = Context(self.db, scan_cache=True, limits=limits)
+                tracer = Tracer(ctx.metrics)
+                evaluate(prepared.plan, ctx, tracer)
+                return trace_to_json(tracer.finish(prepared.plan))
+        except Exception:
+            return None
+
+    def _class_hist(self, engine: str, qhash: str, query: str) -> Histogram:
+        """The latency histogram for one query class (bounded set).
+
+        Classes are ``engine:queryhash``; once :data:`MAX_QUERY_CLASSES`
+        distinct classes exist, further queries share the ``other``
+        bucket so an adversarial query stream cannot grow stats without
+        bound.
+        """
+        key = f"{engine}:{qhash}"
+        with self._class_lock:
+            entry = self._class_hists.get(key)
+            if entry is None:
+                if len(self._class_hists) >= MAX_QUERY_CLASSES:
+                    key = "other"
+                    query = ""
+                    entry = self._class_hists.get(key)
+                if entry is None:
+                    entry = (query, new_latency_histogram())
+                    self._class_hists[key] = entry
+            return entry[1]
+
+    # ------------------------------------------------------------------
     # lifecycle and introspection
     # ------------------------------------------------------------------
     def stats(self) -> ServiceStats:
         """Lifetime counters plus the plan-cache snapshot."""
+        latency: Dict[str, Dict[str, object]] = {}
+        snap = self._latency_all.snapshot()
+        entry: Dict[str, object] = {"count": snap.count}
+        entry.update(snap.percentiles_ms())
+        latency["all"] = entry
+        with self._class_lock:
+            classes = list(self._class_hists.items())
+        for key, (query, hist) in sorted(classes):
+            snap = hist.snapshot()
+            entry = {"count": snap.count}
+            entry.update(snap.percentiles_ms())
+            if query:
+                entry["query"] = query
+            latency[key] = entry
         with self._lock:
             return ServiceStats(
                 executed=self._executed,
@@ -396,14 +622,18 @@ class QueryService:
                 timeouts=self._timeouts,
                 cancelled=self._cancelled,
                 legacy_retries=self._legacy_retries,
+                slow_queries=self._slow_queries,
                 threads=self.threads,
                 cache=self.cache.stats(),
+                counters=self.db.metrics.snapshot(),
+                latency=latency,
             )
 
     def close(self, wait: bool = True) -> None:
         """Stop accepting queries and shut the pool down."""
         self._closed = True
         self._pool.shutdown(wait=wait)
+        self.query_log.close()
 
     def _ensure_open(self) -> None:
         if self._closed:

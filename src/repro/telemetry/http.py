@@ -1,0 +1,205 @@
+"""Embedded HTTP exposition: /metrics, /stats, /healthz and /slow.
+
+A tiny stdlib ``ThreadingHTTPServer`` running on a daemon thread next
+to a :class:`~repro.service.QueryService`.  It serves:
+
+* ``GET /metrics`` — the process-wide registry plus the ``Metrics``
+  work counters, Prometheus text format (scrape this);
+* ``GET /stats``   — JSON: service lifetime counters, plan-cache
+  snapshot, per-query-class latency percentiles, registry snapshot;
+* ``GET /healthz`` — liveness: ``{"status": "ok", ...}``;
+* ``GET /slow``    — JSON: the slow-query ring, newest last, each
+  entry carrying its captured per-operator trace.
+
+The server binds ``127.0.0.1`` by default — telemetry is an operator
+surface, not a public one — and ``port=0`` picks an ephemeral port
+(the bound address is reported by :meth:`TelemetryServer.start`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from .exposition import CONTENT_TYPE, render_prometheus
+from .exposition import work_counter_families
+from .hooks import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..service.service import QueryService
+
+
+class TelemetryServer:
+    """HTTP exposition for one query service (start / address / close)."""
+
+    def __init__(
+        self,
+        service: "QueryService",
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = time.time()
+
+    # ------------------------------------------------------------------
+    # payload builders (also used by tests without a socket)
+    # ------------------------------------------------------------------
+    def metrics_text(self) -> str:
+        extras = work_counter_families(
+            self.service.db.metrics.snapshot()
+        )
+        extras.append(
+            (
+                "repro_service_threads",
+                "Worker threads of the query service pool",
+                "gauge",
+                [(None, float(self.service.threads))],
+            )
+        )
+        extras.append(
+            (
+                "repro_plan_cache_size",
+                "Prepared plans currently resident in the LRU",
+                "gauge",
+                [(None, float(len(self.service.cache)))],
+            )
+        )
+        extras.append(
+            (
+                "repro_slow_log_size",
+                "Captures currently held by the slow-query ring",
+                "gauge",
+                [(None, float(len(self.service.slow_log)))],
+            )
+        )
+        return render_prometheus(get_registry(), extras)
+
+    def stats_payload(self) -> dict:
+        return {
+            "service": self.service.stats().to_dict(),
+            "registry": get_registry().snapshot(),
+            "uptime_seconds": round(time.time() - self._started, 3),
+        }
+
+    def health_payload(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self._started, 3),
+            "threads": self.service.threads,
+        }
+
+    def slow_payload(self) -> dict:
+        records = self.service.slow_log.tail(self.service.slow_log.capacity)
+        return {
+            "captured": self.service.slow_log.captured,
+            "slow": [record.to_dict() for record in records],
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> Tuple[str, int]:
+        """Bind and serve on a daemon thread; returns (host, port)."""
+        if self._httpd is not None:
+            raise RuntimeError("telemetry server already started")
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def _send(
+                self, body: bytes, content_type: str, status: int = 200
+            ) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:  # noqa: N802 - stdlib contract
+                path = self.path.split("?", 1)[0]
+                try:
+                    if path == "/metrics":
+                        self._send(
+                            server.metrics_text().encode("utf-8"),
+                            CONTENT_TYPE,
+                        )
+                    elif path == "/stats":
+                        self._send(
+                            _json_bytes(server.stats_payload()),
+                            "application/json",
+                        )
+                    elif path == "/healthz":
+                        self._send(
+                            _json_bytes(server.health_payload()),
+                            "application/json",
+                        )
+                    elif path == "/slow":
+                        self._send(
+                            _json_bytes(server.slow_payload()),
+                            "application/json",
+                        )
+                    else:
+                        self._send(
+                            _json_bytes(
+                                {
+                                    "error": "not found",
+                                    "endpoints": ENDPOINTS,
+                                }
+                            ),
+                            "application/json",
+                            status=404,
+                        )
+                except Exception as error:  # pragma: no cover - defensive
+                    self._send(
+                        _json_bytes({"error": str(error)}),
+                        "application/json",
+                        status=500,
+                    )
+
+            def log_message(self, *args) -> None:  # silence stderr
+                pass
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        return (self.host, self.port)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+#: Paths the server answers (listed in 404 responses and the docs).
+ENDPOINTS: List[str] = ["/metrics", "/stats", "/healthz", "/slow"]
+
+
+def _json_bytes(payload: dict) -> bytes:
+    return json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")

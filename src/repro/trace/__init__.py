@@ -11,12 +11,19 @@ the CLI ``profile`` command.
 
 from .model import OperatorTrace, PlanTrace
 from .record import Tracer
-from .render import render_trace, trace_to_dot
+from .render import (
+    render_trace,
+    render_trace_json,
+    trace_to_dot,
+    trace_to_json,
+)
 
 __all__ = [
     "OperatorTrace",
     "PlanTrace",
     "Tracer",
     "render_trace",
+    "render_trace_json",
     "trace_to_dot",
+    "trace_to_json",
 ]

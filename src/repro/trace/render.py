@@ -3,12 +3,16 @@
 ``render_trace`` produces the annotated text tree the CLI ``profile``
 command prints; ``trace_to_dot`` reuses the Graphviz plan renderer of
 :mod:`repro.core.visualize`, annotating each operator box with its
-measured costs.
+measured costs; ``trace_to_json`` serialises the whole trace to a
+JSON-ready dict (``profile --json``, the slow-query log) and
+``render_trace_json`` renders that dict back into the annotated text
+tree, so offline consumers (``repro tail --slow``) show the same
+EXPLAIN ANALYZE view without the live plan objects.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Set
+from typing import TYPE_CHECKING, Any, Dict, List, Set
 
 from .model import OperatorTrace, PlanTrace
 
@@ -82,6 +86,72 @@ def render_trace(trace: PlanTrace, show_counters: bool = True) -> str:
         + (f", {shared} shared" if shared else "")
     )
     return "\n".join(lines)
+
+
+def trace_to_json(trace: PlanTrace) -> Dict[str, Any]:
+    """The whole trace as a JSON-ready dict (schema version 1).
+
+    Everything ``render_trace`` shows survives the round trip: one
+    record per operator (post order, ``children`` as record indexes),
+    the wall/self-time totals, and the summed work counters.  The
+    ``repro profile --json`` flag prints this payload and the
+    slow-query log stores it; ``render_trace_json`` renders it back.
+    """
+    return {
+        "version": 1,
+        "total_seconds": trace.total_seconds,
+        "operator_self_seconds": trace.total_self_seconds(),
+        "operators": len(trace.records),
+        "shared": trace.shared_count(),
+        "counters_total": trace.counters_total(),
+        "root": trace.root.index,
+        "records": [
+            {
+                "index": record.index,
+                "name": record.name,
+                "params": record.params,
+                "input_cards": list(record.input_cards),
+                "output_card": record.output_card,
+                "self_seconds": record.self_seconds,
+                "cumulative_seconds": record.cumulative_seconds,
+                "counters": dict(record.counters),
+                "memo_hits": record.memo_hits,
+                "children": list(record.children),
+            }
+            for record in trace.records
+        ],
+    }
+
+
+def render_trace_json(payload: Dict[str, Any]) -> str:
+    """Annotated text tree from a ``trace_to_json`` payload.
+
+    The offline twin of :func:`render_trace`: reconstructs the
+    :class:`PlanTrace` records (minus the live plan object, which only
+    ``trace_to_dot`` needs) and renders through the same code path, so
+    the two views can never drift.
+    """
+    records = [
+        OperatorTrace(
+            index=entry["index"],
+            name=entry["name"],
+            params=entry["params"],
+            input_cards=list(entry["input_cards"]),
+            output_card=entry["output_card"],
+            self_seconds=entry["self_seconds"],
+            cumulative_seconds=entry["cumulative_seconds"],
+            counters=dict(entry["counters"]),
+            memo_hits=entry.get("memo_hits", 0),
+            children=list(entry["children"]),
+        )
+        for entry in payload["records"]
+    ]
+    trace = PlanTrace(
+        records=records,
+        total_seconds=payload["total_seconds"],
+        plan=None,  # type: ignore[arg-type]  # text render never touches it
+    )
+    return render_trace(trace)
 
 
 def trace_to_dot(trace: PlanTrace, title: str = "traced plan") -> str:

@@ -1,0 +1,55 @@
+"""The service bench harvests the telemetry latency histograms.
+
+BENCH_5.json is a ``bench service`` report whose ``latency`` section
+carries the service's own p50/p95/p99 per benchmark query — these
+tests pin the shape of that section, its JSON round-trip and the
+query-name re-keying, on a tiny two-query sweep.
+"""
+
+import pytest
+
+from repro.bench.service_bench import (
+    ServiceBenchReport,
+    bench_service,
+    service_table,
+)
+
+PERCENTILE_KEYS = {"count", "p50_ms", "p95_ms", "p99_ms"}
+
+
+@pytest.fixture(scope="module")
+def report():
+    return bench_service(
+        queries=["x1", "x5"], factor=0.001, repeats=2, threads=2, rounds=1
+    )
+
+
+class TestLatencySection:
+    def test_overall_and_per_query_classes(self, report):
+        assert set(report.latency) == {"all", "x1", "x5"}
+
+    def test_entries_carry_percentiles(self, report):
+        for entry in report.latency.values():
+            assert PERCENTILE_KEYS <= set(entry)
+            assert entry["count"] > 0
+            assert (
+                entry["p50_ms"] <= entry["p95_ms"] <= entry["p99_ms"]
+            )
+
+    def test_all_counts_every_request(self, report):
+        # warm-up + cold/warm samples + the batch, for each query
+        per_query = 2 * report.repeats + 3
+        assert report.latency["all"]["count"] == 2 * per_query
+        assert report.latency["x1"]["count"] == per_query
+
+    def test_json_round_trip(self, report):
+        back = ServiceBenchReport.from_json(report.to_json())
+        assert back.latency == report.latency
+
+    def test_old_reports_load_without_latency(self, report):
+        text = report.to_json().replace('"latency"', '"latency_gone"')
+        assert ServiceBenchReport.from_json(text).latency == {}
+
+    def test_table_renders_percentile_line(self, report):
+        assert "service latency over" in service_table(report)
+        assert "p95" in service_table(report)

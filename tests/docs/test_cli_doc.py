@@ -57,6 +57,8 @@ def test_the_page_documents_every_subcommand():
         "bench",
         "prepare",
         "serve",
+        "stats",
+        "tail",
     }
 
 
@@ -70,6 +72,20 @@ def test_documented_invocation_runs(stdin_text, argv, tmp_path, monkeypatch,
     monkeypatch.chdir(tmp_path)  # generate writes auction.xml / auction.tlcdb
     if "auction.tlcdb" in argv:
         assert main(["generate", "auction.tlcdb", "--factor", "0.001"]) == 0
+        capsys.readouterr()
+    if "qlog.jsonl" in argv and argv[0] != "serve":
+        # stats/tail read a query log; seed one the way serve writes it
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                'FOR $p IN document("auction.xml")//person '
+                "RETURN $p/name\n"
+            ),
+        )
+        assert main([
+            "serve", "xmark:0.001",
+            "--slow-ms", "0", "--query-log", "qlog.jsonl",
+        ]) == 0
         capsys.readouterr()
     if stdin_text is not None:
         monkeypatch.setattr("sys.stdin", io.StringIO(stdin_text))

@@ -30,6 +30,7 @@ DEFAULT_DOCS = (
     "docs/ARCHITECTURE.md",
     "docs/OPERATORS.md",
     "docs/CLI.md",
+    "docs/OBSERVABILITY.md",
 )
 
 #: Inline links, skipping images; code spans are stripped beforehand.

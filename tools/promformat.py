@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition (0.0.4) parser and validator, stdlib only.
+
+CI's telemetry smoke job pipes the output of ``GET /metrics`` through
+this tool to prove the endpoint emits well-formed exposition text;
+``tests/telemetry`` uses :func:`parse_exposition` directly for the same
+checks in-process.  Validated invariants:
+
+* every sample line parses as ``name[{labels}] value`` and its value is
+  a float (``+Inf`` / ``-Inf`` / ``NaN`` included);
+* every sample belongs to a family declared by a preceding ``# TYPE``
+  line (histogram families own their ``_bucket``/``_sum``/``_count``
+  series);
+* counter samples are non-negative;
+* histogram ``le`` buckets are cumulative (non-decreasing), end with a
+  ``+Inf`` bucket, and that bucket equals the family's ``_count``.
+
+Exit status: 0 when the input validates, 1 otherwise (the reason is
+printed to stderr).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+\d+)?$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+class Family:
+    """One metric family: its type, help text and parsed samples."""
+
+    def __init__(self, name: str, kind: str, help: str = "") -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        #: (sample name, {label: value}, float value) per sample line
+        self.samples: List[Tuple[str, Dict[str, str], float]] = []
+
+
+def _parse_value(text: str) -> float:
+    mapped = {"+Inf": "inf", "-Inf": "-inf", "NaN": "nan"}.get(text, text)
+    try:
+        return float(mapped)
+    except ValueError:
+        raise ValueError(f"unparseable sample value {text!r}") from None
+
+
+def _parse_labels(text: Optional[str]) -> Dict[str, str]:
+    if not text:
+        return {}
+    labels: Dict[str, str] = {}
+    consumed = 0
+    for match in _LABEL.finditer(text):
+        labels[match.group(1)] = (
+            match.group(2)
+            .replace('\\"', '"')
+            .replace("\\n", "\n")
+            .replace("\\\\", "\\")
+        )
+        consumed = match.end()
+        if consumed < len(text) and text[consumed] == ",":
+            consumed += 1
+    if consumed != len(text):
+        raise ValueError(f"unparseable label block {{{text}}}")
+    return labels
+
+
+def _family_for(name: str, families: Dict[str, Family]) -> Optional[Family]:
+    if name in families:
+        return families[name]
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = families.get(name[: -len(suffix)])
+            if base is not None and base.kind in ("histogram", "summary"):
+                return base
+    return None
+
+
+def parse_exposition(text: str) -> Dict[str, Family]:
+    """Parse and validate exposition text; raises ValueError on errors."""
+    families: Dict[str, Family] = {}
+    helps: Dict[str, str] = {}
+    for number, raw in enumerate(text.splitlines(), 1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        try:
+            if line.startswith("# HELP "):
+                parts = line[len("# HELP ") :].split(" ", 1)
+                helps[parts[0]] = parts[1] if len(parts) > 1 else ""
+            elif line.startswith("# TYPE "):
+                parts = line[len("# TYPE ") :].split(" ", 1)
+                if len(parts) != 2 or parts[1] not in TYPES:
+                    raise ValueError(f"bad TYPE line {line!r}")
+                name = parts[0]
+                if not _METRIC_NAME.match(name):
+                    raise ValueError(f"bad metric name {name!r}")
+                if name in families:
+                    raise ValueError(f"duplicate TYPE for {name}")
+                families[name] = Family(
+                    name, parts[1], helps.get(name, "")
+                )
+            elif line.startswith("#"):
+                continue  # plain comment
+            else:
+                match = _SAMPLE.match(line)
+                if match is None:
+                    raise ValueError(f"unparseable sample line {line!r}")
+                name = match.group("name")
+                family = _family_for(name, families)
+                if family is None:
+                    raise ValueError(
+                        f"sample {name!r} has no preceding # TYPE"
+                    )
+                value = _parse_value(match.group("value"))
+                labels = _parse_labels(match.group("labels"))
+                if family.kind == "counter" and value < 0:
+                    raise ValueError(f"negative counter {name}={value}")
+                family.samples.append((name, labels, value))
+        except ValueError as error:
+            raise ValueError(f"line {number}: {error}") from None
+    for family in families.values():
+        if family.kind == "histogram":
+            _check_histogram(family)
+    return families
+
+
+def _check_histogram(family: Family) -> None:
+    """Cumulative buckets per label series, +Inf present and == count."""
+    series: Dict[Tuple[Tuple[str, str], ...], List[Tuple[float, float]]]
+    series = {}
+    counts: Dict[Tuple[Tuple[str, str], ...], float] = {}
+    for name, labels, value in family.samples:
+        key = tuple(
+            sorted((k, v) for k, v in labels.items() if k != "le")
+        )
+        if name.endswith("_bucket"):
+            if "le" not in labels:
+                raise ValueError(f"{name} sample without le label")
+            series.setdefault(key, []).append(
+                (_parse_value(labels["le"]), value)
+            )
+        elif name.endswith("_count"):
+            counts[key] = value
+    for key, buckets in series.items():
+        previous = 0.0
+        for le, cumulative in buckets:
+            if cumulative < previous:
+                raise ValueError(
+                    f"{family.name}: bucket le={le} not cumulative"
+                )
+            previous = cumulative
+        last_le, last_value = buckets[-1]
+        if last_le != float("inf"):
+            raise ValueError(f"{family.name}: missing +Inf bucket")
+        if key in counts and counts[key] != last_value:
+            raise ValueError(
+                f"{family.name}: +Inf bucket {last_value} != "
+                f"_count {counts[key]}"
+            )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args:
+        with open(args[0], "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+    try:
+        families = parse_exposition(text)
+    except ValueError as error:
+        print(f"promformat: {error}", file=sys.stderr)
+        return 1
+    samples = sum(len(f.samples) for f in families.values())
+    print(f"promformat: OK ({len(families)} families, {samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""End-to-end telemetry smoke test: serve --http, scrape, validate.
+
+Starts ``python -m repro serve xmark:0.002 --http 0 --slow-ms 0`` as a
+subprocess, keeps its stdin pipe open while scraping the announced
+endpoints, then feeds it queries and checks that:
+
+* ``/healthz`` answers ``{"status": "ok"}``;
+* ``/metrics`` is valid Prometheus exposition text (``promformat``)
+  and counts the served requests;
+* ``/stats`` reports the executions with latency percentiles;
+* ``/slow`` holds a capture with a per-operator trace (every request
+  is slow at ``--slow-ms 0``).
+
+Run from the repo root: ``python tools/telemetry_smoke.py``.  Exit 0
+on success; failures print a reason and exit 1.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "tools"))
+
+from promformat import parse_exposition  # noqa: E402
+
+QUERIES = [
+    'FOR $p IN document("auction.xml")//person RETURN $p/name',
+    'FOR $i IN document("auction.xml")//item RETURN $i/location',
+]
+
+
+def _get(base: str, path: str) -> bytes:
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return response.read()
+
+
+def main() -> int:
+    env_path = str(REPO / "src")
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = env_path + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", "xmark:0.002",
+            "--http", "0", "--slow-ms", "0",
+        ],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=str(REPO),
+    )
+    try:
+        assert proc.stderr is not None and proc.stdin is not None
+        line = proc.stderr.readline()
+        match = re.search(r"http://[\d.]+:\d+", line)
+        if not match:
+            print(f"smoke: no telemetry address in {line!r}")
+            return 1
+        base = match.group(0)
+        print(f"smoke: serve announced {base}")
+
+        health = json.loads(_get(base, "/healthz"))
+        if health.get("status") != "ok":
+            print(f"smoke: /healthz not ok: {health}")
+            return 1
+
+        for query in QUERIES:
+            proc.stdin.write(query + "\n")
+        proc.stdin.flush()
+
+        # poll /stats until both requests are in
+        for _ in range(100):
+            stats = json.loads(_get(base, "/stats"))
+            if stats["service"]["executed"] >= len(QUERIES):
+                break
+            time.sleep(0.1)
+        else:
+            print(f"smoke: requests never landed: {stats['service']}")
+            return 1
+        latency = stats["service"]["latency"].get("all", {})
+        for key in ("p50_ms", "p95_ms", "p99_ms"):
+            if key not in latency:
+                print(f"smoke: /stats latency misses {key}: {latency}")
+                return 1
+
+        text = _get(base, "/metrics").decode("utf-8")
+        families = parse_exposition(text)
+        for required in (
+            "repro_requests_total",
+            "repro_request_seconds",
+            "repro_plan_executions_total",
+            "repro_slow_queries_total",
+        ):
+            if required not in families:
+                print(f"smoke: /metrics misses family {required}")
+                return 1
+        requests_total = sum(
+            value
+            for _, _, value in families["repro_requests_total"].samples
+        )
+        if requests_total < len(QUERIES):
+            print(f"smoke: repro_requests_total={requests_total} < 2")
+            return 1
+
+        slow = json.loads(_get(base, "/slow"))
+        if slow["captured"] < len(QUERIES):
+            print(f"smoke: slow ring captured {slow['captured']} < 2")
+            return 1
+        if not any(entry.get("trace") for entry in slow["slow"]):
+            print("smoke: no slow capture carries a trace")
+            return 1
+
+        proc.stdin.close()
+        if proc.wait(timeout=60) != 0:
+            print(f"smoke: serve exited {proc.returncode}")
+            print(proc.stderr.read(), file=sys.stderr)
+            return 1
+        print(
+            f"smoke: OK ({len(families)} metric families, "
+            f"{int(requests_total)} requests, "
+            f"{slow['captured']} slow captures)"
+        )
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
