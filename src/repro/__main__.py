@@ -117,8 +117,10 @@ def cmd_explain(args: argparse.Namespace) -> int:
                 "engine's operators carry"
             )
         from .analysis import lint_plan
+        from .storage.stats import CardinalityStats
 
-        print(lint_plan(translation.plan).annotated_plan())
+        stats = CardinalityStats.from_database(engine.db)
+        print(lint_plan(translation.plan, stats=stats).annotated_plan())
     elif getattr(args, "dot", False):
         from .core.visualize import plan_to_dot
 
@@ -142,7 +144,57 @@ def cmd_lint(args: argparse.Namespace) -> int:
         translation = optimize_plan(translation, verify=False)
     report = translation.lint()
     print(report.render())
+    # exit-code contract: non-zero only at or above the --severity
+    # threshold (errors by default; --severity warning gates on any
+    # diagnostic at all)
+    if args.severity == "warning":
+        return 1 if report.diagnostics else 0
     return 0 if report.ok else 1
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from .analysis.checker import PASSES, run_check
+    from .analysis.findings import Baseline
+
+    passes = args.passes or list(PASSES)
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+    elif args.paths:
+        # an explicit source selection is not what the repo baseline
+        # describes; suppress nothing unless a baseline is named
+        baseline_path = None
+    else:
+        baseline_path = Path("tools/check_baseline.json")
+    baseline = None
+    if (
+        not args.no_baseline
+        and baseline_path is not None
+        and baseline_path.exists()
+    ):
+        baseline = Baseline.load(baseline_path)
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    result = run_check(paths=paths, baseline=baseline, passes=passes)
+    if args.update_baseline:
+        if baseline_path is None:
+            raise ReproError(
+                "--update-baseline with --paths needs an explicit "
+                "--baseline file"
+            )
+        existing = baseline.suppressions if baseline else {}
+        updated = Baseline(
+            {
+                finding.key: existing.get(
+                    finding.key, "TODO: review and justify"
+                )
+                for finding in result.findings
+            }
+        )
+        updated.save(baseline_path)
+        print(f"wrote {len(updated.suppressions)} suppressions to "
+              f"{baseline_path}")
+        return 0
+    print(result.render())
+    return result.exit_code(strict_baseline=args.strict_baseline)
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -598,7 +650,48 @@ def build_parser() -> argparse.ArgumentParser:
         "-O", "--optimize", action="store_true",
         help="lint the plan after the Section 4 rewrites",
     )
+    lint.add_argument(
+        "--severity", choices=("error", "warning"), default="error",
+        help="exit non-zero at this severity and above "
+        "(default: error — warnings alone exit 0)",
+    )
     lint.set_defaults(func=cmd_lint)
+
+    check = sub.add_parser(
+        "check",
+        help="run the three-pass static analysis suite (concurrency "
+        "lint, fork/pickle-safety certification, cardinality bounds) "
+        "against the suppression baseline",
+    )
+    check.add_argument(
+        "--pass", dest="passes", action="append",
+        choices=("concurrency", "forksafety", "cardinality"),
+        help="run only this pass (repeatable; default: all three)",
+    )
+    check.add_argument(
+        "--paths", nargs="+", metavar="PATH",
+        help="source files/dirs for the concurrency pass "
+        "(default: the installed repro package)",
+    )
+    check.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppression baseline (default: tools/check_baseline.json "
+        "when present)",
+    )
+    check.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    check.add_argument(
+        "--strict-baseline", action="store_true",
+        help="also fail on stale baseline entries (CI drift detection)",
+    )
+    check.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings "
+        "(keeps existing reasons) instead of failing",
+    )
+    check.set_defaults(func=cmd_check)
 
     profile = sub.add_parser(
         "profile",

@@ -14,12 +14,16 @@ strict mode, the rewrite pipeline's per-step verification, and the
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..core.base import Operator
 from .diagnostics import (
     BAD_FLATTEN_SITE,
+    CARDINALITY_BLOWUP,
     CATALOG,
     DEAD_CLASS,
     DUPLICATE_LABEL,
+    EMPTY_BRANCH,
     JOIN_SIDE_MISMATCH,
     MALFORMED_OPERATOR,
     SHADOWED_REF,
@@ -28,23 +32,43 @@ from .diagnostics import (
     Severity,
 )
 from .environment import ClassInfo, LCEnv
+from .findings import Baseline, CHECK_CATALOG, CheckFinding
 from .report import AnalysisReport
-from .visitor import PlanAnalysis, analyze
+from .visitor import PlanAnalysis, analyze, dedupe_diagnostics
 
 
-def lint_plan(plan: Operator) -> AnalysisReport:
-    """Analyze ``plan`` and package the result for display."""
-    return AnalysisReport(analyze(plan))
+def lint_plan(plan: Operator, stats=None) -> AnalysisReport:
+    """Analyze ``plan`` and package the result for display.
+
+    With ``stats`` (a :class:`~repro.storage.stats.CardinalityStats`),
+    the cardinality pass also runs: per-operator interval bounds are
+    attached to the report and LC3xx warnings join the diagnostics.
+    """
+    analysis = analyze(plan)
+    bounds: Optional[dict] = None
+    if stats is not None:
+        from .cardinality import bound_plan
+
+        card = bound_plan(plan, stats)
+        bounds = card.bounds
+        analysis.diagnostics.extend(card.diagnostics)
+        dedupe_diagnostics(analysis.diagnostics)
+    return AnalysisReport(analysis, bounds=bounds)
 
 
 __all__ = [
     "AnalysisReport",
     "BAD_FLATTEN_SITE",
+    "Baseline",
+    "CARDINALITY_BLOWUP",
     "CATALOG",
+    "CHECK_CATALOG",
+    "CheckFinding",
     "ClassInfo",
     "DEAD_CLASS",
     "DUPLICATE_LABEL",
     "Diagnostic",
+    "EMPTY_BRANCH",
     "JOIN_SIDE_MISMATCH",
     "LCEnv",
     "MALFORMED_OPERATOR",
@@ -53,5 +77,6 @@ __all__ = [
     "Severity",
     "UNDEFINED_REF",
     "analyze",
+    "dedupe_diagnostics",
     "lint_plan",
 ]

@@ -1,0 +1,309 @@
+"""Pass 3 — cardinality interval bounds (LC3xx) over a plan.
+
+An abstract interpretation that runs the plan over *intervals of tree
+counts* instead of tree sequences: every operator's output edge gets a
+``[lo, hi]`` bound derived from per-tag node counts
+(:class:`~repro.storage.stats.CardinalityStats`) and each operator's
+transfer function.  ``hi is None`` means unbounded.
+
+Two warnings fall out:
+
+* **LC301** — an operator's upper bound is provably zero against the
+  target database (a tag that never occurs, a join with an empty side):
+  the branch is dead weight and the query author or the planner should
+  know;
+* **LC302** — an operator *introduces* an unbounded or explosive upper
+  bound (beyond ``blowup_factor ×`` the database node count) from
+  bounded inputs: the fingerprint of a cross-product-like join or a
+  missed selective rewrite.
+
+Bounds are conservative upper bounds, never estimates: each embedding
+of a pattern (or pairing of join inputs) is counted as if every choice
+were independent.  The bounds are exposed to users through ``repro
+explain --lint`` and to CI through the ``repro check`` cardinality
+pass over the XMark sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.aggregate import AggregateOp
+from ..core.base import Operator
+from ..core.construct import ConstructOp
+from ..core.dedup import DedupOp
+from ..core.filter import FilterOp, TreeFilterOp
+from ..core.flatten import FlattenOp
+from ..core.join import JoinOp
+from ..core.project import ProjectOp
+from ..core.select import SelectOp
+from ..core.shadow import IlluminateOp, ShadowOp
+from ..core.sort_op import SortOp
+from ..core.union import UnionOp
+from ..patterns.apt import APTNode
+from ..storage.stats import CardinalityStats
+from .diagnostics import CARDINALITY_BLOWUP, EMPTY_BRANCH, Diagnostic
+from .visitor import describe_op
+
+#: Default LC302 threshold: a join bound beyond ``10000 ×`` the database
+#: node count is treated as explosive even though finite.  Predicated
+#: value joins are still counted as cross products (value selectivity is
+#: unknown), so the default leaves headroom for legitimate plans.
+BLOWUP_FACTOR = 10_000
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed cardinality interval; ``hi=None`` means unbounded."""
+
+    lo: int = 0
+    hi: Optional[int] = None
+
+    def render(self) -> str:
+        upper = "inf" if self.hi is None else str(self.hi)
+        return f"[{self.lo}, {upper}]"
+
+    @property
+    def empty(self) -> bool:
+        return self.hi == 0
+
+
+def _mul(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None or b is None:
+        return 0 if a == 0 or b == 0 else None
+    return a * b
+
+
+def _add(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None or b is None:
+        return None
+    return a + b
+
+
+@dataclass
+class CardinalityAnalysis:
+    """Interval bounds per operator plus the LC3xx diagnostics."""
+
+    bounds: Dict[int, Interval] = field(default_factory=dict)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def bound_of(self, op: Operator) -> Interval:
+        return self.bounds[id(op)]
+
+
+def _edge_factor(
+    edge, doc: Optional[str], stats: CardinalityStats
+) -> Optional[int]:
+    """How one pattern edge multiplies its parent's witness count.
+
+    Required edges (``-``) contribute one witness per child embedding;
+    optional-single edges (``?``) contribute the child embeddings plus
+    the absent case; nested edges (``+``/``*``) group all matches into
+    one witness (``+`` with a provably empty child zeroes the parent).
+    """
+    child = _pattern_embeddings(edge.child, doc, stats)
+    if edge.mspec == "-":
+        return child
+    if edge.mspec == "?":
+        return None if child is None else child + 1
+    if edge.mspec == "+" and child == 0:
+        return 0
+    return 1  # '*' and non-empty '+': nesting, no multiplication
+
+
+def _pattern_embeddings(
+    node: APTNode, doc: Optional[str], stats: CardinalityStats
+) -> Optional[int]:
+    """Upper bound on embeddings of the pattern subtree at ``node``.
+
+    Each embedding picks one match for the node plus one embedding per
+    non-nested child, so choices multiply.  When some required
+    parent-child edge has a bounded child, the child match *determines*
+    the parent (every node has exactly one parent), so the node's own
+    count drops out of the product — this is what keeps a deep required
+    chain bounded by its leaves instead of the product of every level.
+    """
+    count = stats.tag_count(doc, node.test.tag)
+    if count == 0:
+        return 0
+    product: Optional[int] = 1
+    anchored = False
+    for edge in node.edges:
+        factor = _edge_factor(edge, doc, stats)
+        product = _mul(product, factor)
+        if (
+            edge.mspec == "-"
+            and edge.axis == "pc"
+            and factor is not None
+        ):
+            anchored = True
+    if anchored:
+        return product
+    return _mul(count, product)
+
+
+def bound_plan(
+    plan: Operator,
+    stats: Optional[CardinalityStats] = None,
+    blowup_factor: int = BLOWUP_FACTOR,
+) -> CardinalityAnalysis:
+    """Interval-interpret ``plan`` against ``stats``.
+
+    Without stats every leaf is unknown and no diagnostics are raised —
+    the bounds degenerate to ``[0, inf]`` but the plumbing (rendering,
+    ``explain --lint``) still works.
+    """
+    analysis = CardinalityAnalysis()
+    known = stats is not None
+    threshold = (
+        max(stats.database_nodes, 1) * blowup_factor if known else None
+    )
+
+    def run(op: Operator) -> Interval:
+        key = id(op)
+        if key in analysis.bounds:
+            return analysis.bounds[key]
+        ins = [run(child) for child in op.inputs]
+        out = transfer(op, ins, stats)
+        analysis.bounds[key] = out
+        _diagnose(op, ins, out)
+        return out
+
+    def _diagnose(
+        op: Operator, ins: List[Interval], out: Interval
+    ) -> None:
+        if not known:
+            return
+        if out.empty and not any(i.empty for i in ins):
+            analysis.diagnostics.append(
+                Diagnostic(
+                    code=EMPTY_BRANCH,
+                    message=(
+                        "output bounded at 0 trees against the loaded "
+                        "database"
+                    ),
+                    operator=describe_op(op),
+                    op_id=id(op),
+                )
+            )
+            return
+        # LC302 fires where a blowup is *introduced*: a bound that
+        # becomes unbounded from bounded inputs, or a Join whose output
+        # bound explodes past the threshold while both sides were fine.
+        # A Select's large product bound is the declared pattern shape,
+        # not a plan defect, so it does not trip by itself.
+        inputs_fine = all(
+            i.hi is not None
+            and (threshold is None or i.hi <= threshold)
+            for i in ins
+        )
+        if not inputs_fine:
+            return
+        if out.hi is None:
+            analysis.diagnostics.append(
+                Diagnostic(
+                    code=CARDINALITY_BLOWUP,
+                    message="upper bound becomes unbounded here",
+                    operator=describe_op(op),
+                    op_id=id(op),
+                )
+            )
+        elif (
+            isinstance(op, JoinOp)
+            and threshold is not None
+            and out.hi > threshold
+        ):
+            analysis.diagnostics.append(
+                Diagnostic(
+                    code=CARDINALITY_BLOWUP,
+                    message=(
+                        f"join output bound {out.render()} exceeds "
+                        f"{blowup_factor}x the database node count"
+                    ),
+                    operator=describe_op(op),
+                    op_id=id(op),
+                )
+            )
+
+    run(plan)
+    return analysis
+
+
+def transfer(
+    op: Operator,
+    ins: List[Interval],
+    stats: Optional[CardinalityStats],
+) -> Interval:
+    """One operator's interval transfer function."""
+    if isinstance(op, SelectOp):
+        return _select_bound(op, ins, stats)
+    if isinstance(op, JoinOp):
+        return _join_bound(op, ins)
+    if isinstance(op, UnionOp):
+        lo: Optional[int] = 0
+        hi: Optional[int] = 0
+        for interval in ins:
+            lo = (lo or 0) + interval.lo
+            hi = _add(hi, interval.hi)
+        if getattr(op, "dedup_lcl", None) is not None:
+            lo = min(lo or 0, 1) if (lo or 0) > 0 else 0
+        return Interval(lo or 0, hi)
+    if isinstance(op, (FilterOp, TreeFilterOp)):
+        return Interval(0, ins[0].hi if ins else None)
+    if isinstance(op, DedupOp):
+        source = ins[0] if ins else Interval()
+        return Interval(min(source.lo, 1), source.hi)
+    if isinstance(
+        op,
+        (AggregateOp, SortOp, ProjectOp, FlattenOp, ShadowOp,
+         IlluminateOp),
+    ):
+        return ins[0] if ins else Interval()
+    if isinstance(op, ConstructOp):
+        # one constructed tree per input tree; a leaf Construct emits one
+        return ins[0] if ins else Interval(1, 1)
+    # unknown operator: conservative
+    if len(ins) == 1:
+        return Interval(0, ins[0].hi)
+    return Interval(0, None)
+
+
+def _select_bound(
+    op: SelectOp, ins: List[Interval], stats: Optional[CardinalityStats]
+) -> Interval:
+    root = op.apt.root
+    if stats is None:
+        return Interval(0, None)
+    if root.lc_ref is not None:
+        # extension: each input tree is extended below its class nodes;
+        # the choices below the anchor multiply per input tree
+        source = ins[0] if ins else Interval(0, None)
+        factor: Optional[int] = 1
+        for edge in root.edges:
+            factor = _mul(factor, _edge_factor(edge, op.apt.doc, stats))
+        return Interval(0, _mul(source.hi, factor))
+    if not op.inputs:
+        return Interval(0, _pattern_embeddings(root, op.apt.doc, stats))
+    # in-memory match over constructed content: per-tree multiplicity
+    # is not derivable from document statistics
+    return Interval(0, None)
+
+
+def _join_bound(op: JoinOp, ins: List[Interval]) -> Interval:
+    left = ins[0] if ins else Interval()
+    right = ins[1] if len(ins) > 1 else Interval()
+    mspec = getattr(op, "right_mspec", "-")
+    if mspec == "-":
+        return Interval(0, _mul(left.hi, right.hi))
+    if mspec == "?":
+        # left outer, single right per output: every left tree survives
+        hi = _mul(
+            left.hi, None if right.hi is None else max(right.hi, 1)
+        )
+        return Interval(left.lo, hi)
+    if mspec == "+":
+        # nest: matching rights group under one output per left tree
+        return Interval(0, left.hi)
+    # '*': outer nest — exactly one output per left tree
+    return Interval(left.lo, left.hi)

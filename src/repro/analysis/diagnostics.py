@@ -51,6 +51,15 @@ MALFORMED_OPERATOR = "LC106"
 #: consumed anywhere in the plan — wasted work, likely a missed Project
 #: or a dangling rewrite.
 DEAD_CLASS = "LC201"
+#: Provably-empty branch: cardinality interval analysis bounds an
+#: operator's output at zero trees against the target database — a tag
+#: that does not occur, or a join whose side is empty.
+EMPTY_BRANCH = "LC301"
+#: Intermediate blowup: the cardinality upper bound of an intermediate
+#: result is unbounded or exceeds the blowup threshold relative to the
+#: database size — a missed selective rewrite or a cross-product-like
+#: join.
+CARDINALITY_BLOWUP = "LC302"
 
 #: code -> (severity, one-line description), the diagnostic catalogue.
 CATALOG = {
@@ -81,6 +90,14 @@ CATALOG = {
     DEAD_CLASS: (
         Severity.WARNING,
         "class is produced but never consumed (missed Project?)",
+    ),
+    EMPTY_BRANCH: (
+        Severity.WARNING,
+        "cardinality bounds prove this branch produces zero trees",
+    ),
+    CARDINALITY_BLOWUP: (
+        Severity.WARNING,
+        "intermediate cardinality bound is unbounded or explosive",
     ),
 }
 

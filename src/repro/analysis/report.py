@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..core.base import Operator
 from .diagnostics import Diagnostic
@@ -12,9 +12,15 @@ from .visitor import PlanAnalysis
 
 @dataclass
 class AnalysisReport:
-    """A :class:`PlanAnalysis` packaged for display."""
+    """A :class:`PlanAnalysis` packaged for display.
+
+    ``bounds`` (when the caller supplied database statistics) maps
+    operator ids to cardinality :class:`~.cardinality.Interval` bounds,
+    rendered into the annotated plan.
+    """
 
     analysis: PlanAnalysis
+    bounds: Optional[Dict[int, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -42,8 +48,9 @@ class AnalysisReport:
         """The plan rendered like ``Operator.describe`` with LC-flow notes.
 
         Each operator line is suffixed with the labels it produces and
-        consumes plus the live environment on its output edge, and any
-        diagnostics anchored to it are listed beneath it.
+        consumes, the live environment on its output edge, and — when
+        cardinality bounds were computed — its ``card [lo, hi]`` output
+        bound; any diagnostics anchored to it are listed beneath it.
         """
         by_op: Dict[int, List[Diagnostic]] = {}
         for diag in self.analysis.diagnostics:
@@ -70,6 +77,10 @@ class AnalysisReport:
                 notes.append(f"live {live}")
                 if env.shadowed:
                     notes.append(f"shadowed {sorted(env.shadowed)}")
+            if self.bounds is not None:
+                interval = self.bounds.get(id(op))
+                if interval is not None:
+                    notes.append(f"card {interval.render()}")
             if notes:
                 head += "   # " + " ".join(notes)
             if id(op) in seen:

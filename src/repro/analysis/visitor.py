@@ -89,7 +89,26 @@ def analyze(plan: Operator) -> PlanAnalysis:
     run(plan)
     rules.report_conflicts(conflicts, analysis.diagnostics)
     rules.check_plan(analysis, analysis.diagnostics)
+    dedupe_diagnostics(analysis.diagnostics)
     return analysis
+
+
+def dedupe_diagnostics(diagnostics: List[Diagnostic]) -> None:
+    """Drop repeated (code, operator, message) findings in place.
+
+    Shared sub-plans are visited once, but rule passes that pair
+    operators (duplicate-producer conflicts, plan-wide checks) can
+    reach the same conclusion along several paths of a DAG; reporting
+    it once is enough.
+    """
+    seen = set()
+    unique = []
+    for diag in diagnostics:
+        key = (diag.code, diag.op_id, diag.message)
+        if key not in seen:
+            seen.add(key)
+            unique.append(diag)
+    diagnostics[:] = unique
 
 
 # ----------------------------------------------------------------------

@@ -110,31 +110,78 @@ class TreeFilterOp(Operator):
         return self.label
 
 
-def cross_class_predicate(left_lcl: int, op: str, right_lcl: int):
+class CrossClassPredicate:
     """Predicate: some pair of (left, right) class nodes compares true.
 
     Implements a value join whose sides live in the same tree (same-source
-    joins), with existential semantics over the node pairs.
+    joins), with existential semantics over the node pairs.  A class (not
+    a closure) so that plans holding one pickle across process boundaries.
     """
-    from ..model.value import compare
 
-    def test(tree) -> bool:
-        lefts = tree.nodes_in_class(left_lcl)
-        rights = tree.nodes_in_class(right_lcl)
+    __slots__ = ("left_lcl", "op", "right_lcl")
+
+    def __init__(self, left_lcl: int, op: str, right_lcl: int) -> None:
+        self.left_lcl = left_lcl
+        self.op = op
+        self.right_lcl = right_lcl
+
+    def __call__(self, tree) -> bool:
+        from ..model.value import compare
+
+        lefts = tree.nodes_in_class(self.left_lcl)
+        rights = tree.nodes_in_class(self.right_lcl)
         return any(
-            compare(l.value, op, r.value) for l in lefts for r in rights
+            compare(l.value, self.op, r.value)
+            for l in lefts
+            for r in rights
         )
 
-    return test
+    def __getstate__(self):
+        return (self.left_lcl, self.op, self.right_lcl)
+
+    def __setstate__(self, state) -> None:
+        self.left_lcl, self.op, self.right_lcl = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CrossClassPredicate(({self.left_lcl}) "
+            f"{self.op} ({self.right_lcl}))"
+        )
 
 
-def disjunctive_predicate(predicates: List[ClassPredicate]):
-    """Predicate: at least one disjunct holds at some node of its class."""
+class DisjunctivePredicate:
+    """Predicate: at least one disjunct holds at some node of its class.
 
-    def test(tree) -> bool:
-        for pred in predicates:
+    Like :class:`CrossClassPredicate`, a picklable callable rather than a
+    closure, so OR-translated plans survive ``pickle`` round trips.
+    """
+
+    __slots__ = ("predicates",)
+
+    def __init__(self, predicates: List[ClassPredicate]) -> None:
+        self.predicates = list(predicates)
+
+    def __call__(self, tree) -> bool:
+        for pred in self.predicates:
             if any(pred.test(n) for n in tree.nodes_in_class(pred.lcl)):
                 return True
         return False
 
-    return test
+    def __getstate__(self):
+        return self.predicates
+
+    def __setstate__(self, state) -> None:
+        self.predicates = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DisjunctivePredicate({self.predicates!r})"
+
+
+def cross_class_predicate(left_lcl: int, op: str, right_lcl: int):
+    """Build the same-tree value-join predicate (see the class)."""
+    return CrossClassPredicate(left_lcl, op, right_lcl)
+
+
+def disjunctive_predicate(predicates: List[ClassPredicate]):
+    """Build the OR-over-classes predicate (see the class)."""
+    return DisjunctivePredicate(predicates)

@@ -631,7 +631,8 @@ class QueryService:
 
     def close(self, wait: bool = True) -> None:
         """Stop accepting queries and shut the pool down."""
-        self._closed = True
+        with self._lock:
+            self._closed = True
         self._pool.shutdown(wait=wait)
         self.query_log.close()
 

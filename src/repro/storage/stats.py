@@ -11,7 +11,7 @@ and navigation steps (children fetched by the navigational baseline).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..trace.model import PlanTrace
@@ -72,6 +72,68 @@ class Metrics:
                 merged, f.name, getattr(self, f.name) + getattr(other, f.name)
             )
         return merged
+
+
+@dataclass(frozen=True)
+class CardinalityStats:
+    """Per-(document, tag) node counts for the cardinality interpreter.
+
+    A frozen snapshot of the tag indexes: how many nodes each tag has in
+    each document, plus per-document totals.  The static analyzer's
+    interval interpretation (``analysis/cardinality.py``) propagates
+    these through a plan to bound every operator's output cardinality —
+    the input interface of a future cost-based planner.
+    """
+
+    #: doc name -> tag -> node count
+    tag_counts: Dict[str, Dict[str, int]]
+    #: doc name -> total node count
+    totals: Dict[str, int]
+
+    @classmethod
+    def from_database(cls, db) -> "CardinalityStats":
+        """Snapshot the tag indexes of every loaded document."""
+        tag_counts: Dict[str, Dict[str, int]] = {}
+        totals: Dict[str, int] = {}
+        for name in db.document_names():
+            index = db.tag_index(name)
+            counts = {tag: index.count(tag) for tag in index.tags()}
+            tag_counts[name] = counts
+            totals[name] = sum(counts.values())
+        return cls(tag_counts, totals)
+
+    def tag_count(
+        self, doc: Optional[str], tag: Optional[str]
+    ) -> Optional[int]:
+        """Nodes of ``tag`` in ``doc``; None when unknown.
+
+        A ``None`` doc (an extension pattern matching inside trees of
+        unrecorded provenance) falls back to the count across *all*
+        loaded documents — any node of the tag lives in some document.
+        A ``None`` tag is a wildcard node: bounded by the total node
+        count.  A named but unloaded document is unknown.
+        """
+        if doc is None:
+            if tag is None:
+                return self.database_nodes
+            return sum(
+                counts.get(tag, 0) for counts in self.tag_counts.values()
+            )
+        if doc not in self.tag_counts:
+            return None
+        if tag is None:
+            return self.totals[doc]
+        return self.tag_counts[doc].get(tag, 0)
+
+    def total(self, doc: Optional[str]) -> Optional[int]:
+        if doc is None:
+            return None
+        return self.totals.get(doc)
+
+    @property
+    def database_nodes(self) -> int:
+        """Total nodes across every document (blowup-threshold anchor)."""
+        return sum(self.totals.values())
 
 
 @dataclass

@@ -35,6 +35,10 @@ from .registry import Histogram, MetricsRegistry
 _registry = MetricsRegistry()
 _enabled = True
 _tls = threading.local()
+#: Guards rebinds of the module state above.  Readers stay lock-free —
+#: a hook observes either the old or the new binding, both consistent —
+#: but two racing writers must not interleave their read-swap-return.
+_state_lock = threading.Lock()
 
 #: Histograms whose observations are cardinalities, not seconds: the
 #: first bucket's upper bound is 1 tree rather than 100 µs.
@@ -131,8 +135,9 @@ def enabled() -> bool:
 def set_enabled(flag: bool) -> bool:
     """Flip the process-wide switch; returns the previous setting."""
     global _enabled
-    previous = _enabled
-    _enabled = bool(flag)
+    with _state_lock:
+        previous = _enabled
+        _enabled = bool(flag)
     return previous
 
 
@@ -158,8 +163,9 @@ def get_registry() -> MetricsRegistry:
 def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
     """Replace the process-wide registry; returns the previous one."""
     global _registry
-    previous = _registry
-    _registry = registry
+    with _state_lock:
+        previous = _registry
+        _registry = registry
     return previous
 
 

@@ -44,6 +44,7 @@ class TelemetryServer:
         self.service = service
         self.host = host
         self.port = port
+        self._lock = threading.Lock()
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self._started = time.time()
@@ -107,8 +108,6 @@ class TelemetryServer:
     # ------------------------------------------------------------------
     def start(self) -> Tuple[str, int]:
         """Bind and serve on a daemon thread; returns (host, port)."""
-        if self._httpd is not None:
-            raise RuntimeError("telemetry server already started")
         server = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -165,29 +164,38 @@ class TelemetryServer:
             def log_message(self, *args) -> None:  # silence stderr
                 pass
 
-        self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
-        self._httpd.daemon_threads = True
-        self.port = self._httpd.server_address[1]
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever,
-            name="repro-telemetry",
-            daemon=True,
-        )
-        self._thread.start()
-        return (self.host, self.port)
+        with self._lock:
+            if self._httpd is not None:
+                raise RuntimeError("telemetry server already started")
+            self._httpd = ThreadingHTTPServer(
+                (self.host, self.port), Handler
+            )
+            self._httpd.daemon_threads = True
+            self.port = self._httpd.server_address[1]
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-telemetry",
+                daemon=True,
+            )
+            self._thread.start()
+            return (self.host, self.port)
 
     @property
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
     def close(self) -> None:
-        if self._httpd is not None:
-            self._httpd.shutdown()
-            self._httpd.server_close()
-            self._httpd = None
-        if self._thread is not None:
-            self._thread.join(timeout=5)
-            self._thread = None
+        # detach under the lock so two racing closers cannot both
+        # shut the same server down; the blocking shutdown/join happen
+        # outside it
+        with self._lock:
+            httpd, self._httpd = self._httpd, None
+            thread, self._thread = self._thread, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5)
 
     def __enter__(self) -> "TelemetryServer":
         self.start()

@@ -159,9 +159,12 @@ class QueryLog:
             return len(self._events)
 
     def close(self) -> None:
-        if self._owns_sink and self._sink is not None:
-            self._sink.close()
-            self._sink = None
+        # under the lock: an emit racing close must either write to the
+        # still-open sink or observe None, never a closed file
+        with self._lock:
+            if self._owns_sink and self._sink is not None:
+                self._sink.close()
+                self._sink = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

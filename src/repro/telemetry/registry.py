@@ -258,7 +258,8 @@ class MetricsRegistry:
         self._histograms: Dict[Tuple[str, LabelSet], Histogram] = {}
         self._help: Dict[str, str] = {}
 
-    def _describe(self, name: str, help: str) -> None:
+    def _describe_locked(self, name: str, help: str) -> None:
+        # caller holds self._lock (the _locked-suffix convention)
         if help and name not in self._help:
             self._help[name] = help
 
@@ -273,7 +274,7 @@ class MetricsRegistry:
             metric = self._counters.get(key)
             if metric is None:
                 metric = self._counters[key] = Counter()
-                self._describe(name, help)
+                self._describe_locked(name, help)
             return metric
 
     def gauge(
@@ -287,7 +288,7 @@ class MetricsRegistry:
             metric = self._gauges.get(key)
             if metric is None:
                 metric = self._gauges[key] = Gauge()
-                self._describe(name, help)
+                self._describe_locked(name, help)
             return metric
 
     def histogram(
@@ -305,7 +306,7 @@ class MetricsRegistry:
                 metric = self._histograms[key] = Histogram(
                     base=base, buckets=buckets
                 )
-                self._describe(name, help)
+                self._describe_locked(name, help)
             return metric
 
     # -- read side ------------------------------------------------------

@@ -1,0 +1,201 @@
+"""LC3xx cardinality-bound tests: interval algebra, transfer, warnings."""
+
+import pytest
+
+from repro.analysis import lint_plan
+from repro.analysis.cardinality import (
+    Interval,
+    _add,
+    _mul,
+    bound_plan,
+)
+from repro.analysis.diagnostics import (
+    CARDINALITY_BLOWUP,
+    EMPTY_BRANCH,
+)
+from repro.core import FilterOp, JoinOp, SelectOp, UnionOp
+from repro.core.base import ClassPredicate, JoinPredicate
+from repro.patterns.apt import APT, pattern_node
+from repro.storage.stats import CardinalityStats
+
+#: a hand-built database snapshot: 200 nodes, a few known tags
+STATS = CardinalityStats(
+    tag_counts={
+        "auction.xml": {
+            "person": 100,
+            "name": 100,
+            "age": 40,
+            "phone": 0,
+        }
+    },
+    totals={"auction.xml": 200},
+)
+
+
+def select(tag, doc="auction.xml", edges=()):
+    root = pattern_node(tag, lcl=1)
+    for index, (child_tag, axis, mspec) in enumerate(edges):
+        root.add_edge(
+            pattern_node(child_tag, lcl=2 + index), axis=axis, mspec=mspec
+        )
+    return SelectOp(APT(root, doc=doc))
+
+
+class TestIntervalAlgebra:
+    def test_render(self):
+        assert Interval(0, 5).render() == "[0, 5]"
+        assert Interval(1, None).render() == "[1, inf]"
+
+    def test_empty(self):
+        assert Interval(0, 0).empty
+        assert not Interval(0, 1).empty
+        assert not Interval(0, None).empty
+
+    def test_mul_zero_annihilates_unbounded(self):
+        assert _mul(0, None) == 0
+        assert _mul(None, 0) == 0
+        assert _mul(None, 5) is None
+        assert _mul(3, 4) == 12
+
+    def test_add_propagates_unbounded(self):
+        assert _add(None, 1) is None
+        assert _add(2, 3) == 5
+
+
+class TestSelectBounds:
+    def test_leaf_select_bounded_by_tag_count(self):
+        plan = select("person")
+        analysis = bound_plan(plan, STATS)
+        assert analysis.bound_of(plan) == Interval(0, 100)
+
+    def test_required_pc_child_anchors_the_parent(self):
+        # each name determines its person, so the bound is the child's
+        # count, not person x name
+        plan = select("person", edges=[("name", "pc", "-")])
+        analysis = bound_plan(plan, STATS)
+        assert analysis.bound_of(plan) == Interval(0, 100)
+
+    def test_optional_child_adds_the_absent_case(self):
+        plan = select("person", edges=[("age", "ad", "?")])
+        analysis = bound_plan(plan, STATS)
+        assert analysis.bound_of(plan) == Interval(0, 100 * 41)
+
+    def test_nested_children_do_not_multiply(self):
+        plan = select("person", edges=[("age", "ad", "*")])
+        analysis = bound_plan(plan, STATS)
+        assert analysis.bound_of(plan) == Interval(0, 100)
+
+    def test_required_nested_empty_child_zeroes_the_branch(self):
+        plan = select("person", edges=[("phone", "ad", "+")])
+        analysis = bound_plan(plan, STATS)
+        assert analysis.bound_of(plan).empty
+
+    def test_unloaded_document_is_unbounded(self):
+        plan = select("person", doc="missing.xml")
+        analysis = bound_plan(plan, STATS)
+        assert analysis.bound_of(plan).hi is None
+
+    def test_without_stats_no_diagnostics(self):
+        analysis = bound_plan(select("person", doc="missing.xml"))
+        assert analysis.diagnostics == []
+
+
+class TestDiagnostics:
+    def test_lc301_fires_on_provably_empty_tag(self):
+        analysis = bound_plan(select("phone"), STATS)
+        assert [d.code for d in analysis.diagnostics] == [EMPTY_BRANCH]
+
+    def test_lc301_reported_once_at_the_source(self):
+        plan = FilterOp(
+            ClassPredicate(1, "!=", ""),
+            mode="ALO",
+            input_op=select("phone"),
+        )
+        analysis = bound_plan(plan, STATS)
+        assert [d.code for d in analysis.diagnostics] == [EMPTY_BRANCH]
+
+    def test_lc302_fires_when_bound_becomes_unbounded(self):
+        analysis = bound_plan(select("person", doc="missing.xml"), STATS)
+        assert [d.code for d in analysis.diagnostics] == [
+            CARDINALITY_BLOWUP
+        ]
+
+    def test_lc302_fires_on_explosive_join(self):
+        plan = JoinOp(
+            select("person"),
+            select("name"),
+            predicates=[JoinPredicate(1, "=", 2)],
+            root_lcl=9,
+            right_mspec="-",
+        )
+        analysis = bound_plan(plan, STATS, blowup_factor=1)
+        codes = [d.code for d in analysis.diagnostics]
+        assert codes == [CARDINALITY_BLOWUP]
+        assert "join output bound" in analysis.diagnostics[0].message
+
+    def test_same_join_clean_with_default_headroom(self):
+        plan = JoinOp(
+            select("person"),
+            select("name"),
+            predicates=[JoinPredicate(1, "=", 2)],
+            root_lcl=9,
+            right_mspec="-",
+        )
+        analysis = bound_plan(plan, STATS)
+        assert analysis.diagnostics == []
+
+
+class TestTransfer:
+    def test_union_adds(self):
+        plan = UnionOp([select("person"), select("age")])
+        analysis = bound_plan(plan, STATS)
+        assert analysis.bound_of(plan) == Interval(0, 140)
+
+    def test_filter_keeps_upper_drops_lower(self):
+        plan = FilterOp(
+            ClassPredicate(1, "!=", ""),
+            mode="ALO",
+            input_op=select("person"),
+        )
+        analysis = bound_plan(plan, STATS)
+        assert analysis.bound_of(plan) == Interval(0, 100)
+
+    def test_outer_join_preserves_left_bound(self):
+        plan = JoinOp(
+            select("person"),
+            select("age"),
+            predicates=[JoinPredicate(1, "=", 2)],
+            root_lcl=9,
+            right_mspec="*",
+        )
+        analysis = bound_plan(plan, STATS)
+        assert analysis.bound_of(plan) == Interval(0, 100)
+
+
+class TestLintPlanIntegration:
+    def test_report_carries_bounds_and_diagnostics(self):
+        report = lint_plan(select("phone"), stats=STATS)
+        rendered = report.annotated_plan()
+        assert "card [0, 0]" in rendered
+        assert "LC301" in rendered
+
+    def test_warnings_do_not_break_ok(self):
+        report = lint_plan(select("phone"), stats=STATS)
+        assert report.ok  # LC3xx are warnings, not errors
+
+
+@pytest.mark.parametrize("name", ["x10", "x11", "x12"])
+def test_join_heavy_queries_get_finite_bounds(name, xmark_engine):
+    from repro.rewrites.pipeline import optimize_plan
+    from repro.xmark import QUERIES
+    from repro.xquery.translator import translate_query
+
+    stats = CardinalityStats.from_database(xmark_engine.db)
+    translation = optimize_plan(
+        translate_query(QUERIES[name].text), verify=False
+    )
+    analysis = bound_plan(translation.plan, stats)
+    assert analysis.diagnostics == [], [
+        d.render() for d in analysis.diagnostics
+    ]
+    assert analysis.bound_of(translation.plan).hi is not None

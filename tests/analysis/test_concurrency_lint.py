@@ -1,0 +1,292 @@
+"""CC1xx fixture tests: each code fires on its pattern and only there."""
+
+import textwrap
+
+from repro.analysis.concurrency import lint_source
+from repro.analysis.findings import (
+    GLOBAL_MUTATION,
+    GLOBAL_REBIND,
+    LOCK_ORDER_CYCLE,
+    UNGUARDED_ATTR_WRITE,
+    UNSAFE_LAZY_INIT,
+)
+
+
+def lint(source, shared_attrs=False):
+    return lint_source(
+        textwrap.dedent(source), "fixture.py", shared_attrs=shared_attrs
+    )
+
+
+def codes(findings):
+    return sorted(f.code for f in findings)
+
+
+class TestGlobalRebind:
+    def test_unguarded_global_rebind_fires(self):
+        findings = lint(
+            """
+            _STATE = None
+
+            def set_state(value):
+                global _STATE
+                _STATE = value
+            """
+        )
+        assert codes(findings) == [GLOBAL_REBIND]
+        assert findings[0].symbol == "set_state:_STATE"
+        assert findings[0].line > 0
+
+    def test_rebind_under_lock_is_clean(self):
+        findings = lint(
+            """
+            _STATE = None
+
+            def set_state(value):
+                global _STATE
+                with _state_lock:
+                    _STATE = value
+            """
+        )
+        assert findings == []
+
+    def test_local_assignment_is_not_a_rebind(self):
+        findings = lint(
+            """
+            def compute():
+                _STATE = 1
+                return _STATE
+            """
+        )
+        assert findings == []
+
+
+class TestUnguardedAttrWrite:
+    SOURCE = """
+        class Service:
+            def __init__(self):
+                self._closed = False
+
+            def close(self):
+                self._closed = True
+    """
+
+    def test_fires_only_in_shared_scope(self):
+        assert codes(lint(self.SOURCE, shared_attrs=True)) == [
+            UNGUARDED_ATTR_WRITE
+        ]
+        assert lint(self.SOURCE, shared_attrs=False) == []
+
+    def test_constructor_writes_are_construction(self):
+        findings = lint(self.SOURCE, shared_attrs=True)
+        assert all("close" in f.symbol for f in findings)
+
+    def test_write_under_lock_is_clean(self):
+        findings = lint(
+            """
+            class Service:
+                def close(self):
+                    with self._lock:
+                        self._closed = True
+            """,
+            shared_attrs=True,
+        )
+        assert findings == []
+
+    def test_sharded_lock_idiom_is_recognised(self):
+        findings = lint(
+            """
+            class Registry:
+                def bump(self, i):
+                    with self._locks[i]:
+                        self._counts[i] = self._counts[i] + 1
+            """,
+            shared_attrs=True,
+        )
+        assert findings == []
+
+    def test_locked_suffix_convention(self):
+        findings = lint(
+            """
+            class Registry:
+                def _describe_locked(self, name):
+                    self._help[name] = name
+            """,
+            shared_attrs=True,
+        )
+        assert findings == []
+
+    def test_nested_function_does_not_inherit_the_lock(self):
+        # the nested def runs later, when the with-block has exited
+        findings = lint(
+            """
+            class Service:
+                def submit(self):
+                    with self._lock:
+                        def later():
+                            self._state = "done"
+                        return later
+            """,
+            shared_attrs=True,
+        )
+        assert codes(findings) == [UNGUARDED_ATTR_WRITE]
+
+
+class TestLockOrderCycle:
+    def test_opposite_nesting_orders_fire(self):
+        findings = lint(
+            """
+            def forward():
+                with a_lock:
+                    with b_lock:
+                        pass
+
+            def backward():
+                with b_lock:
+                    with a_lock:
+                        pass
+            """
+        )
+        assert codes(findings) == [LOCK_ORDER_CYCLE]
+        assert findings[0].symbol == "a_lock<->b_lock"
+
+    def test_consistent_order_is_clean(self):
+        findings = lint(
+            """
+            def one():
+                with a_lock:
+                    with b_lock:
+                        pass
+
+            def two():
+                with a_lock:
+                    with b_lock:
+                        pass
+            """
+        )
+        assert findings == []
+
+
+class TestUnsafeLazyInit:
+    def test_check_then_set_fires(self):
+        findings = lint(
+            """
+            class Index:
+                def rows(self):
+                    if self._cache is None:
+                        self._cache = self._build()
+                    return self._cache
+            """
+        )
+        assert codes(findings) == [UNSAFE_LAZY_INIT]
+        assert findings[0].symbol == "Index.rows:_cache"
+
+    def test_not_form_fires(self):
+        findings = lint(
+            """
+            class Index:
+                def rows(self):
+                    if not self._cache:
+                        self._cache = self._build()
+                    return self._cache
+            """
+        )
+        assert codes(findings) == [UNSAFE_LAZY_INIT]
+
+    def test_lazy_init_under_lock_is_clean(self):
+        findings = lint(
+            """
+            class Index:
+                def rows(self):
+                    with self._lock:
+                        if self._cache is None:
+                            self._cache = self._build()
+                    return self._cache
+            """
+        )
+        assert findings == []
+
+    def test_plain_branch_without_assignment_is_clean(self):
+        findings = lint(
+            """
+            class Index:
+                def rows(self):
+                    if self._cache is None:
+                        raise RuntimeError("not built")
+                    return self._cache
+            """
+        )
+        assert findings == []
+
+
+class TestGlobalMutation:
+    def test_mutator_call_fires(self):
+        findings = lint(
+            """
+            _REGISTRY = {}
+
+            def register(name, value):
+                _REGISTRY.update({name: value})
+            """
+        )
+        assert codes(findings) == [GLOBAL_MUTATION]
+
+    def test_subscript_write_fires(self):
+        findings = lint(
+            """
+            _REGISTRY = {}
+
+            def register(name, value):
+                _REGISTRY[name] = value
+            """
+        )
+        assert codes(findings) == [GLOBAL_MUTATION]
+
+    def test_mutation_under_lock_is_clean(self):
+        findings = lint(
+            """
+            _REGISTRY = {}
+
+            def register(name, value):
+                with _registry_lock:
+                    _REGISTRY[name] = value
+            """
+        )
+        assert findings == []
+
+    def test_module_level_population_is_construction(self):
+        # filling the container at import time is single-threaded
+        findings = lint(
+            """
+            _REGISTRY = {}
+            _REGISTRY["default"] = 1
+            """
+        )
+        assert findings == []
+
+
+class TestFindingIdentity:
+    def test_key_is_line_independent(self):
+        one = lint(
+            """
+            _S = None
+
+            def f():
+                global _S
+                _S = 1
+            """
+        )
+        moved = lint(
+            """
+            _S = None
+
+            # a comment that shifts every line number
+
+
+            def f():
+                global _S
+                _S = 1
+            """
+        )
+        assert one[0].key == moved[0].key
+        assert one[0].line != moved[0].line

@@ -1,0 +1,156 @@
+"""SX2xx certification tests: static walk, dynamic oracle, registry."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.analysis.forksafety import (
+    certify,
+    certify_registry,
+    certify_storage,
+    certify_with_oracle,
+    registry_classes,
+    representative_plans,
+    round_trip,
+)
+from repro.analysis.findings import (
+    PICKLE_CLOSURE,
+    PICKLE_LOCK,
+    PICKLE_ORACLE,
+    PICKLE_RUNTIME,
+)
+
+
+class Holder:
+    def __init__(self, **attrs):
+        self.__dict__.update(attrs)
+
+
+class Sneaky:
+    """Static walk sees nothing; pickling still fails."""
+
+    def __reduce__(self):
+        raise TypeError("nope")
+
+
+class Guarded:
+    """Holds a lock but excludes it via a custom reduction."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        return {"restored": True}
+
+    def __setstate__(self, state):
+        self._lock = threading.Lock()
+
+
+class TestStaticWalk:
+    def test_lock_field_is_sx201(self):
+        findings = certify(Holder(lock=threading.Lock()), "obj")
+        assert [f.code for f in findings] == [PICKLE_LOCK]
+        assert findings[0].symbol == ".lock"
+
+    def test_nested_lock_is_found_with_its_path(self):
+        obj = Holder(state={"inner": [Holder(guard=threading.RLock())]})
+        findings = certify(obj, "obj")
+        assert [f.code for f in findings] == [PICKLE_LOCK]
+        assert findings[0].symbol == ".state['inner'][0].guard"
+
+    def test_closure_field_is_sx203(self):
+        def make():
+            x = 1
+            return lambda: x
+
+        findings = certify(Holder(fn=make()), "obj")
+        assert [f.code for f in findings] == [PICKLE_CLOSURE]
+
+    def test_module_level_function_pickles_by_reference(self):
+        findings = certify(Holder(fn=round_trip), "obj")
+        assert findings == []
+
+    def test_thread_field_is_sx205(self):
+        findings = certify(
+            Holder(worker=threading.Thread(target=lambda: None)), "obj"
+        )
+        assert [f.code for f in findings] == [PICKLE_RUNTIME]
+
+    def test_plain_data_is_clean(self):
+        obj = Holder(name="x", rows=[1, 2], meta={"a": (1, 2)})
+        assert certify(obj, "obj") == []
+
+    def test_cycles_terminate(self):
+        a = Holder()
+        a.loop = a
+        assert certify(a, "obj") == []
+
+
+class TestOracle:
+    def test_round_trip_reports_failure(self):
+        error = round_trip(Holder(lock=threading.Lock()))
+        assert error is not None and "pickle" in error.lower()
+
+    def test_round_trip_ok_is_none(self):
+        assert round_trip({"a": [1, 2]}) is None
+
+    def test_oracle_catches_what_the_walk_misses(self):
+        findings = certify_with_oracle(Sneaky(), "obj")
+        assert [f.code for f in findings] == [PICKLE_ORACLE]
+
+    def test_custom_reduction_downgrades_static_findings(self):
+        findings = certify_with_oracle(Guarded(), "obj")
+        assert [f.code for f in findings] == [PICKLE_ORACLE]
+        assert "custom reduction" in findings[0].message
+
+
+class TestRegistry:
+    def test_representative_plans_cover_every_registry_class(self):
+        covered = set()
+        for plan in representative_plans().values():
+            stack = [plan]
+            while stack:
+                op = stack.pop()
+                covered.add(type(op))
+                stack.extend(op.inputs)
+        missing = set(registry_classes()) - covered
+        assert not missing, (
+            f"registry operators without a representative plan: "
+            f"{sorted(c.__name__ for c in missing)}"
+        )
+
+    def test_registry_certifies_clean(self):
+        findings = certify_registry()
+        assert findings == [], [f.render() for f in findings]
+
+    @pytest.mark.parametrize(
+        "plan_name", sorted(representative_plans())
+    )
+    def test_every_plan_round_trips_through_pickle(self, plan_name):
+        plan = representative_plans()[plan_name]
+        clone = pickle.loads(pickle.dumps(plan))
+        assert type(clone) is type(plan)
+        assert clone.params() == plan.params()
+
+    @pytest.mark.parametrize(
+        "cls_name",
+        sorted(c.__name__ for c in registry_classes()),
+    )
+    def test_every_registry_operator_instance_round_trips(self, cls_name):
+        instances = []
+        for plan in representative_plans().values():
+            stack = [plan]
+            while stack:
+                op = stack.pop()
+                if type(op).__name__ == cls_name:
+                    instances.append(op)
+                stack.extend(op.inputs)
+        assert instances, f"no representative instance of {cls_name}"
+        for op in instances:
+            clone = pickle.loads(pickle.dumps(op))
+            assert clone.params() == op.params()
+
+    def test_storage_certifies_clean(self, tiny_db):
+        findings = certify_storage(tiny_db)
+        assert findings == [], [f.render() for f in findings]

@@ -37,6 +37,40 @@ def test_rewrite_steps_all_verify(name):
     assert log.verified == ["reuse", "restructure", "illuminate"]
 
 
+@pytest.mark.parametrize("name", _NAMES)
+def test_sweep_cardinality_bounds_raise_no_diagnostics(name, xmark_engine):
+    """The LC3xx pass over both plan shapes of every benchmark query."""
+    from repro.analysis.cardinality import bound_plan
+    from repro.storage.stats import CardinalityStats
+
+    stats = CardinalityStats.from_database(xmark_engine.db)
+    translation = translate_query(QUERIES[name].text)
+    for plan in (
+        translation.plan,
+        optimize_plan(translation, verify=False).plan,
+    ):
+        analysis = bound_plan(plan, stats)
+        assert analysis.diagnostics == [], [
+            d.render() for d in analysis.diagnostics
+        ]
+
+
+@pytest.mark.parametrize("name", _NAMES)
+def test_sweep_plans_certify_pickle_safe(name):
+    """The SX2xx pass: every benchmark plan ships to a process pool."""
+    from repro.analysis.forksafety import certify_with_oracle
+
+    translation = translate_query(QUERIES[name].text)
+    findings = certify_with_oracle(translation.plan, f"xmark:{name}")
+    findings.extend(
+        certify_with_oracle(
+            optimize_plan(translation, verify=False).plan,
+            f"xmark:{name}+opt",
+        )
+    )
+    assert findings == [], [f.render() for f in findings]
+
+
 @pytest.mark.parametrize("name", ["x3", "x5", "Q1", "Q2"])
 def test_strict_execution_of_benchmark_queries(name, xmark_engine):
     query = QUERIES[name].text

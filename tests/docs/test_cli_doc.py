@@ -59,6 +59,7 @@ def test_the_page_documents_every_subcommand():
         "serve",
         "stats",
         "tail",
+        "check",
     }
 
 
