@@ -16,9 +16,18 @@ the threshold absorbs the rest.  Run ``python -m repro bench fastpath
 --factor 0.005 --out BENCH_3.json`` to refresh the baseline after an
 intentional performance change.
 
+With ``--mode process`` a second stage runs after the fast-path gate:
+the full 23-query sweep is executed through the process-pool service
+(``--workers`` workers, ``--start-method`` fork or spawn) and every
+result is compared byte-for-byte against a serial in-process run — the
+equivalence oracle that lets the execution substrate change under the
+queries.  CI runs this stage under both start methods.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_smoke.py --baseline BENCH_3.json
+    PYTHONPATH=src python benchmarks/bench_smoke.py \
+        --mode process --workers 2 --start-method spawn
 """
 
 from __future__ import annotations
@@ -34,6 +43,46 @@ from repro.bench import (
     compare_fastpath,
     fastpath_table,
 )
+
+
+def check_process_pool(
+    factor: float, workers: int, start_method: str | None
+) -> int:
+    """Sweep all 23 queries through the process pool; 0 iff identical."""
+    from repro.bench.harness import Harness
+    from repro.service import QueryService
+    from repro.xmark.queries import FIGURE15_ORDER, QUERIES
+
+    engine = Harness().engine_for(factor)
+    expected = {
+        name: engine.run(QUERIES[name].text, "tlc").to_xml()
+        for name in FIGURE15_ORDER
+    }
+    mismatches = []
+    with QueryService(
+        engine, threads=workers, mode="process", start_method=start_method
+    ) as svc:
+        pids = svc.prime()
+        results = svc.execute_many(
+            [QUERIES[name].text for name in FIGURE15_ORDER]
+        )
+        for name, result in zip(FIGURE15_ORDER, results):
+            if result.to_xml() != expected[name]:
+                mismatches.append(name)
+        stats = svc.stats()
+    if mismatches:
+        print(
+            f"\nFAIL: process-pool sweep diverged from serial on "
+            f"{', '.join(mismatches)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"\nOK: process-pool sweep ({len(expected)} queries, "
+        f"{len(pids)} workers, {svc.start_method}) byte-identical to "
+        f"serial; {stats.executed} executed, {stats.failed} failed"
+    )
+    return 0
 
 
 def main(argv=None) -> int:
@@ -66,6 +115,26 @@ def main(argv=None) -> int:
         help="also write the fresh report as JSON (for refreshing "
         "the baseline)",
     )
+    parser.add_argument(
+        "--mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="process: also sweep all 23 queries through the "
+        "process-pool service and require byte-identity with serial",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes for the --mode process stage (default 2)",
+    )
+    parser.add_argument(
+        "--start-method",
+        choices=("fork", "spawn"),
+        default=None,
+        help="start method for the --mode process stage "
+        "(default: platform's)",
+    )
     args = parser.parse_args(argv)
 
     baseline_path = Path(args.baseline)
@@ -93,6 +162,8 @@ def main(argv=None) -> int:
         f"(baseline {baseline.normalized_after_geomean():.1f}, "
         f"threshold +{args.threshold:.0%})"
     )
+    if args.mode == "process":
+        return check_process_pool(factor, args.workers, args.start_method)
     return 0
 
 

@@ -280,16 +280,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
     slow_threshold = (
         args.slow_ms / 1000.0 if args.slow_ms is not None else None
     )
+    workers = args.workers if args.workers is not None else args.threads
     failures = 0
     with QueryService(
         engine,
-        threads=args.threads,
+        threads=workers,
+        mode=args.mode,
+        start_method=args.start_method,
         cache_size=args.cache_size,
         default_deadline=args.deadline,
         default_max_trees=args.max_trees,
         slow_threshold=slow_threshold,
         query_log=query_log,
     ) as svc:
+        if args.mode == "process":
+            pids = svc.prime()
+            print(
+                f"-- {len(pids)} worker processes up "
+                f"({svc.start_method})",
+                file=sys.stderr,
+                flush=True,
+            )
         server = None
         if args.http is not None:
             from .telemetry.http import TelemetryServer
@@ -341,9 +352,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 for tree in result:
                     print(tree.to_xml())
             stats = svc.stats()
+            unit = (
+                "worker processes" if stats.mode == "process" else "threads"
+            )
             print(
                 f"-- served {stats.executed} queries on "
-                f"{stats.threads} threads"
+                f"{stats.threads} {unit}"
                 f" | cache hits={stats.cache.hits}"
                 f" misses={stats.cache.misses}"
                 f" evictions={stats.cache.evictions}"
@@ -546,6 +560,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             repeats=args.repeats,
             threads=args.threads,
             harness=harness,
+            mode=args.mode,
+            start_method=args.start_method,
         )
         print(service_table(report))
         if args.out:
@@ -743,7 +759,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=3)
     bench.add_argument(
         "--threads", type=int, default=8,
-        help="service only: worker threads for the concurrent batch",
+        help="service only: workers for the concurrent batch "
+        "(threads or processes, per --mode)",
+    )
+    bench.add_argument(
+        "--mode", choices=("thread", "process"), default="thread",
+        help="service only: execution backend for the pooled batch "
+        "(process = one worker process per --threads, the multi-core "
+        "configuration)",
+    )
+    bench.add_argument(
+        "--start-method", choices=("fork", "spawn"), default=None,
+        help="service only, with --mode process: how workers get the "
+        "database (fork inherits it; spawn loads a verified snapshot)",
     )
     bench.add_argument(
         "--trace", action="store_true",
@@ -809,6 +837,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--threads", type=int, default=4,
         help="worker threads (default 4)",
+    )
+    serve.add_argument(
+        "--mode", choices=("thread", "process"), default="thread",
+        help="execution backend: thread (default) or process — worker "
+        "processes each holding their own copy of the database, the "
+        "mode that scales with cores",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for --mode process (defaults to --threads)",
+    )
+    serve.add_argument(
+        "--start-method", choices=("fork", "spawn"), default=None,
+        help="with --mode process: fork (workers inherit the database) "
+        "or spawn (workers load a digest-verified snapshot); default "
+        "picks the platform's",
     )
     serve.add_argument(
         "--cache-size", type=int, default=64,

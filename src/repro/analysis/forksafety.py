@@ -10,7 +10,9 @@ context pieces.  This pass *certifies* them:
   any unpicklable field — locks and other synchronisation primitives
   (SX201), open files/sockets (SX202), closures/lambdas/generators
   (SX203), and threads / thread-locals / weakrefs / executors / tracer
-  handles (SX205);
+  handles (SX205) — except where the class ships its own
+  ``__reduce__``/``__reduce_ex__``, which replaces the raw fields at
+  pickle time and makes the dynamic oracle the authority;
 * a **dynamic oracle** (``round_trip``) that actually round-trips the
   object through :mod:`pickle` — SX204 reports any disagreement between
   the oracle and the static verdict, in either direction.
@@ -66,6 +68,25 @@ _RUNTIME_TYPE_NAMES = frozenset(
 
 #: Object-graph edges deeper than this indicate a cycle bug, not data.
 _MAX_DEPTH = 64
+
+
+def _has_custom_reduce(value: Any) -> bool:
+    """True when ``type(value)`` defines its own pickle reduction.
+
+    A class that implements ``__reduce__``/``__reduce_ex__`` replaces
+    its raw in-memory fields with whatever the reduction returns, so
+    neither the instance type nor its attributes reach the wire as-is
+    (e.g. a ``threading.local`` subclass that collapses to its merged
+    totals).  The static walk must not condemn such nodes; the dynamic
+    oracle still round-trips them, so a *broken* reduction is reported
+    as an SX204 disagreement instead.
+    """
+    for klass in type(value).__mro__:
+        if klass is object:
+            continue
+        if "__reduce__" in vars(klass) or "__reduce_ex__" in vars(klass):
+            return True
+    return False
 
 
 def _classify(value: Any) -> Optional[Tuple[str, str]]:
@@ -133,6 +154,8 @@ def certify(obj: Any, name: str) -> List[CheckFinding]:
         if id(value) in seen or depth > _MAX_DEPTH:
             continue
         seen.add(id(value))
+        if _has_custom_reduce(value):
+            continue  # the reduction defines the wire format
         verdict = _classify(value)
         if verdict is not None:
             code, what = verdict

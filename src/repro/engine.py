@@ -207,9 +207,9 @@ class Engine:
         engine's database (prepared-plan cache, thread pool, deadlines).
 
         Keyword arguments are forwarded to
-        :class:`~repro.service.QueryService` (``threads``,
-        ``cache_size``, ``default_deadline``, ``default_max_trees``,
-        ``retry_legacy``).
+        :class:`~repro.service.QueryService` (``threads``, ``mode``,
+        ``start_method``, ``cache_size``, ``default_deadline``,
+        ``default_max_trees``, ``retry_legacy``).
         """
         from .service import QueryService
 

@@ -149,6 +149,24 @@ class ServiceError(ReproError):
     """Raised for query-service misuse (closed service, bad config)."""
 
 
+class WorkerError(ServiceError):
+    """Raised when a pool worker fails in a way the dispatcher cannot map
+    back onto a structured error.
+
+    Exceptions do not cross the process boundary as objects (many carry
+    multi-argument constructors that break pickling); workers ship a
+    ``(type name, message)`` pair instead, and failures outside the
+    structured set — a worker that died mid-request, a snapshot that
+    failed verification at worker start, an unexpected evaluator bug in
+    the child — surface to the caller as this error, with the worker-side
+    type preserved in :attr:`worker_error_type`.
+    """
+
+    def __init__(self, worker_error_type: str, message: str):
+        super().__init__(f"worker failed with {worker_error_type}: {message}")
+        self.worker_error_type = worker_error_type
+
+
 class PlanValidationError(ReproError):
     """Raised when the static LC-flow analyzer rejects a plan.
 

@@ -25,9 +25,17 @@ from .cache import (
     PlanCacheKey,
     normalize_query,
 )
+from .pool import (
+    START_METHODS,
+    WorkerPool,
+    WorkerResult,
+    WorkItem,
+    default_start_method,
+)
 from .service import (
     DEFAULT_THREADS,
     SERVICE_ENGINES,
+    SERVICE_MODES,
     PreparedQuery,
     QueryHandle,
     QueryService,
@@ -38,6 +46,8 @@ __all__ = [
     "DEFAULT_CACHE_SIZE",
     "DEFAULT_THREADS",
     "SERVICE_ENGINES",
+    "SERVICE_MODES",
+    "START_METHODS",
     "CacheStats",
     "PlanCache",
     "PlanCacheKey",
@@ -45,5 +55,9 @@ __all__ = [
     "QueryHandle",
     "QueryService",
     "ServiceStats",
+    "WorkItem",
+    "WorkerPool",
+    "WorkerResult",
+    "default_start_method",
     "normalize_query",
 ]

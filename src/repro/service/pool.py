@@ -1,0 +1,415 @@
+"""Process-pool worker backend: query execution across address spaces.
+
+BENCH_4/5 measured the thread pool running *slower* than serial — TLC
+plan evaluation is CPU-bound pure Python, so threads serialise on the
+GIL.  This module is the other side of that wall: a
+:class:`WorkerPool` owns N worker *processes*, each holding its own
+materialization of the one immutable :class:`~repro.storage.database.
+Database`, and the dispatcher (the :class:`~repro.service.service.
+QueryService` thread pool) ships prepared plans over and merges
+serialized results back — in submission order, byte-identical to
+serial execution (the 23-query XMark sweep is the oracle).
+
+**Database handoff.**  Two start methods, selected per pool:
+
+* ``fork`` (Linux default): the dispatcher parks the database in a
+  module-level registry under a token; forked children inherit the
+  whole object graph for free and look the token up in
+  :func:`_init_worker`.  Zero serialization, copy-on-write memory.
+* ``spawn`` (portable, and what macOS/Windows require): the dispatcher
+  persists the database once with
+  :func:`~repro.storage.persist.write_snapshot` and ships the tiny
+  :class:`~repro.storage.persist.SnapshotHandle`; each worker loads and
+  sha256-verifies its private copy at start.  PR 6's ``repro check
+  --pass sx`` certified every operator and plan picklable precisely so
+  this hop works.
+
+**Why results stay exact.**  Everything request-scoped in thread mode
+stays request-scoped here: each worker builds a fresh ``Context`` (and
+with it a fresh ScanCache) per plan, cooperative
+:class:`~repro.core.limits.ExecutionLimits` are rebuilt worker-side
+from the *remaining* budget the dispatcher measured at dispatch, and
+the graceful-degradation legacy retry runs inside the worker (the
+fast-path toggle is process-local state).  Exceptions never cross the
+boundary as objects — several carry multi-argument constructors that
+break ``pickle`` round-trips — so :class:`WorkerResult` carries a
+status plus the constructor arguments of the structured errors, and
+the dispatcher re-raises the real exception types.
+
+**Why /metrics stays exact.**  Each result ships two deltas: the
+worker database's :class:`~repro.storage.stats.Metrics` window (exact —
+a worker process runs one request at a time on one thread) and the
+worker's telemetry-registry window
+(:func:`~repro.telemetry.registry.diff_states` between export
+snapshots).  The dispatcher folds both into its own database metrics /
+process registry, so the ``/metrics`` endpoint reports the same totals
+it would have had the work run locally.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tempfile
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from ..core.base import Context
+from ..core.evaluator import evaluate
+from ..core.limits import ExecutionLimits
+from ..errors import (
+    ExecutionLimitError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ResourceLimitError,
+    ServiceError,
+)
+from ..model.sequence import TreeSequence
+from ..storage.database import Database
+from ..storage.persist import SnapshotHandle, open_snapshot, write_snapshot
+from ..telemetry import hooks as telemetry
+from ..telemetry.registry import MetricsRegistry, diff_states
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .service import PreparedQuery
+
+#: Start methods a pool will accept.
+START_METHODS = ("fork", "spawn")
+
+
+def default_start_method() -> str:
+    """``fork`` where the platform offers it (free memory sharing),
+    ``spawn`` otherwise."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+# ---------------------------------------------------------------------------
+# wire protocol
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkItem:
+    """One dispatched request: the compiled plan plus its budgets.
+
+    ``deadline`` is the *remaining* wall-clock budget at dispatch time
+    (the dispatcher anchors the limits first), so queue wait is charged
+    to the request exactly as it is in thread mode.
+    """
+
+    prepared: "PreparedQuery"
+    deadline: Optional[float]
+    max_trees: Optional[int]
+
+
+@dataclass
+class WorkerResult:
+    """What a worker ships back for one :class:`WorkItem`.
+
+    ``status`` is one of ``ok`` / ``timeout`` / ``resource`` /
+    ``cancelled`` / ``error``; for the structured statuses,
+    ``error_args`` are the constructor arguments of the corresponding
+    exception type, which the dispatcher re-raises (the exception
+    object itself never crosses the boundary — multi-argument
+    ``__init__`` signatures do not survive pickling).  ``counters`` is
+    the worker database's exact per-request Metrics window and
+    ``telemetry`` the worker registry's window, both merged
+    dispatcher-side.
+    """
+
+    status: str
+    result: Optional[TreeSequence] = None
+    error_type: str = ""
+    error_args: Tuple[Any, ...] = ()
+    error_text: str = ""
+    counters: Dict[str, int] = field(default_factory=dict)
+    telemetry: Optional[Dict[str, Any]] = None
+    legacy_retried: bool = False
+    pid: int = 0
+
+
+# ---------------------------------------------------------------------------
+# worker-process state (each worker process has its own copy)
+# ---------------------------------------------------------------------------
+#: Fork-mode handoff: token -> database, populated by the dispatcher
+#: *before* the executor forks so children inherit the entry.  Keyed
+#: (rather than a single slot) so several fork-mode pools over
+#: different databases can coexist in one dispatcher process.
+_FORK_DBS: Dict[str, Database] = {}
+_FORK_DBS_LOCK = threading.Lock()
+
+#: The worker's materialized database and config, set by
+#: :func:`_init_worker`.  A worker process is single-threaded, but the
+#: writes stay lock-guarded so the concurrency lint's whole-package
+#: passes hold everywhere.
+_WORKER_STATE: Dict[str, Any] = {}
+_WORKER_STATE_LOCK = threading.Lock()
+
+
+def _fork_token_for(db: Database) -> str:
+    return f"{os.getpid()}:{id(db)}"
+
+
+def _init_worker(
+    source: Optional[SnapshotHandle],
+    fork_token: Optional[str],
+    retry_legacy: bool,
+) -> None:
+    """Materialize this worker's database once, then warm it.
+
+    Runs in the child at process start.  Fork workers resolve the
+    inherited ``fork_token``; spawn workers load and digest-verify the
+    snapshot.  A failure here poisons the executor (every pending
+    future breaks), which is the right behaviour: a worker that cannot
+    produce a verified database must not answer queries.
+    """
+    if fork_token is not None:
+        with _FORK_DBS_LOCK:
+            db = _FORK_DBS.get(fork_token)
+        if db is None:
+            raise ServiceError(
+                f"fork handoff token {fork_token!r} not found in worker; "
+                "was the database released before the pool started?"
+            )
+    elif source is not None:
+        db = open_snapshot(source)
+    else:
+        raise ServiceError("worker started with neither snapshot nor token")
+    with _WORKER_STATE_LOCK:
+        _WORKER_STATE["db"] = db
+        _WORKER_STATE["retry_legacy"] = bool(retry_legacy)
+    # a fresh registry: fork-inherited parent history must not be
+    # re-shipped to the dispatcher inside this worker's deltas
+    telemetry.set_registry(MetricsRegistry())
+    _warm(db)
+
+
+def _warm(db: Database) -> None:
+    """Touch every document's indexes so first requests pay no lazy cost."""
+    for name in db.document_names():
+        tag_index = db.tag_index(name)
+        for tag in tag_index.tags():
+            tag_index.count(tag)
+
+
+def _ping(hold_seconds: float = 0.0) -> Tuple[int, int]:
+    """Liveness probe: (worker pid, documents materialized).
+
+    ``hold_seconds`` keeps the probed worker busy briefly so a batch of
+    probes cannot all be drained by the first worker to come up — the
+    executor spawns processes on demand, one per *pending* item.
+    """
+    with _WORKER_STATE_LOCK:
+        db = _WORKER_STATE.get("db")
+    if db is None:
+        raise ServiceError("worker has no database (initializer did not run)")
+    if hold_seconds > 0:
+        time.sleep(hold_seconds)
+    return os.getpid(), len(db.document_names())
+
+
+def _execute_item(item: WorkItem) -> WorkerResult:
+    """The worker body: evaluate one plan, ship result plus deltas."""
+    with _WORKER_STATE_LOCK:
+        db = _WORKER_STATE.get("db")
+        retry_legacy = _WORKER_STATE.get("retry_legacy", True)
+    if db is None:
+        return WorkerResult(
+            status="error",
+            error_type="ServiceError",
+            error_text="worker has no database (initializer did not run)",
+            pid=os.getpid(),
+        )
+    limits = ExecutionLimits(deadline=item.deadline, max_trees=item.max_trees)
+    counters_before = db.metrics.local_snapshot()
+    registry = telemetry.get_registry()
+    telemetry_before = registry.export_state()
+    status = "ok"
+    result: Optional[TreeSequence] = None
+    error_type = ""
+    error_text = ""
+    error_args: Tuple[Any, ...] = ()
+    legacy_retried = False
+    try:
+        result, legacy_retried = _evaluate_guarded(
+            db, item.prepared, limits, retry_legacy
+        )
+    except QueryTimeoutError as error:
+        status = "timeout"
+        error_type = type(error).__name__
+        error_text = str(error)
+        error_args = (error.budget_seconds, error.elapsed_seconds)
+    except ResourceLimitError as error:
+        status = "resource"
+        error_type = type(error).__name__
+        error_text = str(error)
+        error_args = (error.limit, error.produced, error.operator)
+    except QueryCancelledError as error:
+        status = "cancelled"
+        error_type = type(error).__name__
+        error_text = str(error)
+    except BaseException as error:
+        status = "error"
+        error_type = type(error).__name__
+        error_text = str(error)
+    return WorkerResult(
+        status=status,
+        result=result,
+        error_type=error_type,
+        error_args=error_args,
+        error_text=error_text,
+        counters={
+            k: v
+            for k, v in db.metrics.local_diff(counters_before).items()
+            if v
+        },
+        telemetry=diff_states(telemetry_before, registry.export_state()),
+        legacy_retried=legacy_retried,
+        pid=os.getpid(),
+    )
+
+
+def _evaluate_guarded(
+    db: Database,
+    prepared: "PreparedQuery",
+    limits: ExecutionLimits,
+    retry_legacy: bool,
+) -> Tuple[TreeSequence, bool]:
+    """Evaluate with the same graceful degradation the thread pool has.
+
+    The fast-path toggle is process-local, so the retry must happen
+    *here* — the dispatcher cannot flip a module global in another
+    address space.  Returns ``(result, retried_on_legacy_path)``.
+    """
+    try:
+        return _evaluate(db, prepared, limits), False
+    except ExecutionLimitError:
+        raise
+    except Exception as error:
+        if not retry_legacy:
+            raise
+        from ..physical.structural_join import fast_path_enabled, use_fast_path
+
+        if not fast_path_enabled():
+            raise
+        with _WORKER_STATE_LOCK:
+            with use_fast_path(False):
+                try:
+                    return _evaluate(db, prepared, limits), True
+                except ExecutionLimitError:
+                    raise
+                except Exception:
+                    raise error from None
+
+
+def _evaluate(
+    db: Database, prepared: "PreparedQuery", limits: ExecutionLimits
+) -> TreeSequence:
+    # a fresh Context per request, exactly as in thread mode: its
+    # ScanCache is request-scoped and asserts the lifetime contract
+    ctx = Context(db, scan_cache=True, limits=limits)
+    return evaluate(prepared.plan, ctx)
+
+
+# ---------------------------------------------------------------------------
+# dispatcher side
+# ---------------------------------------------------------------------------
+class WorkerPool:
+    """Owns the worker processes and the database handoff for one service.
+
+    ``close()`` releases everything the handoff created: the fork-token
+    registry entry, and (when this pool wrote its own snapshot) the
+    temp snapshot file.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        workers: int,
+        start_method: Optional[str] = None,
+        retry_legacy: bool = True,
+        snapshot_path: Optional[str] = None,
+    ) -> None:
+        if workers <= 0:
+            raise ServiceError("worker count must be positive")
+        method = start_method or default_start_method()
+        if method not in START_METHODS:
+            raise ServiceError(
+                f"start method must be one of {START_METHODS}, got {method!r}"
+            )
+        if method not in multiprocessing.get_all_start_methods():
+            raise ServiceError(
+                f"start method {method!r} is unavailable on this platform"
+            )
+        self.workers = workers
+        self.start_method = method
+        self._fork_token: Optional[str] = None
+        self._snapshot_path: Optional[str] = None
+        self._owns_snapshot = False
+        self._close_lock = threading.Lock()
+        self._closed = False
+        if method == "fork":
+            token = _fork_token_for(db)
+            with _FORK_DBS_LOCK:
+                _FORK_DBS[token] = db
+            self._fork_token = token
+            initargs: Tuple[Any, ...] = (None, token, retry_legacy)
+        else:
+            if snapshot_path is None:
+                fd, snapshot_path = tempfile.mkstemp(
+                    prefix="repro-snapshot-", suffix=".tlcdb"
+                )
+                os.close(fd)
+                self._owns_snapshot = True
+            handle = write_snapshot(db, snapshot_path)
+            self._snapshot_path = snapshot_path
+            initargs = (handle, None, retry_legacy)
+        self._executor = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context(method),
+            initializer=_init_worker,
+            initargs=initargs,
+        )
+
+    def submit(self, item: WorkItem) -> "Future[WorkerResult]":
+        """Queue one request on the worker processes."""
+        return self._executor.submit(_execute_item, item)
+
+    def prime(self, timeout: Optional[float] = None) -> List[int]:
+        """Start and warm every worker now; returns their pids.
+
+        The executor starts processes on demand, one per outstanding
+        item — submitting ``workers`` probes forces the whole fleet up
+        front so the first real requests (and benchmark rounds) do not
+        pay process start + database materialization.
+        """
+        hold = 0.2 if self.workers > 1 else 0.0
+        probes = [
+            self._executor.submit(_ping, hold) for _ in range(self.workers)
+        ]
+        return sorted({probe.result(timeout)[0] for probe in probes})
+
+    def close(self, wait: bool = True) -> None:
+        """Shut workers down and release the handoff artifacts."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._executor.shutdown(wait=wait, cancel_futures=True)
+        if self._fork_token is not None:
+            with _FORK_DBS_LOCK:
+                _FORK_DBS.pop(self._fork_token, None)
+        if self._owns_snapshot and self._snapshot_path is not None:
+            try:
+                os.unlink(self._snapshot_path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<WorkerPool workers={self.workers} "
+            f"start_method={self.start_method}>"
+        )

@@ -10,16 +10,22 @@ single-threaded, and cannot be stopped once started.
   :class:`~repro.service.cache.PlanCache`; an identical query (modulo
   whitespace) skips parse/translate/analyze/rewrite entirely and goes
   straight to execution;
-* **a thread pool** — many queries execute concurrently against the one
-  immutable database.  Each request gets its own
-  :class:`~repro.core.base.Context`, and with it a *fresh*, request-
-  scoped :class:`~repro.patterns.scan_cache.ScanCache` (the cache itself
+* **an execution pool** — many queries execute concurrently against
+  the one immutable database.  ``mode="thread"`` (the default) runs
+  them on a thread pool; ``mode="process"`` routes each request through
+  a :class:`~repro.service.pool.WorkerPool` of worker *processes*, the
+  architecture that actually scales with cores (plan evaluation is
+  CPU-bound pure Python, so threads serialise on the GIL).  Either
+  way each request gets its own :class:`~repro.core.base.Context`, and
+  with it a *fresh*, request-scoped
+  :class:`~repro.patterns.scan_cache.ScanCache` (the cache itself
   asserts it is never shared across concurrent requests; see its
   lifetime contract).  Stored documents, indexes and compiled plans are
   all read-only at execution time, which is what makes the concurrent
-  results byte-identical to serial ones.  The shared work counters are
-  the one approximate piece — unsynchronised increments may drop under
-  contention, which perturbs metering, never results;
+  results byte-identical to serial ones.  The work counters are
+  thread-striped (:class:`~repro.storage.stats.Metrics`), so totals
+  are exact under concurrency and each request's counter delta is
+  attributed to that request alone;
 * **deadlines and cancellation** — per-query
   :class:`~repro.core.limits.ExecutionLimits` arm the evaluator's
   cooperative checks, so a query past its wall-clock or cardinality
@@ -38,8 +44,18 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from ..core.base import Context
 from ..core.evaluator import evaluate
@@ -51,6 +67,7 @@ from ..errors import (
     QueryTimeoutError,
     ResourceLimitError,
     ServiceError,
+    WorkerError,
 )
 from ..model.sequence import TreeSequence
 from ..storage.database import Database
@@ -69,8 +86,18 @@ from ..telemetry.registry import Histogram
 from ..xquery.translator import TranslationResult
 from .cache import CacheStats, PlanCache, PlanCacheKey, normalize_query
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .pool import WorkerPool, WorkerResult
+
 #: Default worker-thread count.
 DEFAULT_THREADS = 4
+
+#: Execution backends a service can run requests on.
+SERVICE_MODES = ("thread", "process")
+
+#: How often (seconds) a dispatcher thread waiting on a worker process
+#: re-checks its request's cancel event.
+_DISPATCH_POLL_SECONDS = 0.05
 
 #: Distinct per-query latency classes tracked before new queries fall
 #: into the ``other`` bucket (bounds ServiceStats memory).
@@ -116,10 +143,14 @@ class QueryHandle:
         future: "Future[TreeSequence]",
         limits: ExecutionLimits,
         prepared: PreparedQuery,
+        on_queue_cancel: Optional[Callable[[], None]] = None,
     ) -> None:
         self._future = future
         self.limits = limits
         self.prepared = prepared
+        self._on_queue_cancel = on_queue_cancel
+        self._cancel_lock = threading.Lock()
+        self._queue_cancel_counted = False
 
     def result(self, timeout: Optional[float] = None) -> TreeSequence:
         """Block for the result (re-raising any structured abort)."""
@@ -136,13 +167,21 @@ class QueryHandle:
     def cancel(self) -> bool:
         """Abort the query: drop it if still queued, else cooperatively.
 
-        A queued query is cancelled outright.  A running one has its
+        A queued query is cancelled outright — and counted *here*: its
+        worker body never runs, so this is the only place the service
+        can account for it (``Future.cancel`` keeps returning True once
+        cancelled, hence the once-guard).  A running one has its
         limits' cancel event set and aborts with
         :class:`~repro.errors.QueryCancelledError` at the evaluator's
         next check.  Returns True when the cancellation was delivered
         (always, unless the query already finished).
         """
         if self._future.cancel():
+            with self._cancel_lock:
+                first = not self._queue_cancel_counted
+                self._queue_cancel_counted = True
+            if first and self._on_queue_cancel is not None:
+                self._on_queue_cancel()
             return True
         self.limits.cancel()
         return not self._future.done()
@@ -152,10 +191,10 @@ class QueryHandle:
 class ServiceStats:
     """Counters over a service's lifetime plus its cache snapshot.
 
-    ``counters`` is the database's shared :class:`Metrics` snapshot —
-    the scan-cache / postings-reuse / plan-cache work counters the
-    service used to drop (warm-vs-cold analysis reads them straight
-    from here now).  ``latency`` maps query classes (``all`` plus one
+    ``counters`` is the database's merged :class:`Metrics` snapshot —
+    exact under concurrency (the counters are thread-striped), and in
+    process mode inclusive of every worker delta merged so far.
+    ``latency`` maps query classes (``all`` plus one
     ``engine:queryhash`` entry per distinct prepared query, bounded at
     :data:`MAX_QUERY_CLASSES`) to their p50/p95/p99 percentiles.
     """
@@ -167,6 +206,7 @@ class ServiceStats:
     legacy_retries: int = 0
     slow_queries: int = 0
     threads: int = 0
+    mode: str = "thread"
     cache: CacheStats = field(default_factory=CacheStats)
     counters: Dict[str, int] = field(default_factory=dict)
     latency: Dict[str, Dict[str, object]] = field(default_factory=dict)
@@ -190,7 +230,23 @@ class QueryService:
         invalidates affected cache entries via the database generation
         but does not lock out in-flight queries — keep loads quiescent.
     threads:
-        Worker-thread count of the execution pool.
+        Worker count of the execution pool.  In thread mode this is the
+        thread count; in process mode it is both the dispatcher-thread
+        count and the worker-process count (one dispatcher thread feeds
+        one worker).
+    mode:
+        ``"thread"`` (default) executes on a thread pool in this
+        process; ``"process"`` dispatches to a
+        :class:`~repro.service.pool.WorkerPool` of worker processes,
+        each holding its own copy of the immutable database — the mode
+        that scales with cores.  Process mode requires the document set
+        to be quiescent for the pool's lifetime (workers materialize
+        the database once, at start).
+    start_method:
+        Process-mode only: ``"fork"`` (workers inherit the database —
+        Linux default) or ``"spawn"`` (workers load a digest-verified
+        :func:`~repro.storage.persist.write_snapshot` file — portable).
+        ``None`` picks the platform default.
     cache_size:
         Capacity of the prepared-plan LRU.
     default_deadline / default_max_trees:
@@ -222,6 +278,8 @@ class QueryService:
         self,
         engine: Union[Engine, Database],
         threads: int = DEFAULT_THREADS,
+        mode: str = "thread",
+        start_method: Optional[str] = None,
         cache_size: Optional[int] = None,
         default_deadline: Optional[float] = None,
         default_max_trees: Optional[int] = None,
@@ -233,10 +291,25 @@ class QueryService:
     ) -> None:
         if threads <= 0:
             raise ServiceError("thread count must be positive")
+        if mode not in SERVICE_MODES:
+            raise ServiceError(
+                f"mode must be one of {SERVICE_MODES}, got {mode!r}"
+            )
         if slow_threshold is not None and slow_threshold < 0:
             raise ServiceError("slow threshold must be >= 0 seconds")
         self.engine = engine if isinstance(engine, Engine) else Engine(engine)
         self.db: Database = self.engine.db
+        self.mode = mode
+        self._worker_pool: Optional["WorkerPool"] = None
+        if mode == "process":
+            from .pool import WorkerPool
+
+            self._worker_pool = WorkerPool(
+                self.db,
+                workers=threads,
+                start_method=start_method,
+                retry_legacy=retry_legacy,
+            )
         self.cache = PlanCache(
             capacity=cache_size if cache_size is not None else 64,
             metrics=self.db.metrics,
@@ -339,13 +412,17 @@ class QueryService:
         else:
             prepared = self.prepare(query, engine=engine, optimize=optimize)
         limits = ExecutionLimits(
-            deadline=deadline if deadline is not None else self.default_deadline,
+            deadline=(
+                deadline if deadline is not None else self.default_deadline
+            ),
             max_trees=(
                 max_trees if max_trees is not None else self.default_max_trees
             ),
         )
         future = self._pool.submit(self._run, prepared, limits)
-        return QueryHandle(future, limits, prepared)
+        return QueryHandle(
+            future, limits, prepared, on_queue_cancel=self._count_queue_cancel
+        )
 
     def execute(
         self,
@@ -374,8 +451,10 @@ class QueryService:
     ) -> List[TreeSequence]:
         """Run a batch concurrently; results in submission order.
 
-        The first structured failure is re-raised after all queries
-        finish (submission is eager, so sibling queries still run).
+        The first structured failure (in submission order) is re-raised
+        only after *every* handle has finished — sibling queries run to
+        completion rather than being orphaned mid-flight, so the caller
+        can retry the batch without racing stragglers from the last one.
         """
         handles = [
             self.submit(
@@ -387,7 +466,17 @@ class QueryService:
             )
             for q in queries
         ]
-        return [handle.result() for handle in handles]
+        results: List[TreeSequence] = []
+        first_error: Optional[BaseException] = None
+        for handle in handles:
+            try:
+                results.append(handle.result())
+            except BaseException as error:
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
+        return results
 
     # ------------------------------------------------------------------
     # the worker body
@@ -395,9 +484,18 @@ class QueryService:
     def _run(
         self, prepared: PreparedQuery, limits: ExecutionLimits
     ) -> TreeSequence:
-        """Execute one prepared plan with a fresh, request-scoped context."""
+        """Execute one prepared plan with a fresh, request-scoped context.
+
+        The counter window is *thread-local* (``local_snapshot`` /
+        ``local_diff``): this request runs wholly on this worker thread
+        — and in process mode, the remote delta is merged into this
+        thread's cell before the window closes — so the query-log row
+        carries exactly this request's work, with no bleed from
+        concurrent requests (a global snapshot here would attribute
+        their deltas to whichever request happened to finish first).
+        """
         started = time.perf_counter()
-        before = self.db.metrics.snapshot()
+        before = self.db.metrics.local_snapshot()
         status = "ok"
         error_text: Optional[str] = None
         result_trees = 0
@@ -430,7 +528,7 @@ class QueryService:
                 error_text,
                 elapsed,
                 result_trees,
-                self.db.metrics.diff(before),
+                self.db.metrics.local_diff(before),
             )
             # counted last so an ``executed == N`` stats read implies the
             # telemetry for all N requests is already in the registry
@@ -441,6 +539,8 @@ class QueryService:
         self, prepared: PreparedQuery, limits: ExecutionLimits
     ) -> TreeSequence:
         """Evaluate with the graceful-degradation retry around it."""
+        if self._worker_pool is not None:
+            return self._run_process(prepared, limits)
         try:
             return self._evaluate(prepared, limits)
         except ExecutionLimitError:
@@ -479,6 +579,115 @@ class QueryService:
         # (and asserts that — see the ScanCache lifetime contract)
         ctx = Context(self.db, scan_cache=True, limits=limits)
         return evaluate(prepared.plan, ctx)
+
+    # ------------------------------------------------------------------
+    # process-mode dispatch
+    # ------------------------------------------------------------------
+    def _run_process(
+        self, prepared: PreparedQuery, limits: ExecutionLimits
+    ) -> TreeSequence:
+        """Ship one request to a worker process and merge its result.
+
+        The limits are anchored *before* dispatch and the worker gets
+        the remaining budget, so queue wait counts against the deadline
+        exactly as it does in thread mode.  The wait loop polls the
+        cancel event: a worker task cannot be interrupted mid-plan, so
+        a cancelled request unblocks the caller immediately and the
+        stray result — bounded by its worker-side deadline — is
+        absorbed by a done-callback that merges its counters and
+        telemetry (totals stay exact; the result itself is dropped).
+        """
+        assert self._worker_pool is not None
+        from .pool import WorkItem
+
+        limits.start()
+        if limits.cancelled:
+            raise QueryCancelledError()
+        remaining = limits.remaining()
+        if remaining is not None and remaining <= 0.0:
+            # the budget died in the queue; don't ship a dead request
+            # (worker-side limits also reject a non-positive deadline)
+            raise QueryTimeoutError(limits.deadline, limits.elapsed())
+        item = WorkItem(
+            prepared=prepared,
+            deadline=remaining,
+            max_trees=limits.max_trees,
+        )
+        try:
+            future = self._worker_pool.submit(item)
+        except Exception as error:
+            raise WorkerError(type(error).__name__, str(error)) from error
+        while True:
+            try:
+                worker_result = future.result(_DISPATCH_POLL_SECONDS)
+                break
+            except FuturesTimeoutError:
+                if limits.cancelled:
+                    future.add_done_callback(self._absorb_abandoned)
+                    raise QueryCancelledError() from None
+            except Exception as error:
+                # the future failed without a WorkerResult: a worker
+                # process died mid-request, or the pool broke
+                raise WorkerError(type(error).__name__, str(error)) from error
+        return self._merge_worker_result(worker_result)
+
+    def _merge_worker_result(self, wr: "WorkerResult") -> TreeSequence:
+        """Fold a worker's deltas into this process; return or re-raise.
+
+        Counters merge into the *calling thread's* cell, inside the
+        ``_run`` window that is timing this request — so the query-log
+        row attributes the remote work to the right request.
+        """
+        if wr.counters:
+            self.db.metrics.merge(wr.counters)
+        if wr.telemetry is not None and telemetry.enabled():
+            telemetry.get_registry().merge_state(wr.telemetry)
+        if wr.legacy_retried:
+            with self._lock:
+                self._legacy_retries += 1
+            telemetry.instrument("service.legacy_retry")
+        if wr.status == "ok":
+            assert wr.result is not None
+            return wr.result
+        if wr.status == "timeout":
+            raise QueryTimeoutError(*wr.error_args)
+        if wr.status == "resource":
+            raise ResourceLimitError(*wr.error_args)
+        if wr.status == "cancelled":
+            raise QueryCancelledError()
+        raise WorkerError(wr.error_type or "Exception", wr.error_text)
+
+    def _absorb_abandoned(self, future: "Future[WorkerResult]") -> None:
+        """Done-callback for a worker task its request abandoned.
+
+        Runs on the executor's result thread once the worker finishes.
+        The request was already reported cancelled; only the side
+        effects are kept — counters and telemetry merge (into this
+        callback thread's cell: global totals stay exact) so abandoned
+        work never goes missing from ``/metrics``.
+        """
+        try:
+            if future.cancelled() or future.exception() is not None:
+                return
+            wr = future.result()
+            if wr.counters:
+                self.db.metrics.merge(wr.counters)
+            if wr.telemetry is not None and telemetry.enabled():
+                telemetry.get_registry().merge_state(wr.telemetry)
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+    def _count_queue_cancel(self) -> None:
+        """Account for a request cancelled before its task started.
+
+        Its worker body never runs, so the per-request bookkeeping in
+        ``_run`` never fires; without this, ``stats()`` totals drift
+        from submissions (executed + queued ≠ submitted).
+        """
+        with self._lock:
+            self._executed += 1
+            self._failed += 1
+            self._cancelled += 1
 
     # ------------------------------------------------------------------
     # telemetry: per-request observation and slow-query capture
@@ -624,16 +833,38 @@ class QueryService:
                 legacy_retries=self._legacy_retries,
                 slow_queries=self._slow_queries,
                 threads=self.threads,
+                mode=self.mode,
                 cache=self.cache.stats(),
                 counters=self.db.metrics.snapshot(),
                 latency=latency,
             )
+
+    @property
+    def start_method(self) -> Optional[str]:
+        """The worker pool's resolved start method; None in thread mode."""
+        if self._worker_pool is None:
+            return None
+        return self._worker_pool.start_method
+
+    def prime(self, timeout: Optional[float] = None) -> List[int]:
+        """Start and warm every worker now; returns worker pids.
+
+        Thread mode is a no-op (threads are cheap and start eagerly
+        enough); in process mode this forces all worker processes up
+        and through database materialization before the first request
+        — benchmarks call it so round 1 measures queries, not forks.
+        """
+        if self._worker_pool is None:
+            return []
+        return self._worker_pool.prime(timeout)
 
     def close(self, wait: bool = True) -> None:
         """Stop accepting queries and shut the pool down."""
         with self._lock:
             self._closed = True
         self._pool.shutdown(wait=wait)
+        if self._worker_pool is not None:
+            self._worker_pool.close(wait=wait)
         self.query_log.close()
 
     def _ensure_open(self) -> None:

@@ -16,8 +16,10 @@ linear and keeps the format minimal).
 
 from __future__ import annotations
 
+import hashlib
 import io
 import struct
+from dataclasses import dataclass
 from pathlib import Path
 from typing import BinaryIO, Dict, List, Union
 
@@ -31,7 +33,8 @@ VERSION = 1
 _U32 = struct.Struct("<I")
 _I32 = struct.Struct("<i")
 _HEADER = struct.Struct("<5sBI")
-_RECORD_FIXED = struct.Struct("<IiIIIiI")  # tag,value,start,end,level,parent,nkids
+# tag, value, start, end, level, parent, n_children
+_RECORD_FIXED = struct.Struct("<IiIIIiI")
 
 
 def _write_u32(stream: BinaryIO, value: int) -> None:
@@ -154,6 +157,58 @@ def _load_document(stream: BinaryIO, db: Database) -> Document:
             )
         )
     return _register_loaded(db, name, records)
+
+
+@dataclass(frozen=True)
+class SnapshotHandle:
+    """A verifiable reference to a TLCDB snapshot on disk.
+
+    The process-pool handshake: the dispatcher writes the immutable
+    database once with :func:`write_snapshot` and ships the (tiny,
+    picklable) handle to spawn-mode workers, each of which materializes
+    its private copy with :func:`open_snapshot`.  The sha256 digest
+    pins the exact bytes — a worker that finds different content (a
+    concurrently rewritten temp file, a stale path from a previous
+    serve run) fails loudly instead of silently answering queries
+    against the wrong document set.
+    """
+
+    path: str
+    #: sha256 hex digest of the snapshot file's bytes
+    digest: str
+    #: buffer-pool capacity the source database ran with, so workers
+    #: reproduce its paging behaviour (and its counter profile)
+    pool_pages: int
+
+
+def _digest_file(path: Union[str, Path]) -> str:
+    sha = hashlib.sha256()
+    with open(path, "rb") as stream:
+        for chunk in iter(lambda: stream.read(1 << 20), b""):
+            sha.update(chunk)
+    return sha.hexdigest()
+
+
+def write_snapshot(db: Database, path: Union[str, Path]) -> SnapshotHandle:
+    """Persist ``db`` and return the handle spawn-mode workers load."""
+    save_database(db, path)
+    return SnapshotHandle(
+        path=str(path),
+        digest=_digest_file(path),
+        pool_pages=db.pool.capacity,
+    )
+
+
+def open_snapshot(handle: SnapshotHandle) -> Database:
+    """Load a snapshot, verifying its digest before trusting a byte."""
+    actual = _digest_file(handle.path)
+    if actual != handle.digest:
+        raise StorageError(
+            f"{handle.path}: snapshot digest mismatch "
+            f"(expected {handle.digest[:12]}…, found {actual[:12]}…); "
+            "refusing to serve queries against unverified data"
+        )
+    return load_database(handle.path, pool_pages=handle.pool_pages)
 
 
 def _register_loaded(

@@ -6,72 +6,181 @@ harness reports *work counters* that explain the shape of every result:
 page reads through the buffer pool, node records touched, structural joins
 executed, group-by restructurings (the expensive operation TAX/GTP rely on),
 and navigation steps (children fetched by the navigational baseline).
+
+Concurrency model.  :class:`Metrics` is shared by a database, its buffer
+pool, its documents and every evaluator over them, so a concurrent query
+service writes to it from many threads at once.  The counters are striped
+per thread (:class:`threading.local` cells): an increment touches only the
+calling thread's cell, so
+
+* increments never race and never drop — :meth:`snapshot` totals are
+  *exact* under concurrency, not best-effort;
+* a worker thread's own window is observable in isolation —
+  :meth:`local_snapshot` / :meth:`local_diff` give the service layer
+  request-scoped counter attribution (a request runs wholly on one
+  thread, so the thread's delta *is* the request's delta, with no bleed
+  from concurrent requests);
+* pickling (process-pool workers ship a database to a child, and ship
+  counter deltas back) reduces a Metrics to its merged totals — see
+  :meth:`merge` for folding a shipped delta back in.
+
+Cells are registered when a thread first touches the bundle and are kept
+alive past thread exit, so totals never lose a finished worker's counts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
-from typing import TYPE_CHECKING, Dict, Optional
+import threading
+import weakref
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..trace.model import PlanTrace
 
+#: Every counter carried by :class:`Metrics`, in rendering order.
+#:
+#: ``scan_cache_hits`` / ``postings_reused`` observe the columnar fast
+#: path (identical scans served from the query-scoped ScanCache, joins
+#: that consumed precomputed posting columns); the ``plan_cache_*``
+#: counters mirror the service layer's prepared-plan LRU.
+COUNTER_FIELDS: Tuple[str, ...] = (
+    "pages_read",
+    "pages_written",
+    "buffer_hits",
+    "nodes_touched",
+    "index_lookups",
+    "index_entries_scanned",
+    "structural_joins",
+    "value_joins",
+    "nest_joins",
+    "groupby_ops",
+    "pattern_matches",
+    "navigation_steps",
+    "trees_built",
+    "sort_ops",
+    "scan_cache_hits",
+    "postings_reused",
+    "plan_cache_hits",
+    "plan_cache_misses",
+    "plan_cache_evictions",
+)
 
-@dataclass
-class Metrics:
-    """Mutable counter bundle shared by a database and its evaluators."""
+#: Metrics instance -> the per-thread cell dicts it has handed out.
+#: Values hold strong references to the cells so a dead worker thread's
+#: counts stay in the totals; the instance key is weak so the registry
+#: does not keep databases alive.
+_CELLS: "weakref.WeakKeyDictionary[Metrics, List[Dict[str, int]]]" = (
+    weakref.WeakKeyDictionary()
+)
+_CELLS_LOCK = threading.Lock()
 
-    pages_read: int = 0
-    pages_written: int = 0
-    buffer_hits: int = 0
-    nodes_touched: int = 0
-    index_lookups: int = 0
-    index_entries_scanned: int = 0
-    structural_joins: int = 0
-    value_joins: int = 0
-    nest_joins: int = 0
-    groupby_ops: int = 0
-    pattern_matches: int = 0
-    navigation_steps: int = 0
-    trees_built: int = 0
-    sort_ops: int = 0
-    #: observability counters for the columnar fast path: identical index
-    #: scans / leaf matches served from the query-scoped ScanCache, and
-    #: structural joins that consumed precomputed posting columns instead
-    #: of rebuilding their probe-key arrays
-    scan_cache_hits: int = 0
-    postings_reused: int = 0
-    #: prepared-plan cache counters (the service layer's LRU of compiled
-    #: plans): queries answered without re-parse/translate/rewrite, cache
-    #: misses that paid the full compile, and entries evicted by capacity
-    #: or invalidated by a document reload
-    plan_cache_hits: int = 0
-    plan_cache_misses: int = 0
-    plan_cache_evictions: int = 0
 
-    def reset(self) -> None:
-        """Zero every counter."""
-        for f in fields(self):
-            setattr(self, f.name, 0)
+def _register_cell(metrics: "Metrics", cell: Dict[str, int]) -> None:
+    with _CELLS_LOCK:
+        _CELLS.setdefault(metrics, []).append(cell)
 
+
+def _cells_of(metrics: "Metrics") -> List[Dict[str, int]]:
+    with _CELLS_LOCK:
+        return list(_CELLS.get(metrics, ()))
+
+
+def _metrics_from_totals(totals: Dict[str, int]) -> "Metrics":
+    """Pickle reconstructor: a fresh bundle pre-loaded with ``totals``."""
+    metrics = Metrics()
+    metrics.merge(totals)
+    return metrics
+
+
+class Metrics(threading.local):
+    """Thread-striped counter bundle shared by a database's evaluators.
+
+    Reads and writes of the plain counter attributes touch the *calling
+    thread's* cell only (cheap, lock-free, race-free); the merged views
+    below aggregate across every thread that ever touched the bundle.
+    """
+
+    def __init__(self) -> None:
+        # runs once per (instance, thread): threading.local re-invokes
+        # __init__ the first time a new thread touches the object
+        for name in COUNTER_FIELDS:
+            setattr(self, name, 0)
+        _register_cell(self, vars(self))
+
+    # ------------------------------------------------------------------
+    # merged views (totals across every thread)
+    # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """Immutable copy of the counters as a plain dict."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """Point-in-time totals across all threads, as a plain dict."""
+        totals = dict.fromkeys(COUNTER_FIELDS, 0)
+        for cell in _cells_of(self):
+            for name in COUNTER_FIELDS:
+                totals[name] += cell.get(name, 0)
+        return totals
 
     def diff(self, before: dict) -> dict:
-        """Counters accumulated since ``before`` (a prior snapshot)."""
+        """Totals accumulated since ``before`` (a prior :meth:`snapshot`)."""
+        now = self.snapshot()
         return {
-            f.name: getattr(self, f.name) - before.get(f.name, 0)
-            for f in fields(self)
+            name: now[name] - before.get(name, 0) for name in COUNTER_FIELDS
         }
+
+    # ------------------------------------------------------------------
+    # thread-local views (request-scoped attribution)
+    # ------------------------------------------------------------------
+    def local_snapshot(self) -> dict:
+        """The calling thread's own counters (request-scoped window).
+
+        A service request executes wholly on one worker thread, so a
+        ``local_snapshot`` / :meth:`local_diff` pair around it measures
+        exactly that request's work — concurrent requests on other
+        threads cannot bleed into the window.
+        """
+        return {name: getattr(self, name) for name in COUNTER_FIELDS}
+
+    def local_diff(self, before: dict) -> dict:
+        """Calling-thread counters since ``before`` (a local snapshot)."""
+        return {
+            name: getattr(self, name) - before.get(name, 0)
+            for name in COUNTER_FIELDS
+        }
+
+    # ------------------------------------------------------------------
+    # maintenance and aggregation
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every counter in every thread's cell."""
+        for cell in _cells_of(self):
+            for name in COUNTER_FIELDS:
+                cell[name] = 0
+
+    def merge(self, delta: Dict[str, int]) -> None:
+        """Fold a shipped counter delta into the calling thread's cell.
+
+        The process-pool dispatcher calls this with the delta a worker
+        shipped back, from the dispatcher thread that owns the request —
+        so the merged counts land inside that request's
+        :meth:`local_diff` window *and* in the global totals.
+        Unknown keys are ignored (forward compatibility with snapshots
+        from newer workers).
+        """
+        for name in COUNTER_FIELDS:
+            value = delta.get(name, 0)
+            if value:
+                setattr(self, name, getattr(self, name) + value)
 
     def __add__(self, other: "Metrics") -> "Metrics":
         merged = Metrics()
-        for f in fields(self):
-            setattr(
-                merged, f.name, getattr(self, f.name) + getattr(other, f.name)
-            )
+        ours, theirs = self.snapshot(), other.snapshot()
+        merged.merge(ours)
+        merged.merge(theirs)
         return merged
+
+    def __reduce__(self):
+        # a pickled Metrics collapses to its merged totals: the copy a
+        # spawn-mode worker reconstructs starts from the same numbers
+        return (_metrics_from_totals, (self.snapshot(),))
 
 
 @dataclass(frozen=True)

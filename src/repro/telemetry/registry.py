@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import bisect
 import threading
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 #: Lock stripes per metric (a power of two; threads hash to one stripe).
 SHARDS = 8
@@ -173,6 +173,53 @@ class Histogram:
     def percentile(self, q: float) -> float:
         """Estimated value at quantile ``q`` in [0, 1]."""
         return self.snapshot().percentile(q)
+
+    # -- cross-process shipping ------------------------------------------
+    def export_state(self) -> Dict[str, Any]:
+        """Picklable copy of this histogram's merged state.
+
+        ``min``/``max`` are ``None`` while empty (the ±Inf sentinels do
+        not survive a JSON hop and 0.0 would corrupt a later merge).
+        """
+        snap = self.snapshot()
+        return {
+            "base": self.base,
+            "buckets": len(self.bounds),
+            "counts": list(snap.counts),
+            "sum": snap.sum,
+            "count": snap.count,
+            "min": snap.min if snap.count else None,
+            "max": snap.max if snap.count else None,
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold an exported state (usually a worker's delta) into cell 0.
+
+        Bucket counts, ``sum`` and ``count`` add; ``min``/``max`` fold by
+        extremum, which is exact whether the shipped state is a delta or
+        a lifetime snapshot (extremes are monotone).  The shipped bucket
+        layout must match (same ``base``/``buckets``).
+        """
+        if (
+            state.get("base") != self.base
+            or state.get("buckets") != len(self.bounds)
+        ):
+            raise ValueError("histogram bucket layouts differ; cannot merge")
+        counts = [int(c) for c in state["counts"]]
+        total = float(state["sum"])
+        count = int(state["count"])
+        lo = None if state.get("min") is None else float(state["min"])
+        hi = None if state.get("max") is None else float(state["max"])
+        cell = self._cells[0]
+        with cell.lock:
+            for i, c in enumerate(counts[: len(cell.counts)]):
+                cell.counts[i] += c
+            cell.sum += total
+            cell.count += count
+            if lo is not None and lo < cell.min:
+                cell.min = lo
+            if hi is not None and hi > cell.max:
+                cell.max = hi
 
 
 class HistogramSnapshot:
@@ -354,6 +401,122 @@ class MetricsRegistry:
             "gauges": gauges,
             "histograms": histograms,
         }
+
+    # -- cross-process shipping ------------------------------------------
+    def export_state(self) -> Dict[str, Any]:
+        """Picklable copy of every metric, for shipping across processes.
+
+        A process-pool worker exports before and after a request,
+        computes the window with :func:`diff_states`, and ships the
+        delta back with the result; the dispatcher folds it in through
+        :meth:`merge_state` so ``/metrics`` stays exact while the work
+        happens in another address space.
+        """
+        with self._lock:
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+            histograms = list(self._histograms.items())
+            help_map = dict(self._help)
+        return {
+            "counters": [
+                (name, ls, c.value) for (name, ls), c in counters
+            ],
+            "gauges": [(name, ls, g.value) for (name, ls), g in gauges],
+            "histograms": [
+                (name, ls, h.export_state()) for (name, ls), h in histograms
+            ],
+            "help": help_map,
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold an exported state (typically a worker's delta) into here.
+
+        Counter and histogram contributions *add*; gauges take the
+        shipped value (last writer wins — a gauge is a point-in-time
+        reading, not a sum).  Metrics absent here are created with the
+        shipped help text and bucket layout.
+        """
+        help_map: Dict[str, str] = state.get("help", {})
+        for name, ls, value in state.get("counters", ()):
+            labels = dict(ls) or None
+            metric = self.counter(name, labels, help=help_map.get(name, ""))
+            if value:
+                metric.inc(float(value))
+        for name, ls, value in state.get("gauges", ()):
+            labels = dict(ls) or None
+            self.gauge(name, labels, help=help_map.get(name, "")).set(
+                float(value)
+            )
+        for name, ls, hstate in state.get("histograms", ()):
+            labels = dict(ls) or None
+            hist = self.histogram(
+                name,
+                labels,
+                help=help_map.get(name, ""),
+                base=float(hstate["base"]),
+                buckets=int(hstate["buckets"]),
+            )
+            if hstate.get("count") or any(hstate.get("counts", ())):
+                hist.merge_state(hstate)
+
+
+def diff_states(
+    before: Dict[str, Any], after: Dict[str, Any]
+) -> Dict[str, Any]:
+    """The window of registry activity between two exported states.
+
+    Returns a state in the same shape as
+    :meth:`MetricsRegistry.export_state`, suitable for
+    :meth:`MetricsRegistry.merge_state`: counter values and histogram
+    bucket counts / ``sum`` / ``count`` are subtracted, gauges carry the
+    ``after`` reading, and histogram ``min``/``max`` carry the lifetime
+    extremes (merging extremes is idempotent, so shipping them with
+    every delta is safe).  Metrics absent from ``before`` diff against
+    zero.
+    """
+
+    def _indexed(
+        entries: Sequence[Tuple[str, LabelSet, Any]]
+    ) -> Dict[Tuple[str, LabelSet], Any]:
+        return {(name, tuple(ls)): value for name, ls, value in entries}
+
+    counters_before = _indexed(before.get("counters", ()))
+    hists_before = _indexed(before.get("histograms", ()))
+
+    counters: List[Tuple[str, LabelSet, float]] = []
+    for name, ls, value in after.get("counters", ()):
+        before = float(counters_before.get((name, tuple(ls)), 0.0))
+        delta = float(value) - before
+        if delta:
+            counters.append((name, tuple(ls), delta))
+
+    histograms: List[Tuple[str, LabelSet, Dict[str, Any]]] = []
+    for name, ls, hstate in after.get("histograms", ()):
+        prior = hists_before.get((name, tuple(ls)))
+        if prior is None:
+            window = dict(hstate)
+        else:
+            window = {
+                "base": hstate["base"],
+                "buckets": hstate["buckets"],
+                "counts": [
+                    a - b
+                    for a, b in zip(hstate["counts"], prior["counts"])
+                ],
+                "sum": float(hstate["sum"]) - float(prior["sum"]),
+                "count": int(hstate["count"]) - int(prior["count"]),
+                "min": hstate.get("min"),
+                "max": hstate.get("max"),
+            }
+        if window["count"] or any(window["counts"]):
+            histograms.append((name, tuple(ls), window))
+
+    return {
+        "counters": counters,
+        "gauges": list(after.get("gauges", ())),
+        "histograms": histograms,
+        "help": dict(after.get("help", {})),
+    }
 
 
 def _flat_name(name: str, labelset: LabelSet) -> str:

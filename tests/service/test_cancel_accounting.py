@@ -1,0 +1,85 @@
+"""Regression tests: cancelling a *queued* request must be accounted.
+
+A request cancelled while still queued never runs its worker body, so
+none of the per-request bookkeeping in ``_run`` fires.  The original
+code simply dropped it from the stats — ``executed`` drifted below the
+number of submissions.  The fix counts it inside ``cancel()`` itself,
+exactly once.
+"""
+
+import threading
+from concurrent.futures import CancelledError
+
+import pytest
+
+from repro import Engine
+from repro.service import QueryService
+from tests.conftest import TINY_AUCTION
+
+QUERY = (
+    'FOR $p IN document("auction.xml")//person '
+    "WHERE $p//age > 25 RETURN <o>{$p/name/text()}</o>"
+)
+
+
+@pytest.fixture
+def engine():
+    e = Engine()
+    e.load_xml("auction.xml", TINY_AUCTION)
+    return e
+
+
+@pytest.fixture
+def saturated(engine, monkeypatch):
+    """A 1-worker service whose only worker is parked on a gate."""
+    from repro.core.evaluator import evaluate as real_evaluate
+
+    started = threading.Event()
+    gate = threading.Event()
+
+    def gated_evaluate(plan, ctx, tracer=None):
+        started.set()
+        assert gate.wait(timeout=10), "test forgot to open the gate"
+        return real_evaluate(plan, ctx, tracer)
+
+    monkeypatch.setattr("repro.service.service.evaluate", gated_evaluate)
+    with QueryService(engine, threads=1) as svc:
+        blocker = svc.submit(QUERY)
+        assert started.wait(timeout=10)
+        yield svc, blocker, gate
+        gate.set()
+
+
+def test_queue_cancel_is_counted(saturated):
+    svc, blocker, gate = saturated
+    victim = svc.submit(QUERY)  # queued behind the parked worker
+    assert victim.cancel()
+    with pytest.raises(CancelledError):
+        victim.result(timeout=10)
+    stats = svc.stats()
+    assert stats.cancelled == 1
+    assert stats.failed == 1
+    assert stats.executed == 1, "queue-cancelled request left the books"
+    gate.set()
+    blocker.result(timeout=10)
+    stats = svc.stats()
+    assert stats.executed == 2, "executed must equal submissions"
+    assert stats.cancelled == 1
+
+
+def test_double_cancel_counts_once(saturated):
+    svc, _blocker, _gate = saturated
+    victim = svc.submit(QUERY)
+    assert victim.cancel()
+    assert victim.cancel(), "cancelled future keeps reporting cancelled"
+    assert svc.stats().cancelled == 1
+
+
+def test_cancel_after_completion_is_not_counted(engine):
+    with QueryService(engine, threads=1) as svc:
+        handle = svc.submit(QUERY)
+        handle.result(timeout=10)
+        assert not handle.cancel()
+        stats = svc.stats()
+        assert stats.cancelled == 0
+        assert stats.executed == 1

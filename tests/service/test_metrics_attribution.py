@@ -1,0 +1,96 @@
+"""Regression tests: per-request counter deltas must not bleed.
+
+The query log attaches each request's counter delta to its event.  The
+original code measured the window with *global* snapshots, so two
+requests in flight at once attributed each other's work to whichever
+finished first.  The fixed window is thread-local
+(``local_snapshot``/``local_diff``): a request runs wholly on one
+worker thread, so the thread's delta is the request's delta.
+"""
+
+import threading
+
+from repro import Engine
+from repro.service import QueryService
+from repro.service.cache import normalize_query
+from repro.telemetry.querylog import query_hash
+from tests.conftest import TINY_AUCTION
+
+#: Two queries with very different work profiles.
+HEAVY = (
+    'FOR $o IN document("auction.xml")//open_auction, '
+    '$p IN document("auction.xml")//person '
+    "WHERE $o/bidder/personref/@person = $p/@id "
+    "RETURN <w>{$p/name/text()}</w>"
+)
+LIGHT = 'FOR $q IN document("auction.xml")//quantity RETURN $q'
+
+
+def fresh_engine():
+    engine = Engine()
+    engine.load_xml("auction.xml", TINY_AUCTION)
+    return engine
+
+
+def warmed_delta(query):
+    """The delta one request produces alone, on a warm buffer pool."""
+    with QueryService(fresh_engine(), threads=1) as svc:
+        # warm: both queries touch their pages once so the measured run
+        # sees the same resident set the concurrent scenario will
+        svc.execute(HEAVY)
+        svc.execute(LIGHT)
+        svc.execute(query)
+        (event,) = svc.query_log.tail(1)
+    return event.counters
+
+
+def test_concurrent_requests_see_only_their_own_work(monkeypatch):
+    expected = {query: warmed_delta(query) for query in (HEAVY, LIGHT)}
+    # the two profiles genuinely differ, so bleed could not hide
+    assert expected[HEAVY] != expected[LIGHT]
+    assert expected[HEAVY].get("pattern_matches", 0) > 0
+
+    from repro.core.evaluator import evaluate as real_evaluate
+
+    barrier = threading.Barrier(2, timeout=10)
+
+    def overlapping_evaluate(plan, ctx, tracer=None):
+        barrier.wait()
+        return real_evaluate(plan, ctx, tracer)
+
+    with QueryService(fresh_engine(), threads=2) as svc:
+        svc.execute(HEAVY)  # warm the pool as in the serial scenario
+        svc.execute(LIGHT)
+        # force the two measured requests to overlap on the two workers
+        monkeypatch.setattr(
+            "repro.service.service.evaluate", overlapping_evaluate
+        )
+        handles = [svc.submit(HEAVY), svc.submit(LIGHT)]
+        for handle in handles:
+            handle.result(timeout=10)
+        events = svc.query_log.tail(2)
+
+    by_hash = {event.query_hash: event.counters for event in events}
+    assert len(by_hash) == 2
+    for query in (HEAVY, LIGHT):
+        qhash = query_hash(normalize_query(query))
+        assert by_hash[qhash] == expected[query], (
+            f"counter bleed between concurrent requests for {query!r}"
+        )
+
+
+def test_stats_totals_stay_exact_under_concurrency():
+    with QueryService(fresh_engine(), threads=4) as svc:
+        svc.execute_many([HEAVY, LIGHT] * 4)
+        stats = svc.stats()
+        events = svc.query_log.tail(8)
+    # the striped counters are exact: the per-request deltas are fully
+    # contained in the merged totals
+    per_request = {}
+    for event in events:
+        for name, value in event.counters.items():
+            per_request[name] = per_request.get(name, 0) + value
+    for name, value in per_request.items():
+        assert stats.counters[name] >= value
+    assert stats.executed == 8
+    assert stats.failed == 0

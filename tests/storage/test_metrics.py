@@ -1,0 +1,127 @@
+"""Unit tests for the thread-striped Metrics counter bundle."""
+
+import pickle
+import threading
+
+from repro.storage.stats import COUNTER_FIELDS, Metrics
+
+
+def run_threads(count, body):
+    """Run ``body(index)`` on ``count`` threads; join them all."""
+    threads = [
+        threading.Thread(target=body, args=(i,)) for i in range(count)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestStriping:
+    def test_fresh_bundle_is_all_zero(self):
+        metrics = Metrics()
+        assert metrics.snapshot() == dict.fromkeys(COUNTER_FIELDS, 0)
+
+    def test_snapshot_totals_are_exact_across_threads(self):
+        metrics = Metrics()
+        per_thread = 500
+
+        def body(_index):
+            for _ in range(per_thread):
+                metrics.pages_read += 1
+                metrics.structural_joins += 1
+
+        run_threads(8, body)
+        snap = metrics.snapshot()
+        assert snap["pages_read"] == 8 * per_thread
+        assert snap["structural_joins"] == 8 * per_thread
+
+    def test_dead_thread_counts_survive(self):
+        metrics = Metrics()
+
+        def body(_index):
+            metrics.nodes_touched += 7
+
+        run_threads(3, body)
+        # every worker has exited; its cell must still be in the totals
+        assert metrics.snapshot()["nodes_touched"] == 21
+
+    def test_local_window_sees_only_the_calling_thread(self):
+        metrics = Metrics()
+        metrics.pages_read += 2
+        before = metrics.local_snapshot()
+        done = threading.Event()
+
+        def other(_index):
+            metrics.pages_read += 100
+            done.set()
+
+        run_threads(1, other)
+        assert done.is_set()
+        metrics.pages_read += 3
+        delta = metrics.local_diff(before)
+        assert delta["pages_read"] == 3, "other thread bled into the window"
+        assert metrics.snapshot()["pages_read"] == 105
+
+    def test_diff_against_global_snapshot(self):
+        metrics = Metrics()
+        metrics.index_lookups += 1
+        before = metrics.snapshot()
+        run_threads(2, lambda _i: setattr(
+            metrics, "index_lookups", metrics.index_lookups + 5
+        ))
+        assert metrics.diff(before)["index_lookups"] == 10
+
+
+class TestAggregation:
+    def test_merge_lands_in_the_calling_threads_cell(self):
+        metrics = Metrics()
+        before = metrics.local_snapshot()
+        metrics.merge({"pattern_matches": 4, "trees_built": 2})
+        delta = metrics.local_diff(before)
+        assert delta["pattern_matches"] == 4
+        assert delta["trees_built"] == 2
+        assert metrics.snapshot()["pattern_matches"] == 4
+
+    def test_merge_ignores_unknown_keys(self):
+        metrics = Metrics()
+        metrics.merge({"from_a_newer_worker": 9, "pages_read": 1})
+        snap = metrics.snapshot()
+        assert snap["pages_read"] == 1
+        assert "from_a_newer_worker" not in snap
+
+    def test_reset_zeroes_every_threads_cell(self):
+        metrics = Metrics()
+        metrics.pages_read += 5
+        run_threads(2, lambda _i: setattr(
+            metrics, "pages_read", metrics.pages_read + 5
+        ))
+        assert metrics.snapshot()["pages_read"] == 15
+        metrics.reset()
+        assert metrics.snapshot() == dict.fromkeys(COUNTER_FIELDS, 0)
+
+    def test_add_sums_two_bundles(self):
+        a, b = Metrics(), Metrics()
+        a.pages_read += 1
+        b.pages_read += 2
+        b.sort_ops += 3
+        merged = a + b
+        snap = merged.snapshot()
+        assert snap["pages_read"] == 3
+        assert snap["sort_ops"] == 3
+
+
+class TestPickling:
+    def test_round_trip_collapses_to_merged_totals(self):
+        metrics = Metrics()
+        metrics.pages_read += 2
+        run_threads(2, lambda _i: setattr(
+            metrics, "pages_read", metrics.pages_read + 3
+        ))
+        clone = pickle.loads(pickle.dumps(metrics))
+        assert isinstance(clone, Metrics)
+        assert clone.snapshot()["pages_read"] == 8
+        # the clone is an independent bundle
+        clone.pages_read += 1
+        assert metrics.snapshot()["pages_read"] == 8
+        assert clone.snapshot()["pages_read"] == 9
