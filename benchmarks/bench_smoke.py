@@ -1,4 +1,5 @@
-"""CI smoke check for the columnar fast path (guards BENCH_3.json).
+"""CI smoke check for the columnar fast path (guards BENCH_3.json)
+and the batch runtime (guards BENCH_8.json).
 
 Re-runs the before/after fast-path sweep and compares it against the
 committed ``BENCH_3.json`` baseline.  The check fails (exit 1) when
@@ -16,16 +17,29 @@ the threshold absorbs the rest.  Run ``python -m repro bench fastpath
 --factor 0.005 --out BENCH_3.json`` to refresh the baseline after an
 intentional performance change.
 
-With ``--mode process`` a second stage runs after the fast-path gate:
-the full 23-query sweep is executed through the process-pool service
-(``--workers`` workers, ``--start-method`` fork or spawn) and every
-result is compared byte-for-byte against a serial in-process run — the
-equivalence oracle that lets the execution substrate change under the
-queries.  CI runs this stage under both start methods.
+With ``--batch-baseline`` (CI passes ``BENCH_8.json``) a batch-runtime
+stage runs after the fast-path gate: every XMark query executes with
+the batch runtime off and on (both column backends) and must produce
+byte-identical XML, then the fresh before/after batch sweep is gated
+against the committed baseline with the same threshold — failing when
+the pure-Python speedup geomean falls more than the threshold below
+the committed number, when the batch runtime goes net slower than the
+per-tree path, or when it increases any work counter.  Refresh with
+``python -m repro bench fastpath --batch --factor 0.005 --out
+BENCH_8.json``.
+
+With ``--mode process`` a further stage runs: the full 23-query sweep
+is executed through the process-pool service (``--workers`` workers,
+``--start-method`` fork or spawn) and every result is compared
+byte-for-byte against a serial in-process run — the equivalence oracle
+that lets the execution substrate change under the queries.  CI runs
+this stage under both start methods.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_smoke.py --baseline BENCH_3.json
+    PYTHONPATH=src python benchmarks/bench_smoke.py \
+        --batch-baseline BENCH_8.json
     PYTHONPATH=src python benchmarks/bench_smoke.py \
         --mode process --workers 2 --start-method spawn
 """
@@ -38,11 +52,72 @@ import sys
 from pathlib import Path
 
 from repro.bench import (
+    BatchReport,
     FastPathReport,
+    batch_table,
     check_against_baseline,
+    check_batch_against_baseline,
+    compare_batch,
     compare_fastpath,
     fastpath_table,
 )
+
+
+def check_batch(baseline_path: Path, factor: float | None,
+                repeats: int, threshold: float) -> int:
+    """Byte-identity sweep plus the BENCH_8 regression gate; 0 iff OK."""
+    from repro.bench.harness import Harness
+    from repro.columns.arrays import numpy_available, use_numpy
+    from repro.columns.batch import use_batch
+    from repro.xmark.queries import FIGURE15_ORDER, QUERIES
+
+    baseline = BatchReport.from_json(baseline_path.read_text())
+    if factor is None:
+        factor = baseline.factor
+    harness = Harness()
+    engine = harness.engine_for(factor)
+
+    # stage 1: every query, batch off vs on (both backends), identical XML
+    mismatches = []
+    for name in FIGURE15_ORDER:
+        text = QUERIES[name].text
+        with use_batch(False):
+            expected = engine.run(text, "tlc").to_xml()
+        with use_batch(True), use_numpy(False):
+            if engine.run(text, "tlc").to_xml() != expected:
+                mismatches.append(f"{name} (pure)")
+        if numpy_available():
+            with use_batch(True), use_numpy(True):
+                if engine.run(text, "tlc").to_xml() != expected:
+                    mismatches.append(f"{name} (numpy)")
+    if mismatches:
+        print(
+            f"\nFAIL: batch runtime diverged from the per-tree path on "
+            f"{', '.join(mismatches)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"\nOK: batch sweep ({len(FIGURE15_ORDER)} queries, both "
+        "backends) byte-identical to the per-tree path"
+    )
+
+    # stage 2: fresh before/after measurement vs the committed baseline
+    current = compare_batch(factor=factor, repeats=repeats,
+                            harness=harness)
+    print(batch_table(current))
+    findings = check_batch_against_baseline(current, baseline, threshold)
+    if findings:
+        print("\nFAIL: batch-runtime smoke check", file=sys.stderr)
+        for finding in findings:
+            print(f"  - {finding}", file=sys.stderr)
+        return 1
+    print(
+        f"\nOK: batch speedup {current.speedup_geomean('pure'):.2f}x "
+        f"pure (baseline {baseline.speedup_geomean('pure'):.2f}x, "
+        f"threshold -{threshold:.0%})"
+    )
+    return 0
 
 
 def check_process_pool(
@@ -116,6 +191,12 @@ def main(argv=None) -> int:
         "the baseline)",
     )
     parser.add_argument(
+        "--batch-baseline",
+        default=None,
+        help="committed batch-runtime baseline (e.g. BENCH_8.json): "
+        "also run the batch byte-identity sweep and regression gate",
+    )
+    parser.add_argument(
         "--mode",
         choices=("thread", "process"),
         default="thread",
@@ -162,6 +243,19 @@ def main(argv=None) -> int:
         f"(baseline {baseline.normalized_after_geomean():.1f}, "
         f"threshold +{args.threshold:.0%})"
     )
+    if args.batch_baseline:
+        batch_baseline = Path(args.batch_baseline)
+        if not batch_baseline.exists():
+            print(
+                f"error: batch baseline {batch_baseline} not found",
+                file=sys.stderr,
+            )
+            return 1
+        status = check_batch(
+            batch_baseline, args.factor, args.repeats, args.threshold
+        )
+        if status:
+            return status
     if args.mode == "process":
         return check_process_pool(factor, args.workers, args.start_method)
     return 0

@@ -568,12 +568,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
             Path(args.out).write_text(report.to_json())
             print(f"wrote {args.out}", file=sys.stderr)
     elif args.figure == "fastpath":
-        from .bench import compare_fastpath, fastpath_table
+        if getattr(args, "batch", False):
+            from .bench import batch_table, compare_batch
 
-        report = compare_fastpath(
-            factor=args.factor, repeats=args.repeats, harness=harness
-        )
-        print(fastpath_table(report))
+            report = compare_batch(
+                factor=args.factor, repeats=args.repeats, harness=harness
+            )
+            print(batch_table(report))
+        else:
+            from .bench import compare_fastpath, fastpath_table
+
+            report = compare_fastpath(
+                factor=args.factor, repeats=args.repeats, harness=harness
+            )
+            print(fastpath_table(report))
         if args.out:
             Path(args.out).write_text(report.to_json())
             print(f"wrote {args.out}", file=sys.stderr)
@@ -777,6 +785,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true",
         help="per-operator breakdown (Figures 15 and 16): trace every "
         "run and attribute costs to individual operators",
+    )
+    bench.add_argument(
+        "--batch", action="store_true",
+        help="fastpath only: compare the batch runtime against the "
+        "per-tree fast path instead (the BENCH_8 experiment; "
+        "--out e.g. BENCH_8.json)",
     )
     bench.add_argument(
         "--out",

@@ -1,5 +1,12 @@
 """Benchmark harness and paper-style reporting."""
 
+from .batch import (
+    BatchReport,
+    BatchRow,
+    batch_table,
+    check_batch_against_baseline,
+    compare_batch,
+)
 from .fastpath import (
     FastPathReport,
     FastPathRow,
@@ -26,10 +33,15 @@ from .service_bench import (
 )
 
 __all__ = [
+    "BatchReport",
+    "BatchRow",
     "DEFAULT_FACTOR",
     "FIGURE15_ENGINES",
     "FastPathReport",
     "FastPathRow",
+    "batch_table",
+    "check_batch_against_baseline",
+    "compare_batch",
     "Harness",
     "ServiceBenchReport",
     "ServiceBenchRow",

@@ -1,0 +1,44 @@
+"""Columnar batch runtime: batch-at-a-time evaluation over node columns.
+
+The package generalises the PR 3 structural-join fast path (columnar
+:class:`~repro.storage.postings.Postings`) into an operator runtime: a
+:class:`~repro.columns.batch.ColumnBatch` — parallel arrays of node ids,
+interval starts/ends/levels and LC labels — flows between operators, and
+the core operators gain vectorised ``execute_batch`` implementations
+that transform whole columns instead of per-tree ``TreeSequence``
+objects.  Operators without a batch form fall back transparently: the
+evaluator materialises the batch at the boundary (metered as
+``batch_fallbacks``) and runs the per-tree ``execute``.
+
+:mod:`repro.columns.arrays` is the array backend: compact
+``array('l')`` columns by default, numpy when enabled (DESIGN permits
+numpy; behaviour is identical with numpy absent).
+"""
+
+from .arrays import (
+    int_column,
+    numpy_available,
+    numpy_enabled,
+    set_numpy,
+    use_numpy,
+)
+from .batch import (
+    ColumnBatch,
+    as_tree_sequence,
+    batch_enabled,
+    set_batch,
+    use_batch,
+)
+
+__all__ = [
+    "ColumnBatch",
+    "as_tree_sequence",
+    "batch_enabled",
+    "set_batch",
+    "use_batch",
+    "int_column",
+    "numpy_available",
+    "numpy_enabled",
+    "set_numpy",
+    "use_numpy",
+]

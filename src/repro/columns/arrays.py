@@ -1,0 +1,160 @@
+"""Array backend for the columnar runtime: ``array('l')`` or numpy.
+
+Every integer column of the batch runtime — interval ends, tree levels,
+parent offsets, LC labels — is built through :func:`int_column`, which
+returns either a compact C-typed ``array('l')`` (the pure-Python
+default) or a numpy ``int64`` array when numpy acceleration is enabled.
+Both containers support the operations the kernels use (indexing,
+slicing, iteration, ``len``) with identical *values*, so flipping the
+flag never changes results, only the constant factor.
+
+The flag has three layers:
+
+* **availability** — numpy importable at all (:func:`numpy_available`);
+  the container may not ship it, and nothing here requires it;
+* **enablement** — the runtime switch (:func:`numpy_enabled`), seeded
+  from the ``REPRO_BATCH_NUMPY`` environment variable (default: on when
+  available) and togglable per process via :func:`set_numpy` or the
+  :func:`use_numpy` context manager (how the equivalence sweep pins the
+  pure-Python configuration);
+* **per-call fallback** — code that received a column from *either*
+  backend must treat it generically; helpers here do.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence
+
+try:  # pragma: no cover - exercised via the numpy-off CI job
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - numpy baked into the image
+    _numpy = None
+
+
+def numpy_available() -> bool:
+    """Whether numpy is importable in this process."""
+    return _numpy is not None
+
+
+def _env_default() -> bool:
+    value = os.environ.get("REPRO_BATCH_NUMPY", "").strip().lower()
+    if value in ("0", "false", "no", "off"):
+        return False
+    if value in ("1", "true", "yes", "on"):
+        return True
+    return True  # default: use numpy when the image ships it
+
+
+#: Module switch between numpy and pure-Python array columns.
+_NUMPY = _env_default() and numpy_available()
+
+
+def numpy_enabled() -> bool:
+    """Whether integer columns are built as numpy arrays."""
+    return _NUMPY
+
+
+def set_numpy(enabled: bool) -> bool:
+    """Switch numpy columns on or off; returns the previous setting.
+
+    Enabling without numpy installed raises ``RuntimeError`` rather than
+    silently running the fallback — the caller asked for acceleration.
+    """
+    global _NUMPY
+    if enabled and not numpy_available():
+        raise RuntimeError("numpy acceleration requested but numpy "
+                           "is not importable")
+    previous = _NUMPY
+    _NUMPY = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_numpy(enabled: bool = True) -> Iterator[None]:
+    """Scoped :func:`set_numpy` (for the on/off equivalence sweeps)."""
+    previous = set_numpy(enabled)
+    try:
+        yield
+    finally:
+        set_numpy(previous)
+
+
+def int_column(values: Sequence[int] = ()):
+    """A compact integer column: ``array('l')`` or ``numpy.int64``.
+
+    The two containers agree on every value-level operation the batch
+    kernels perform; only the memory layout and the constant factor of
+    bulk operations differ.
+    """
+    if _NUMPY:
+        return _numpy.array(values, dtype=_numpy.int64)
+    return array("l", values)
+
+
+def take(column, positions: Sequence[int]):
+    """``column[positions]`` for either backend (new column)."""
+    if _NUMPY and isinstance(column, _numpy.ndarray):
+        return column[_numpy.asarray(positions, dtype=_numpy.int64)]
+    return array("l", [column[i] for i in positions])
+
+
+def tolist(column) -> List[int]:
+    """The column's values as a plain list of Python ints."""
+    if _numpy is not None and isinstance(column, _numpy.ndarray):
+        return column.tolist()
+    return list(column)
+
+
+def positions_where_equal(column, value: int) -> List[int]:
+    """Indexes ``i`` with ``column[i] == value``, ascending.
+
+    The one-column selection every batch kernel starts from (rows of one
+    logical class, postings of one level).  Vectorised under numpy.
+    """
+    if _numpy is not None and isinstance(column, _numpy.ndarray):
+        return _numpy.nonzero(column == value)[0].tolist()
+    return [i for i, item in enumerate(column) if item == value]
+
+
+def shift_column(column, delta: int):
+    """A new column with ``delta`` added to every entry (numpy-aware)."""
+    if delta == 0:
+        return column
+    if _numpy is not None and isinstance(column, _numpy.ndarray):
+        return column + delta
+    return array("l", [item + delta for item in column])
+
+
+def concat_columns(columns) -> object:
+    """Concatenate integer columns (any mix of backends) into one.
+
+    The result uses the *currently enabled* backend, so batches built
+    from cached inputs stay consistent with the active configuration.
+    """
+    merged: List[int] = []
+    for column in columns:
+        merged.extend(tolist(column))
+    return int_column(merged)
+
+
+def backend_name() -> str:
+    """Human-readable backend label for benches and telemetry."""
+    return "numpy" if _NUMPY else "array"
+
+
+__all__ = [
+    "backend_name",
+    "concat_columns",
+    "int_column",
+    "numpy_available",
+    "numpy_enabled",
+    "positions_where_equal",
+    "set_numpy",
+    "shift_column",
+    "take",
+    "tolist",
+    "use_numpy",
+]

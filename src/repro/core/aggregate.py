@@ -16,9 +16,10 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..columns.batch import ColumnBatch
 from ..errors import AlgebraError
 from ..model.sequence import TreeSequence
-from ..model.tree import TNode, XTree
+from ..model.tree import TNode
 from ..model.value import coerce_number
 from .base import Context, Operator
 
@@ -47,11 +48,15 @@ class AggregateOp(Operator):
 
     # ------------------------------------------------------------------
     def _compute(self, nodes: List[TNode]) -> Optional[object]:
+        return self._fold(len(nodes), (n.value for n in nodes))
+
+    def _fold(self, count: int, contents) -> Optional[object]:
+        """The aggregate itself, over node count and node contents."""
         if self.fname == "count":
-            return len(nodes)
+            return count
         values = [
             number
-            for number in (coerce_number(n.value) for n in nodes)
+            for number in (coerce_number(value) for value in contents)
             if number is not None
         ]
         if not values:
@@ -81,6 +86,69 @@ class AggregateOp(Operator):
             host.add_child(result)
             copy.invalidate()
             out.append(copy)
+        return out
+
+    def execute_batch(self, ctx: Context, inputs: list):
+        """Columnar form: the aggregate node splices into the row slice.
+
+        Per row the class values fold straight off the value column and
+        the result node — tag ``fname``, fresh class label, no stored
+        id — is inserted at the end of the host's subtree slice, which
+        is exactly "as a sibling of the class nodes" (the per-tree path
+        appends it as the host's last child).
+        """
+        source = inputs[0]
+        if not isinstance(source, ColumnBatch) or not self.new_lcl:
+            return super().execute_batch(ctx, inputs)
+        src_offsets = source.offsets
+        src_tags, src_values = source.tags, source.values
+        src_nids, src_labels = source.nids, source.labels
+        src_parents = source.parents
+        offsets = [0]
+        tags: List[str] = []
+        values: list = []
+        nids: list = []
+        labels: List[int] = []
+        parents: List[int] = []
+        for row in range(len(source)):
+            start, end = src_offsets[row], src_offsets[row + 1]
+            positions = [
+                j for j in range(start, end) if src_labels[j] == self.lcl
+            ]
+            result = self._fold(
+                len(positions), (src_values[j] for j in positions)
+            )
+            if positions:
+                first_parent = src_parents[positions[0]]
+                host = first_parent if first_parent >= 0 else 0
+            else:
+                host = 0
+            if host == 0:
+                insert = end - start
+            else:
+                insert = source._subtree_end(start + host) - start
+            tags.extend(src_tags[start:start + insert])
+            values.extend(src_values[start:start + insert])
+            nids.extend(src_nids[start:start + insert])
+            labels.extend(src_labels[start:start + insert])
+            parents.extend(src_parents[start:start + insert])
+            tags.append(self.fname)
+            values.append(result)
+            nids.append(None)
+            labels.append(self.new_lcl)
+            parents.append(host)
+            tags.extend(src_tags[start + insert:end])
+            values.extend(src_values[start + insert:end])
+            nids.extend(src_nids[start + insert:end])
+            labels.extend(src_labels[start + insert:end])
+            for j in range(start + insert, end):
+                parent = src_parents[j]
+                parents.append(parent + 1 if parent >= insert else parent)
+            offsets.append(len(tags))
+        out = ColumnBatch.from_lists(
+            offsets, tags, values, nids, labels, parents
+        )
+        self.note_batch(ctx, out)
         return out
 
     def lc_produced(self):

@@ -13,6 +13,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Union
 
+from ..columns.batch import as_tree_sequence
 from ..model.sequence import TreeSequence
 from ..model.tree import TNode, XTree
 from ..model.value import Atomic, compare
@@ -77,6 +78,30 @@ class Operator(ABC):
         self, ctx: Context, inputs: List[TreeSequence]
     ) -> TreeSequence:
         """Produce this operator's output from already-evaluated inputs."""
+
+    def execute_batch(self, ctx: Context, inputs: list):
+        """Batch-at-a-time execution: inputs and output may be
+        :class:`~repro.columns.batch.ColumnBatch` objects.
+
+        The base implementation is the **fallback boundary**: it
+        materialises any batch inputs into trees (metered as
+        ``batch_fallbacks``) and delegates to the per-tree
+        :meth:`execute`.  Operators with a vectorised form override this
+        and call :meth:`note_batch` on the batches they emit.
+        """
+        return self.execute(
+            ctx,
+            [
+                as_tree_sequence(item, ctx.metrics, fallback=True)
+                for item in inputs
+            ],
+        )
+
+    def note_batch(self, ctx: Context, result) -> None:
+        """Meter one batch-form execution (``batch_ops``/``batch_rows``)."""
+        metrics = ctx.metrics
+        metrics.batch_ops += 1
+        metrics.batch_rows += len(result)
 
     def lc_produced(self) -> Set[int]:
         """Logical class labels this operator introduces into its output.

@@ -26,8 +26,9 @@ the outer projection").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import List, Tuple, Union
 
+from ..columns.batch import ColumnBatch
 from ..model.node_id import NodeId
 from ..model.sequence import TreeSequence
 from ..model.tree import TNode, XTree
@@ -138,6 +139,108 @@ class ConstructOp(Operator):
                 out.append(XTree(self._build_element(ctx, self.ctree, tree)))
                 ctx.metrics.trees_built += 1
         return out
+
+    def execute_batch(self, ctx: Context, inputs: list):
+        """Batch input form: constructed trees read straight off columns.
+
+        Construct emits fresh trees either way (its output is new
+        content, not a selection of input rows), so the result is a
+        ``TreeSequence`` — but a columnar input never materialises:
+        spliced stored subtrees fetch through the buffer pool exactly
+        as the per-tree path does, class text reads off the value
+        column, and only content without a stored id (nested construct
+        output) builds nodes from its column slice.
+        """
+        source = inputs[0]
+        if not isinstance(source, ColumnBatch):
+            return self.execute(ctx, inputs)
+        out = TreeSequence()
+        for row in range(len(source)):
+            if isinstance(self.ctree, CClassRef):
+                spliced_nodes = self._splice_columns(
+                    ctx, source, row, self.ctree
+                )
+                for spliced in spliced_nodes:
+                    if self.ctree.text_only:
+                        out.append(XTree(TNode("text", spliced)))
+                    else:
+                        out.append(XTree(spliced))
+                    ctx.metrics.trees_built += 1
+            else:
+                out.append(
+                    XTree(
+                        self._build_element_columns(
+                            ctx, self.ctree, source, row
+                        )
+                    )
+                )
+                ctx.metrics.trees_built += 1
+        self.note_batch(ctx, out)
+        return out
+
+    # ------------------------------------------------------------------
+    def _build_element_columns(
+        self, ctx: Context, spec: CElement, source: ColumnBatch, row: int
+    ) -> TNode:
+        """The columnar twin of :meth:`_build_element`."""
+        element = TNode(spec.tag)
+        if spec.lcl:
+            element.lcls.add(spec.lcl)
+        for attr_name, attr_value in spec.attrs:
+            if isinstance(attr_value, CClassRef):
+                texts = source.class_values(row, attr_value.lcl)
+                value = (
+                    "" if not texts or texts[0] is None else str(texts[0])
+                )
+            else:
+                value = attr_value
+            element.add_child(TNode("@" + attr_name, value))
+        for child in spec.children:
+            if isinstance(child, CElement):
+                element.add_child(
+                    self._build_element_columns(ctx, child, source, row)
+                )
+            elif isinstance(child, CText):
+                element.value = (
+                    child.text
+                    if element.value is None
+                    else f"{element.value}{child.text}"
+                )
+            else:
+                for spliced in self._splice_columns(
+                    ctx, source, row, child
+                ):
+                    if child.text_only:
+                        element.value = (
+                            spliced
+                            if element.value is None
+                            else f"{element.value} {spliced}"
+                        )
+                    else:
+                        element.add_child(spliced)
+        return element
+
+    def _splice_columns(
+        self, ctx: Context, source: ColumnBatch, row: int, ref: CClassRef
+    ):
+        """Yield the spliced content for one class reference, columnar."""
+        values, nids, labels = source.values, source.nids, source.labels
+        for position in source.class_positions(row, ref.lcl):
+            if ref.text_only:
+                value = values[position]
+                if value is not None:
+                    yield str(value)
+                continue
+            nid = nids[position]
+            if isinstance(nid, NodeId):
+                copy = ctx.db.subtree(nid, {int(labels[position])})
+            else:
+                # constructed content: rebuild its slice (batch rows are
+                # immutable, so the fresh nodes are private by nature)
+                copy = source.subtree_node(position)
+            if ref.hidden:
+                copy.shadowed = True
+            yield copy
 
     # ------------------------------------------------------------------
     def _build_element(

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from ..columns.batch import ColumnBatch
 from ..errors import CardinalityError
 from ..model.sequence import TreeSequence
 from .base import Context, Operator
@@ -59,6 +60,42 @@ class DedupOp(Operator):
             if key not in seen:
                 seen.add(key)
                 out.append(tree)
+        return out
+
+    def execute_batch(self, ctx: Context, inputs: list):
+        """Batch form: key columns read off the rows, trees never built.
+
+        Id keys are the key class's node id; content keys recurse over
+        the row's subtree slice (``canonical_node``), matching
+        ``TNode.canonical`` exactly.
+        """
+        source = inputs[0]
+        if not isinstance(source, ColumnBatch):
+            return self.execute(ctx, inputs)
+        seen = set()
+        keep_rows = []
+        nids = source.nids
+        for row in range(len(source)):
+            key_parts = []
+            for lcl in self.lcls:
+                basis = self.bases.get(lcl, self.by)
+                positions = source.class_positions(row, lcl)
+                if len(positions) > 1:
+                    raise CardinalityError(lcl, len(positions), self.name)
+                if not positions:
+                    key_parts.append(None)
+                elif basis == "id":
+                    key_parts.append(nids[positions[0]])
+                else:
+                    key_parts.append(
+                        source.canonical_node(positions[0], by_content=True)
+                    )
+            key = tuple(key_parts)
+            if key not in seen:
+                seen.add(key)
+                keep_rows.append(row)
+        out = source.select_rows(keep_rows)
+        self.note_batch(ctx, out)
         return out
 
     def lc_consumed(self):

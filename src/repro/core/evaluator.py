@@ -23,7 +23,9 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from ..columns.batch import as_tree_sequence, batch_enabled
 from ..model.sequence import TreeSequence
+from ..physical.structural_join import fast_path_enabled
 from ..storage.database import Database
 from ..telemetry import hooks as telemetry
 from .base import Context, Operator
@@ -63,6 +65,10 @@ def evaluate(
     # per-operator loop, only the whole-plan boundary
     telemetry_on = telemetry.enabled()
     walk_started = time.perf_counter() if telemetry_on else 0.0
+    # batch-at-a-time evaluation rides on the fast path (extension
+    # splicing reuses its anchored-variant machinery), so both switches
+    # must be on; the choice is pinned once per walk
+    batch = batch_enabled() and fast_path_enabled()
     try:
         if tracer is None:
             while stack:
@@ -74,7 +80,10 @@ def evaluate(
                     inputs = [memo[id(child)] for child in op.inputs]
                     if limits is not None:
                         limits.check(op.name)
-                    result = op.execute(ctx, inputs)
+                    if batch:
+                        result = op.execute_batch(ctx, inputs)
+                    else:
+                        result = op.execute(ctx, inputs)
                     if limits is not None:
                         limits.check_output(op.name, len(result))
                     memo[key] = result
@@ -95,7 +104,10 @@ def evaluate(
                         limits.check(op.name)
                     before = tracer.counters_before()
                     started = time.perf_counter()
-                    result = op.execute(ctx, inputs)
+                    if batch:
+                        result = op.execute_batch(ctx, inputs)
+                    else:
+                        result = op.execute(ctx, inputs)
                     elapsed = time.perf_counter() - started
                     tracer.record(op, inputs, result, elapsed, before)
                     if limits is not None:
@@ -108,7 +120,9 @@ def evaluate(
     finally:
         if cache is not None:
             cache.end_query()
-    result = memo[id(plan)]
+    # the plan's consumer expects trees; the final conversion is the
+    # inherent boundary of the batch runtime, not a fallback
+    result = as_tree_sequence(memo[id(plan)], ctx.metrics)
     if telemetry_on:
         telemetry.instrument("evaluator.run")
         telemetry.instrument(

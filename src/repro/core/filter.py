@@ -17,8 +17,10 @@ from __future__ import annotations
 
 from typing import List
 
+from ..columns.batch import ColumnBatch
 from ..errors import AlgebraError
 from ..model.sequence import TreeSequence
+from ..model.value import compare
 from .base import ClassPredicate, Context, Operator
 
 #: Supported iteration modes.
@@ -60,6 +62,37 @@ class FilterOp(Operator):
                 keep = bool(ordered) and self.predicate.test(ordered[0])
             if keep:
                 out.append(tree)
+        return out
+
+    def execute_batch(self, ctx: Context, inputs: list):
+        """Batch form: test the class's value column, keep rows by index."""
+        source = inputs[0]
+        if not isinstance(source, ColumnBatch):
+            return self.execute(ctx, inputs)
+        predicate = self.predicate
+        lcl, op, rhs = predicate.lcl, predicate.op, predicate.value
+        mode = self.mode
+        values, nids = source.values, source.nids
+        keep_rows = []
+        for row in range(len(source)):
+            positions = source.class_positions(row, lcl)
+            if mode == "FIRST":
+                ordered = sorted(positions, key=lambda p: nids[p].order_key)
+                keep = bool(ordered) and compare(values[ordered[0]], op, rhs)
+            else:
+                hits = sum(
+                    1 for p in positions if compare(values[p], op, rhs)
+                )
+                if mode == "E":
+                    keep = hits == len(positions)
+                elif mode == "ALO":
+                    keep = hits >= 1
+                else:  # EX
+                    keep = hits == 1
+            if keep:
+                keep_rows.append(row)
+        out = source.select_rows(keep_rows)
+        self.note_batch(ctx, out)
         return out
 
     def lc_consumed(self):
@@ -104,6 +137,44 @@ class TreeFilterOp(Operator):
         for tree in inputs[0]:
             if self.predicate(tree):
                 out.append(tree)
+        return out
+
+    def execute_batch(self, ctx: Context, inputs: list):
+        """Batch form for the two declared predicate shapes.
+
+        :class:`CrossClassPredicate` and :class:`DisjunctivePredicate`
+        read only class values, so they evaluate straight off the
+        columns; a genuinely opaque callable needs real trees and takes
+        the materialising fallback.
+        """
+        source = inputs[0]
+        if not isinstance(source, ColumnBatch):
+            return self.execute(ctx, inputs)
+        predicate = self.predicate
+        keep_rows = []
+        if isinstance(predicate, CrossClassPredicate):
+            op = predicate.op
+            for row in range(len(source)):
+                lefts = source.class_values(row, predicate.left_lcl)
+                rights = source.class_values(row, predicate.right_lcl)
+                if any(
+                    compare(left, op, right)
+                    for left in lefts
+                    for right in rights
+                ):
+                    keep_rows.append(row)
+        elif isinstance(predicate, DisjunctivePredicate):
+            for row in range(len(source)):
+                if any(
+                    compare(value, pred.op, pred.value)
+                    for pred in predicate.predicates
+                    for value in source.class_values(row, pred.lcl)
+                ):
+                    keep_rows.append(row)
+        else:
+            return super().execute_batch(ctx, inputs)
+        out = source.select_rows(keep_rows)
+        self.note_batch(ctx, out)
         return out
 
     def params(self) -> str:

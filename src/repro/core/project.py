@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from ..columns.batch import ColumnBatch
 from ..model.node_id import NodeId
 from ..model.sequence import TreeSequence
 from ..model.tree import TNode, XTree
@@ -126,6 +127,116 @@ class ProjectOp(Operator):
             else:
                 collected.extend(self._descend(ctx, child, keep))
         return collected
+
+    def execute_batch(self, ctx: Context, inputs: list):
+        """Batch form: retention runs on the columns, rows stay columnar.
+
+        The per-tree rules replicate exactly — a retained node hangs
+        under its closest retained ancestor, a non-tree output keeps the
+        input root as connector, a retained constructed node keeps its
+        whole subtree slice.  ``with_subtrees`` (TAX early
+        materialization) fetches stored subtrees and needs real trees,
+        so it takes the materialising fallback.
+        """
+        source = inputs[0]
+        if not isinstance(source, ColumnBatch):
+            return self.execute(ctx, inputs)
+        if self.with_subtrees:
+            return super().execute_batch(ctx, inputs)
+        keep = set(self.keep_lcls)
+        src_tags, src_values = source.tags, source.values
+        src_nids, src_labels = source.nids, source.labels
+        src_parents, src_offsets = source.parents, source.offsets
+        offsets = [0]
+        tags: List[str] = []
+        values: list = []
+        nids: list = []
+        labels: List[int] = []
+        parents: List[int] = []
+        for row in range(len(source)):
+            start, end = src_offsets[row], src_offsets[row + 1]
+            n = end - start
+            children: List[List[int]] = [[] for _ in range(n)]
+            for j in range(1, n):
+                children[src_parents[start + j]].append(j)
+            row_base = len(tags)
+
+            def emit_verbatim(j: int, parent_rel: int) -> None:
+                """Copy node ``j``'s whole subtree slice (constructed
+                content is atomic for projection)."""
+                shift = (len(tags) - row_base) - j
+                span_end = j + 1
+                stack = [j]
+                while stack:
+                    node = stack.pop()
+                    span_end = max(span_end, node + 1)
+                    stack.extend(children[node])
+                for k in range(j, span_end):
+                    tags.append(src_tags[start + k])
+                    values.append(src_values[start + k])
+                    nids.append(src_nids[start + k])
+                    labels.append(src_labels[start + k])
+                    parents.append(
+                        parent_rel if k == j
+                        else src_parents[start + k] + shift
+                    )
+
+            def emit(j: int, parent_rel: int) -> None:
+                """Copy retained node ``j``, continuing the scan below."""
+                nid = src_nids[start + j]
+                if not isinstance(nid, NodeId) and \
+                        src_tags[start + j] != "join_root":
+                    emit_verbatim(j, parent_rel)
+                    return
+                rel = len(tags) - row_base
+                tags.append(src_tags[start + j])
+                values.append(src_values[start + j])
+                nids.append(nid)
+                labels.append(src_labels[start + j])
+                parents.append(parent_rel)
+                for child in children[j]:
+                    if src_labels[start + child] in keep:
+                        emit(child, rel)
+                    else:
+                        descend(child, rel)
+
+            def descend(j: int, parent_rel: int) -> None:
+                for child in children[j]:
+                    if src_labels[start + child] in keep:
+                        emit(child, parent_rel)
+                    else:
+                        descend(child, parent_rel)
+
+            if src_labels[start] in keep:
+                emit(0, -1)
+            else:
+                top: List[int] = []
+
+                def find_top(j: int) -> None:
+                    for child in children[j]:
+                        if src_labels[start + child] in keep:
+                            top.append(child)
+                        else:
+                            find_top(child)
+
+                find_top(0)
+                if len(top) == 1:
+                    emit(top[0], -1)
+                else:
+                    # not a tree: retain the input root as the connector
+                    tags.append(src_tags[start])
+                    values.append(src_values[start])
+                    nids.append(src_nids[start])
+                    labels.append(src_labels[start])
+                    parents.append(-1)
+                    for j in top:
+                        emit(j, 0)
+            offsets.append(len(tags))
+        out = ColumnBatch.from_lists(
+            offsets, tags, values, nids, labels, parents
+        )
+        self.note_batch(ctx, out)
+        return out
 
     def lc_consumed(self):
         return set(self.keep_lcls)

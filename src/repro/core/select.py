@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import List
 
+from ..columns.batch import ColumnBatch, as_tree_sequence
 from ..errors import AlgebraError
 from ..model.sequence import TreeSequence
 from ..patterns.apt import APT
@@ -49,6 +50,39 @@ class SelectOp(Operator):
         for tree in inputs[0]:
             out.extend(match_in_tree(self.apt, tree))
         return out
+
+    def execute_batch(self, ctx: Context, inputs: list):
+        """Batch form: emit witness columns instead of witness trees.
+
+        Leaf Selects flatten match variants straight into a
+        :class:`~repro.columns.batch.ColumnBatch`; extension Selects
+        splice branch segments into input rows.  Each mode keeps a
+        per-tree escape hatch (holistic matching, temporary anchors,
+        in-memory matching) through the base fallback semantics.
+        """
+        if self.apt.root.lc_ref is not None:
+            if not inputs:
+                raise AlgebraError("extension Select needs an input")
+            source = inputs[0]
+            if isinstance(source, ColumnBatch):
+                out = ctx.matcher.extend_batch(self.apt, source)
+                if out is not None:
+                    self.note_batch(ctx, out)
+                    return out
+                source = as_tree_sequence(source, ctx.metrics, fallback=True)
+            return ctx.matcher.extend(self.apt, source)
+        if not inputs:
+            if self.apt.doc is None:
+                raise AlgebraError("leaf Select needs a bound document")
+            out = ctx.matcher.match_batch(self.apt)
+            if out is not None:
+                self.note_batch(ctx, out)
+                return out
+            return ctx.matcher.match(self.apt)
+        # in-memory matching walks real trees
+        return self.execute(
+            ctx, [as_tree_sequence(inputs[0], ctx.metrics, fallback=True)]
+        )
 
     def lc_produced(self):
         return {lcl for lcl in self.apt.lcls() if lcl}

@@ -9,7 +9,9 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from ..columns.batch import ColumnBatch
 from ..model.sequence import TreeSequence
+from ..model.value import sort_key
 from ..physical.sort import sort_trees
 from .base import Context, Operator
 
@@ -45,6 +47,30 @@ class SortOp(Operator):
             descending=self.descending,
             metrics=ctx.metrics,
         )
+
+    def execute_batch(self, ctx: Context, inputs: list):
+        """Batch form: sort row indexes by key-class value columns."""
+        source = inputs[0]
+        if not isinstance(source, ColumnBatch):
+            return self.execute(ctx, inputs)
+        ctx.metrics.sort_ops += 1
+        values = source.values
+
+        def composite(row: int) -> tuple:
+            parts = []
+            for lcl in self.lcls:
+                positions = source.class_positions(row, lcl)
+                parts.append(
+                    sort_key(values[positions[0]] if positions else None)
+                )
+            return tuple(parts)
+
+        order = sorted(
+            range(len(source)), key=composite, reverse=self.descending
+        )
+        out = source.select_rows(order)
+        self.note_batch(ctx, out)
+        return out
 
     def lc_consumed(self):
         return set(self.lcls)

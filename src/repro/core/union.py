@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ..columns.batch import ColumnBatch
 from ..model.sequence import TreeSequence
 from .base import Context, Operator
 
@@ -43,6 +44,33 @@ class UnionOp(Operator):
             if key not in seen:
                 seen.add(key)
                 out.append(tree)
+        return out
+
+    def execute_batch(self, ctx: Context, inputs: list):
+        """Batch form: concatenate rows, sort by root id, drop repeats.
+
+        Runs only when *every* input arrived columnar; a mixed set of
+        representations takes the materialising fallback (converting
+        trees *into* columns would rebuild information the per-tree
+        path already has).
+        """
+        if not all(isinstance(item, ColumnBatch) for item in inputs):
+            return super().execute_batch(ctx, inputs)
+        merged = ColumnBatch.concat(inputs)
+        order = sorted(range(len(merged)), key=merged.row_order_key)
+        if self.dedup_lcl is not None:
+            seen = set()
+            deduped = []
+            nids = merged.nids
+            for row in order:
+                positions = merged.class_positions(row, self.dedup_lcl)
+                key = nids[positions[0]] if positions else None
+                if key not in seen:
+                    seen.add(key)
+                    deduped.append(row)
+            order = deduped
+        out = merged.select_rows(order)
+        self.note_batch(ctx, out)
         return out
 
     def lc_consumed(self):

@@ -21,6 +21,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..columns.batch import ColumnBatch
 from ..errors import PatternError
 from ..model.node_id import NodeId, TempId
 from ..model.sequence import TreeSequence
@@ -206,7 +207,49 @@ class PatternMatcher:
         self._note_match(out)
         return out
 
-    def _note_match(self, out: TreeSequence) -> None:
+    def match_batch(self, apt: APT) -> Optional[ColumnBatch]:
+        """Columnar :meth:`match`: witness rows, no tree objects built.
+
+        Match variants flatten straight into a
+        :class:`~repro.columns.batch.ColumnBatch` — the ``_build`` walk
+        and its per-node ``TNode`` construction are skipped entirely;
+        downstream batch operators (or the eventual materialisation
+        boundary) decide if trees are ever needed.  Returns ``None``
+        when the pattern takes the holistic (TwigStack) route, which
+        stays per-tree; the caller falls back to :meth:`match`.
+        """
+        if apt.doc is None:
+            raise PatternError("document-rooted match needs apt.doc")
+        if apt.root.lc_ref is not None:
+            raise PatternError("use extend() for class-referencing patterns")
+        apt.validate()
+        if self.strategy == "holistic" and _holistic_eligible(apt.root):
+            return None
+        self.db.metrics.pattern_matches += 1
+        memo: Dict[int, List[_MTree]] = {}
+        matches = self._match_node_db(apt.root, apt.doc, memo)
+        offsets = [0]
+        tags: List[str] = []
+        values: list = []
+        nids: list = []
+        labels: List[int] = []
+        parents: List[int] = []
+        limits = self.limits
+        for mtree in matches:
+            if limits is not None:
+                limits.tick()
+            _flatten_variant(
+                mtree, apt.root, tags, values, nids, labels, parents,
+                len(tags), -1,
+            )
+            offsets.append(len(tags))
+        out = ColumnBatch.from_lists(
+            offsets, tags, values, nids, labels, parents
+        )
+        self._note_match(out)
+        return out
+
+    def _note_match(self, out) -> None:
         """Telemetry boundary of one match/extend call (witness count)."""
         if telemetry.enabled():
             telemetry.instrument("matcher.match")
@@ -429,6 +472,194 @@ class PatternMatcher:
                     )
                 )
                 self.db.metrics.trees_built += 1
+        return out
+
+    def extend_batch(
+        self, apt: APT, batch: ColumnBatch
+    ) -> Optional[ColumnBatch]:
+        """Columnar :meth:`extend`: splice matched branches into rows.
+
+        The anchored-variant machinery of the fast path runs unchanged
+        (one structural join per edge across all distinct anchors); what
+        changes is the output assembly.  Instead of grafting copies of
+        witness *trees*, each match variant's branches flatten once into
+        a column *segment* (memoised by variant identity), and every
+        output row is the input row with each anchor's segment spliced
+        in at the end of the anchor's subtree slice — pre-order stays
+        pre-order, and parents are row-relative so only the splice
+        points need arithmetic.
+
+        Returns ``None`` when any anchor is a temporary node (in-memory
+        matching marks existing nodes, which needs real trees); the
+        caller materialises and falls back to :meth:`extend`.
+        """
+        root = apt.root
+        if root.lc_ref is None:
+            raise PatternError("extension pattern must reference a class")
+        apt.validate()
+        edges = root.edges
+        lc_ref = root.lc_ref
+        mandatory = any(e.mspec in ("-", "+") for e in edges)
+        check_content = bool(root.test.comparisons)
+        src_tags, src_values = batch.tags, batch.values
+        src_nids, src_labels = batch.nids, batch.labels
+        src_parents, src_offsets = batch.parents, batch.offsets
+        #: anchor positions per row; None marks an anchor-less row and
+        #: False a row dropped by the root content test (mirrors
+        #: ``entries`` of :meth:`_extend_fast`)
+        entries: List[object] = []
+        db_anchors: Dict[NodeId, _MTree] = {}
+        for row in range(len(batch)):
+            positions = batch.class_positions(row, lc_ref)
+            if not positions:
+                entries.append(None)
+                continue
+            if check_content and not all(
+                root.test.matches_content(src_values[p]) for p in positions
+            ):
+                entries.append(False)
+                continue
+            entries.append(positions)
+            for p in positions:
+                nid = src_nids[p]
+                if not isinstance(nid, NodeId):
+                    # temporary anchor: in-memory matching needs trees
+                    return None
+                db_anchors.setdefault(
+                    nid, _MTree(nid, src_tags[p], src_values[p])
+                )
+        self.db.metrics.pattern_matches += 1
+        variants_by_nid = (
+            self._batch_anchor_variants(db_anchors, edges)
+            if db_anchors
+            else {}
+        )
+        #: flattened branch segments, memoised by variant identity —
+        #: the columnar counterpart of the graft's built-subtree cache
+        segments: Dict[int, tuple] = {}
+        offsets = [0]
+        tags: List[str] = []
+        values: list = []
+        nids: list = []
+        labels: List[int] = []
+        parents: List[int] = []
+        limits = self.limits
+        for row, positions in enumerate(entries):
+            if limits is not None:
+                limits.tick()
+            start, end = src_offsets[row], src_offsets[row + 1]
+            if positions is None:
+                if not mandatory:
+                    tags.extend(src_tags[start:end])
+                    values.extend(src_values[start:end])
+                    nids.extend(src_nids[start:end])
+                    for j in range(start, end):
+                        labels.append(src_labels[j])
+                        parents.append(src_parents[j])
+                    offsets.append(len(tags))
+                continue
+            if positions is False:
+                continue
+            per_anchor = []
+            dead = False
+            for p in positions:
+                variants = variants_by_nid[src_nids[p]]
+                if not variants:
+                    dead = True
+                    break
+                per_anchor.append(
+                    [
+                        _segment_for(variant, edges, segments)
+                        for variant in variants
+                    ]
+                )
+            if dead:
+                continue
+            n = end - start
+            # end of each node's subtree, row-relative: every node
+            # extends the span of its whole ancestor chain
+            subtree_ends = [0] * n
+            for j in range(n):
+                subtree_ends[j] = j + 1
+                parent = src_parents[start + j]
+                while parent >= 0:
+                    subtree_ends[parent] = j + 1
+                    parent = src_parents[start + parent]
+            anchor_rels = [p - start for p in positions]
+            base_parents = list(src_parents[start:end])
+            for combo in itertools.product(*per_anchor):
+                # splice points: the end of each anchor's subtree; on
+                # ties the deeper anchor's branches come first (its
+                # subtree closes inside the shallower one's)
+                inserts = sorted(
+                    zip(
+                        (subtree_ends[a] for a in anchor_rels),
+                        (-a for a in anchor_rels),
+                        combo,
+                    )
+                )
+                # base node j lands at j + shift[j], where shift is the
+                # total segment length spliced in before j — bulk-copy
+                # every column and rewrite only the parents
+                shift = [0] * n
+                cursor = 0
+                shifted = 0
+                for ins, neg_a, seg in inserts:
+                    if shifted:
+                        for j in range(cursor, ins):
+                            shift[j] = shifted
+                    cursor = ins
+                    shifted += len(seg[0])
+                if shifted and cursor < n:
+                    for j in range(cursor, n):
+                        shift[j] = shifted
+                row_base = len(tags)
+                cursor = 0
+                for ins, neg_a, seg in inserts:
+                    if cursor < ins:
+                        tags.extend(src_tags[start + cursor:start + ins])
+                        values.extend(
+                            src_values[start + cursor:start + ins]
+                        )
+                        nids.extend(src_nids[start + cursor:start + ins])
+                        labels.extend(
+                            src_labels[start + cursor:start + ins]
+                        )
+                        for j in range(cursor, ins):
+                            parent = base_parents[j]
+                            parents.append(
+                                parent + shift[parent] if parent >= 0
+                                else -1
+                            )
+                        cursor = ins
+                    seg_tags, seg_values, seg_nids, seg_labels, \
+                        seg_parents = seg
+                    seg_base = len(tags) - row_base
+                    anchor = -neg_a
+                    anchor_new = anchor + shift[anchor]
+                    tags.extend(seg_tags)
+                    values.extend(seg_values)
+                    nids.extend(seg_nids)
+                    labels.extend(seg_labels)
+                    for parent in seg_parents:
+                        parents.append(
+                            seg_base + parent if parent >= 0 else anchor_new
+                        )
+                if cursor < n:
+                    tags.extend(src_tags[start + cursor:end])
+                    values.extend(src_values[start + cursor:end])
+                    nids.extend(src_nids[start + cursor:end])
+                    labels.extend(src_labels[start + cursor:end])
+                    for j in range(cursor, n):
+                        parent = base_parents[j]
+                        parents.append(
+                            parent + shift[parent] if parent >= 0 else -1
+                        )
+                offsets.append(len(tags))
+        out = ColumnBatch.from_lists(
+            offsets, tags, values, nids, labels, parents
+        )
+        self._note_match(out)
         return out
 
     def _batch_anchor_variants(
@@ -995,6 +1226,68 @@ def _apply_match(
     for edge, matches in zip(pattern.edges, mtree.slots):
         for child in matches:
             _apply_match(child, edge.child, built, mapping, recorder)
+
+
+def _flatten_variant(
+    mtree: _MTree,
+    pattern: APTNode,
+    tags: List[str],
+    values: list,
+    nids: list,
+    labels: List[int],
+    parents: List[int],
+    base: int,
+    parent_rel: int,
+) -> None:
+    """Append one match variant to column builders, pre-order.
+
+    The columnar counterpart of :meth:`PatternMatcher._build`: node
+    first, then each edge's matches in slot order — the exact order
+    ``add_child`` would have produced.  ``base`` is the row's first
+    column, so recorded parents are row-relative.
+    """
+    rel = len(tags) - base
+    tags.append(mtree.tag)
+    values.append(mtree.value)
+    nids.append(mtree.nid)
+    labels.append(pattern.lcl)
+    parents.append(parent_rel)
+    for edge, matches in zip(pattern.edges, mtree.slots):
+        for child in matches:
+            _flatten_variant(
+                child, edge.child, tags, values, nids, labels, parents,
+                base, rel,
+            )
+
+
+def _segment_for(
+    variant: _MTree, edges: List[APTEdge], memo: Dict[int, tuple]
+) -> tuple:
+    """Flatten a variant's *branches* into a reusable column segment.
+
+    Segment parents are segment-relative, with ``-1`` marking the
+    branch roots (they attach to the anchor at splice time).  Variants
+    are shared across rows through the per-nid variant lists, so the
+    memo — keyed by variant identity, like the graft's built-subtree
+    cache — flattens each one once per extension call.
+    """
+    key = id(variant)
+    segment = memo.get(key)
+    if segment is None:
+        tags: List[str] = []
+        values: list = []
+        nids: list = []
+        labels: List[int] = []
+        parents: List[int] = []
+        for edge, matches in zip(edges, variant.slots):
+            for child in matches:
+                _flatten_variant(
+                    child, edge.child, tags, values, nids, labels,
+                    parents, 0, -1,
+                )
+        segment = (tags, values, nids, labels, parents)
+        memo[key] = segment
+    return segment
 
 
 def _holistic_eligible(root: APTNode) -> bool:

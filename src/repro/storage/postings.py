@@ -6,21 +6,33 @@ call rebuilt a ``(doc, start)`` key array from its input node ids and every
 index lookup copied its posting list — pure interpreter overhead on the
 hottest primitive.  A :class:`Postings` object fixes both: it is an
 **immutable, columnar view** of one tag's node ids, carrying the parallel
-``starts`` / ``ends`` / ``levels`` arrays precomputed once at index build
-time, so joins binary-search ready-made columns instead of rebuilding them
-per call.
+``starts`` / ``ends`` / ``levels`` arrays, so joins binary-search
+ready-made columns instead of rebuilding them per call.
+
+The columns are built **lazily** and stored compactly: ``ends`` and
+``levels`` are C-typed integer columns (``array('l')``, or numpy arrays
+when the batch runtime's numpy flag is on — see
+:mod:`repro.columns.arrays`), and nothing is derived until a consumer
+first touches it, so callers that only iterate ``ids`` (containment
+checks, the value index's sorted probes) never pay for columns they do
+not read.  ``starts`` stays a list of ``(doc, start)`` tuples because
+the join cursors probe it with tuple keys through ``bisect``.
 
 ``at_level`` additionally partitions the postings by tree level (lazily,
 cached), which lets a parent-child join probe only the ``parent.level + 1``
 slice instead of scanning the parent's whole descendant range and filtering
 — the level-split trick of the structural-join lineage (Al-Khalifa et al.,
-survey in "A Survey of XML Tree Patterns").
+survey in "A Survey of XML Tree Patterns").  Partitions are carved out of
+the parent's already-built columns by index positions instead of
+re-deriving every column from the node ids.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..columns.arrays import int_column, take
 from ..model.node_id import NodeId
 
 
@@ -38,10 +50,14 @@ class Postings(Sequence[NodeId]):
     * ``levels``  — tree levels, aligned with ``ids``;
     * ``record_indexes`` — optional document record indexes aligned with
       ``ids``, letting scans fetch records without per-node id resolution.
+
+    ``starts``/``ends``/``levels`` are properties over lazily-built
+    compact columns; reading them is idempotent and cheap after the
+    first touch.
     """
 
-    __slots__ = ("ids", "starts", "ends", "levels", "record_indexes",
-                 "_by_level")
+    __slots__ = ("ids", "record_indexes",
+                 "_starts", "_ends", "_levels", "_by_level")
 
     def __init__(
         self,
@@ -49,19 +65,68 @@ class Postings(Sequence[NodeId]):
         record_indexes: Optional[Sequence[int]] = None,
     ) -> None:
         self.ids: Tuple[NodeId, ...] = tuple(ids)
-        self.starts: List[Tuple[int, int]] = [
-            (n.doc, n.start) for n in self.ids
-        ]
-        self.ends: List[int] = [n.end for n in self.ids]
-        self.levels: List[int] = [n.level for n in self.ids]
         self.record_indexes: Optional[Tuple[int, ...]] = (
             tuple(record_indexes) if record_indexes is not None else None
         )
+        self._starts: Optional[List[Tuple[int, int]]] = None
+        self._ends = None
+        self._levels = None
         self._by_level: Optional[Dict[int, "Postings"]] = None
+
+    # ------------------------------------------------------------------
+    # lazy columns
+    # ------------------------------------------------------------------
+    @property
+    def starts(self) -> List[Tuple[int, int]]:
+        """``(doc, start)`` probe keys, built on first touch."""
+        if self._starts is None:
+            self._starts = [(n.doc, n.start) for n in self.ids]
+        return self._starts
+
+    @property
+    def ends(self):
+        """Interval ends as a compact integer column (lazy)."""
+        if self._ends is None:
+            self._ends = int_column([n.end for n in self.ids])
+        return self._ends
+
+    @property
+    def levels(self):
+        """Tree levels as a compact integer column (lazy)."""
+        if self._levels is None:
+            self._levels = int_column([n.level for n in self.ids])
+        return self._levels
 
     # ------------------------------------------------------------------
     # level partitions (the pc-axis fast path)
     # ------------------------------------------------------------------
+    def _partition(self, positions: List[int]) -> "Postings":
+        """A sub-view at the given index positions, sharing built columns.
+
+        Columns the parent has already materialised are *sliced* (taken
+        by position) rather than re-derived from the node ids; columns
+        never touched stay lazy in the child too.
+        """
+        ids = self.ids
+        child = Postings.__new__(Postings)
+        child.ids = tuple(ids[i] for i in positions)
+        child.record_indexes = (
+            tuple(self.record_indexes[i] for i in positions)
+            if self.record_indexes is not None
+            else None
+        )
+        child._starts = (
+            [self._starts[i] for i in positions]
+            if self._starts is not None
+            else None
+        )
+        child._ends = (
+            take(self._ends, positions) if self._ends is not None else None
+        )
+        child._levels = None  # constant within a partition; rarely read
+        child._by_level = None
+        return child
+
     def at_level(self, level: int) -> "Postings":
         """The sub-postings at exactly ``level``, document order.
 
@@ -71,23 +136,16 @@ class Postings(Sequence[NodeId]):
         if self._by_level is None:
             groups: Dict[int, List[int]] = {}
             for position, node_level in enumerate(self.levels):
-                groups.setdefault(node_level, []).append(position)
+                groups.setdefault(int(node_level), []).append(position)
             self._by_level = {
-                node_level: Postings(
-                    [self.ids[i] for i in positions],
-                    (
-                        [self.record_indexes[i] for i in positions]
-                        if self.record_indexes is not None
-                        else None
-                    ),
-                )
+                node_level: self._partition(positions)
                 for node_level, positions in groups.items()
             }
         return self._by_level.get(level, EMPTY_POSTINGS)
 
     def levels_present(self) -> List[int]:
         """Distinct tree levels with at least one posting (ascending)."""
-        return sorted(set(self.levels))
+        return sorted({int(level) for level in self.levels})
 
     # ------------------------------------------------------------------
     # Sequence protocol (read-only)
@@ -104,6 +162,25 @@ class Postings(Sequence[NodeId]):
         return iter(self.ids)
 
     def __contains__(self, item: object) -> bool:
+        """Membership by binary search over the sorted ``starts`` column.
+
+        ``ids`` are sorted by ``(doc, start)``, so a stored node id is
+        found in logarithmic time instead of the former O(n) tuple scan.
+        Non-:class:`NodeId` probes (temporary ids, arbitrary objects)
+        keep the linear fallback — they are never in a posting list, but
+        equality semantics stay exactly list-like.
+        """
+        if isinstance(item, NodeId):
+            starts = self.starts
+            position = bisect_left(starts, (item.doc, item.start))
+            ids = self.ids
+            while position < len(ids):
+                if starts[position] != (item.doc, item.start):
+                    return False
+                if ids[position] == item:
+                    return True
+                position += 1
+            return False
         return item in self.ids
 
     def __eq__(self, other: object) -> bool:

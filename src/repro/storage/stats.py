@@ -64,6 +64,9 @@ COUNTER_FIELDS: Tuple[str, ...] = (
     "plan_cache_hits",
     "plan_cache_misses",
     "plan_cache_evictions",
+    "batch_ops",
+    "batch_rows",
+    "batch_fallbacks",
 )
 
 #: Metrics instance -> the per-thread cell dicts it has handed out.

@@ -43,6 +43,7 @@ class OperatorTrace:
     cumulative_seconds: float  #: self + distinct input cumulatives
     counters: Dict[str, int]   #: non-zero ``Metrics.diff`` entries
     memo_hits: int = 0         #: extra references served from the memo
+    batch: bool = False        #: output stayed columnar (``ColumnBatch``)
     children: List[int] = field(default_factory=list)
     #: indexes (into :attr:`PlanTrace.records`) of the input operators,
     #: in input order; duplicates mean the operator reads one shared

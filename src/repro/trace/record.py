@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List
 
+from ..columns.batch import ColumnBatch
 from ..core.base import Operator
 from ..model.sequence import TreeSequence
 from ..storage.stats import Metrics
@@ -44,11 +45,18 @@ class Tracer:
         self,
         op: Operator,
         inputs: List[TreeSequence],
-        result: TreeSequence,
+        result,
         self_seconds: float,
         counters_before: dict,
     ) -> None:
-        """Store one operator's measurements (called once per operator)."""
+        """Store one operator's measurements (called once per operator).
+
+        ``result`` (and entries of ``inputs``) may be columnar
+        :class:`~repro.columns.batch.ColumnBatch` objects under the
+        batch runtime; cardinalities read the same either way, and a
+        columnar output marks the record's ``batch`` flag — the EXPLAIN
+        ANALYZE view of which plan region stayed batch-at-a-time.
+        """
         delta = self.metrics.diff(counters_before)
         self._index_of[id(op)] = len(self.records)
         self.records.append(
@@ -61,6 +69,7 @@ class Tracer:
                 self_seconds=self_seconds,
                 cumulative_seconds=0.0,  # filled in by finish()
                 counters={k: v for k, v in delta.items() if v},
+                batch=isinstance(result, ColumnBatch),
                 children=[self._index_of[id(child)] for child in op.inputs],
             )
         )

@@ -37,6 +37,8 @@ def _annotation(record: OperatorTrace) -> str:
         f"cum {_ms(record.cumulative_seconds)}",
         f"in [{cards}] out {record.output_card}",
     ]
+    if record.batch:
+        parts.append("batch")
     if record.memo_hits:
         parts.append(f"shared x{record.memo_hits + 1}")
     counters = _counters(record)
@@ -116,6 +118,7 @@ def trace_to_json(trace: PlanTrace) -> Dict[str, Any]:
                 "cumulative_seconds": record.cumulative_seconds,
                 "counters": dict(record.counters),
                 "memo_hits": record.memo_hits,
+                "batch": record.batch,
                 "children": list(record.children),
             }
             for record in trace.records
@@ -142,6 +145,7 @@ def render_trace_json(payload: Dict[str, Any]) -> str:
             cumulative_seconds=entry["cumulative_seconds"],
             counters=dict(entry["counters"]),
             memo_hits=entry.get("memo_hits", 0),
+            batch=entry.get("batch", False),
             children=list(entry["children"]),
         )
         for entry in payload["records"]

@@ -9,7 +9,7 @@ from repro.patterns import APT, pattern_node
 
 
 class CountingSelect(SelectOp):
-    """A select that counts how many times it executes."""
+    """A select that counts how many times it executes (either form)."""
 
     def __init__(self, apt):
         super().__init__(apt)
@@ -18,6 +18,10 @@ class CountingSelect(SelectOp):
     def execute(self, ctx, inputs):
         self.executions += 1
         return super().execute(ctx, inputs)
+
+    def execute_batch(self, ctx, inputs):
+        self.executions += 1
+        return super().execute_batch(ctx, inputs)
 
 
 def person_apt() -> APT:

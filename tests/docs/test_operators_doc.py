@@ -53,6 +53,7 @@ def test_every_operator_section_names_a_registered_operator():
     known = {cls.name for cls in _operator_classes()}
     prose = {
         "Annotated pattern trees and edge annotations",
+        "Batch forms",
         "Setup shared by the examples",
     }
     text = DOC.read_text()

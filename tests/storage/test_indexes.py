@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.columns.arrays import tolist
 from repro.storage import Database
 
 XML = """
@@ -130,4 +131,4 @@ class TestImmutableViews:
     def test_columns_available_without_rebuild(self, db):
         postings = db.tag_lookup("inv.xml", "price")
         assert postings.starts == [(n.doc, n.start) for n in postings]
-        assert postings.levels == [n.level for n in postings]
+        assert tolist(postings.levels) == [n.level for n in postings]

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.columns.arrays import tolist
 from repro.storage import Database
 from repro.storage.postings import EMPTY_POSTINGS, Postings
 
@@ -25,8 +26,8 @@ class TestColumns:
         postings = db.tag_index("t.xml").postings("b")
         assert len(postings) == 3
         assert postings.starts == [(n.doc, n.start) for n in postings.ids]
-        assert postings.ends == [n.end for n in postings.ids]
-        assert postings.levels == [n.level for n in postings.ids]
+        assert tolist(postings.ends) == [n.end for n in postings.ids]
+        assert tolist(postings.levels) == [n.level for n in postings.ids]
 
     def test_starts_sorted_ascending(self, db):
         postings = db.tag_index("t.xml").postings("a")
@@ -91,6 +92,42 @@ class TestSequenceProtocol:
     def test_hashable(self, db):
         postings = db.tag_index("t.xml").postings("a")
         assert hash(postings) == hash(Postings(postings.ids))
+
+
+class TestLazyColumns:
+    def test_columns_not_built_until_touched(self, db):
+        postings = db.tag_index("t.xml").postings("b")
+        assert postings._starts is None
+        assert postings._ends is None
+        assert postings._levels is None
+        list(postings)  # iterating ids derives nothing
+        assert postings._ends is None
+        postings.ends
+        assert postings._ends is not None
+        assert postings._levels is None
+
+    def test_column_reads_idempotent(self, db):
+        postings = db.tag_index("t.xml").postings("b")
+        assert postings.ends is postings.ends
+        assert postings.levels is postings.levels
+        assert postings.starts is postings.starts
+
+    def test_partition_shares_built_columns(self, db):
+        postings = db.tag_index("t.xml").postings("b")
+        postings.ends  # force the parent column
+        level = postings.levels_present()[0]
+        part = postings.at_level(level)
+        assert tolist(part.ends) == [n.end for n in part.ids]
+        # a column the parent never built stays lazy in the child too
+        assert part._starts is None
+
+    def test_contains_with_duplicate_free_starts(self, db):
+        postings = db.tag_index("t.xml").postings("b")
+        for node in postings:
+            assert node in postings
+        other = db.tag_index("t.xml").postings("a")[0]
+        assert other not in postings
+        assert "not-a-node" not in postings
 
 
 class TestImmutability:
