@@ -28,6 +28,16 @@ per-tree path, or when it increases any work counter.  Refresh with
 ``python -m repro bench fastpath --batch --factor 0.005 --out
 BENCH_8.json``.
 
+With ``--planner-baseline`` (CI passes ``BENCH_9.json``) a planner
+stage runs: every XMark query executes with the cost-based planner off
+and on and must produce byte-identical XML, then a fresh static-vs-
+planned sweep is gated against the committed baseline — failing when
+the planned speedup geomean falls more than the threshold below the
+committed number, when planning goes clearly net slower than the
+static fast path, or when no join-order win survives.  Refresh with
+``python -m repro bench planner --factor 0.05 --repeats 3 --out
+BENCH_9.json``.
+
 With ``--mode process`` a further stage runs: the full 23-query sweep
 is executed through the process-pool service (``--workers`` workers,
 ``--start-method`` fork or spawn) and every result is compared
@@ -40,6 +50,8 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_smoke.py --baseline BENCH_3.json
     PYTHONPATH=src python benchmarks/bench_smoke.py \
         --batch-baseline BENCH_8.json
+    PYTHONPATH=src python benchmarks/bench_smoke.py \
+        --planner-baseline BENCH_9.json
     PYTHONPATH=src python benchmarks/bench_smoke.py \
         --mode process --workers 2 --start-method spawn
 """
@@ -116,6 +128,68 @@ def check_batch(baseline_path: Path, factor: float | None,
         f"\nOK: batch speedup {current.speedup_geomean('pure'):.2f}x "
         f"pure (baseline {baseline.speedup_geomean('pure'):.2f}x, "
         f"threshold -{threshold:.0%})"
+    )
+    return 0
+
+
+def check_planner(baseline_path: Path, factor: float | None,
+                  repeats: int, threshold: float) -> int:
+    """Byte-identity sweep plus the BENCH_9 regression gate; 0 iff OK."""
+    from repro.bench import (
+        PlannerReport,
+        check_planner_against_baseline,
+        compare_planner,
+        planner_table,
+    )
+    from repro.bench.harness import Harness
+    from repro.planner import use_planner
+    from repro.xmark.queries import FIGURE15_ORDER, QUERIES
+
+    baseline = PlannerReport.from_json(baseline_path.read_text())
+    if factor is None:
+        factor = baseline.factor
+    harness = Harness()
+    engine = harness.engine_for(factor)
+
+    # stage 1: every query, planner off vs on, identical XML
+    mismatches = []
+    for name in FIGURE15_ORDER:
+        text = QUERIES[name].text
+        with use_planner(False):
+            expected = engine.run(text, "tlc").to_xml()
+        with use_planner(True):
+            if engine.run(text, "tlc").to_xml() != expected:
+                mismatches.append(name)
+    if mismatches:
+        print(
+            f"\nFAIL: cost-based planning diverged from the static "
+            f"plan shape on {', '.join(mismatches)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"\nOK: planner sweep ({len(FIGURE15_ORDER)} queries) "
+        "byte-identical to the static fast path"
+    )
+
+    # stage 2: fresh static-vs-planned measurement vs the baseline.
+    # The planner's committed edge is small (BENCH_9: 1.01x geomean),
+    # so single-sample cells are noise-dominated on shared CI runners —
+    # this stage always uses the BENCH_9 repeat-and-trim methodology.
+    current = compare_planner(factor=factor, repeats=max(repeats, 3),
+                              harness=harness)
+    print(planner_table(current))
+    findings = check_planner_against_baseline(current, baseline, threshold)
+    if findings:
+        print("\nFAIL: planner smoke check", file=sys.stderr)
+        for finding in findings:
+            print(f"  - {finding}", file=sys.stderr)
+        return 1
+    print(
+        f"\nOK: planned speedup {current.speedup_geomean():.2f}x "
+        f"(baseline {baseline.speedup_geomean():.2f}x, threshold "
+        f"-{threshold:.0%}); join-order wins: "
+        f"{', '.join(current.join_order_wins())}"
     )
     return 0
 
@@ -197,6 +271,12 @@ def main(argv=None) -> int:
         "also run the batch byte-identity sweep and regression gate",
     )
     parser.add_argument(
+        "--planner-baseline",
+        default=None,
+        help="committed planner baseline (e.g. BENCH_9.json): also run "
+        "the planner byte-identity sweep and regression gate",
+    )
+    parser.add_argument(
         "--mode",
         choices=("thread", "process"),
         default="thread",
@@ -253,6 +333,19 @@ def main(argv=None) -> int:
             return 1
         status = check_batch(
             batch_baseline, args.factor, args.repeats, args.threshold
+        )
+        if status:
+            return status
+    if args.planner_baseline:
+        planner_baseline = Path(args.planner_baseline)
+        if not planner_baseline.exists():
+            print(
+                f"error: planner baseline {planner_baseline} not found",
+                file=sys.stderr,
+            )
+            return 1
+        status = check_planner(
+            planner_baseline, args.factor, args.repeats, args.threshold
         )
         if status:
             return status

@@ -7,7 +7,11 @@ Commands:
 * ``query``    — run an XQuery (from a file or inline) against a document,
   under any engine, optionally with the Section 4 rewrites;
 * ``bench``    — regenerate one of the paper's figures;
-* ``explain``  — print the algebraic plan for a query;
+* ``explain``  — print the algebraic plan for a query; ``--cost`` adds
+  the cost-based planner's report (chosen vs rejected physical shapes
+  with their cost estimates);
+* ``plan``     — run just the cost-based planner and print its
+  :class:`~repro.planner.PlanDecision` (``--json`` for the raw record);
 * ``lint``     — statically check a query's TLC plan with the LC-flow
   analyzer (no document needed; exits 1 on error diagnostics);
 * ``profile``  — EXPLAIN ANALYZE: run a query with the runtime tracer
@@ -125,8 +129,38 @@ def cmd_explain(args: argparse.Namespace) -> int:
         from .core.visualize import plan_to_dot
 
         print(plan_to_dot(translation.plan))
+    elif getattr(args, "cost", False):
+        if args.engine != "tlc":
+            raise ReproError(
+                "--cost is the cost-based planner's report; only tlc "
+                "plans carry the pattern statistics it prices"
+            )
+        from .planner import plan_physical
+
+        decision = plan_physical(
+            translation.plan, engine.cardinality_stats()
+        )
+        print(translation.explain())
+        print()
+        print(decision.render())
     else:
         print(translation.explain())
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    if args.inline_query and (args.query or args.query_file):
+        raise ReproError("give the query either inline or via -q/-f")
+    query = args.inline_query or _read_query(args)
+    engine = _open_engine(args.document)
+    from .planner import plan_physical
+
+    translation = engine.plan(query, "tlc", args.optimize, planner=False)
+    decision = plan_physical(translation.plan, engine.cardinality_stats())
+    if args.json:
+        print(decision.to_json(), end="")
+    else:
+        print(decision.render())
     return 0
 
 
@@ -547,7 +581,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     harness = Harness()
     trace = getattr(args, "trace", False)
-    if trace and args.figure in ("17", "fastpath", "service"):
+    if trace and args.figure in ("17", "fastpath", "service", "planner"):
         raise ReproError(
             "--trace breaks down Figures 15 and 16; the other benches "
             "have no per-operator report"
@@ -564,6 +598,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
             start_method=args.start_method,
         )
         print(service_table(report))
+        if args.out:
+            Path(args.out).write_text(report.to_json())
+            print(f"wrote {args.out}", file=sys.stderr)
+    elif args.figure == "planner":
+        from .bench import compare_planner, planner_table
+
+        report = compare_planner(
+            factor=args.factor, repeats=args.repeats, harness=harness
+        )
+        print(planner_table(report))
         if args.out:
             Path(args.out).write_text(report.to_json())
             print(f"wrote {args.out}", file=sys.stderr)
@@ -658,7 +702,39 @@ def build_parser() -> argparse.ArgumentParser:
                 help="annotate each operator with its LC-flow "
                 "(produced/consumed/live classes) and any diagnostics",
             )
+            command.add_argument(
+                "--cost", action="store_true",
+                help="append the cost-based planner's report: chosen "
+                "vs rejected physical shapes with cost estimates "
+                "(TLC only)",
+            )
         command.set_defaults(func=func)
+
+    plan = sub.add_parser(
+        "plan",
+        help="run the cost-based physical planner and print its "
+        "decision record (chosen vs rejected shapes with estimates)",
+    )
+    plan.add_argument(
+        "inline_query", nargs="?", default=None, metavar="query",
+        help="the XQuery text (or use -q/-f/stdin)",
+    )
+    plan.add_argument(
+        "-d", "--document", default="xmark:0.002",
+        help=".xml file, .tlcdb file, or xmark:<factor> "
+        "(default: xmark:0.002)",
+    )
+    plan.add_argument("-q", "--query", help="inline query text")
+    plan.add_argument("-f", "--query-file", help="query file")
+    plan.add_argument(
+        "-O", "--optimize", action="store_true",
+        help="plan after the Section 4 rewrites",
+    )
+    plan.add_argument(
+        "--json", action="store_true",
+        help="emit the PlanDecision as JSON instead of the text report",
+    )
+    plan.set_defaults(func=cmd_plan)
 
     lint = sub.add_parser(
         "lint",
@@ -761,7 +837,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="regenerate a paper figure or the fast-path comparison",
     )
     bench.add_argument(
-        "figure", choices=("15", "16", "17", "fastpath", "service")
+        "figure",
+        choices=("15", "16", "17", "fastpath", "service", "planner"),
     )
     bench.add_argument("--factor", type=float, default=0.002)
     bench.add_argument("--repeats", type=int, default=3)
@@ -794,8 +871,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--out",
-        help="fastpath/service only: also write the report as JSON "
-        "(e.g. BENCH_3.json / BENCH_4.json)",
+        help="fastpath/service/planner only: also write the report as "
+        "JSON (e.g. BENCH_3.json / BENCH_4.json / BENCH_9.json)",
     )
     bench.set_defaults(func=cmd_bench)
 

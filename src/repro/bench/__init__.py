@@ -7,6 +7,7 @@ from .batch import (
     check_batch_against_baseline,
     compare_batch,
 )
+from .env import runtime_flags
 from .fastpath import (
     FastPathReport,
     FastPathRow,
@@ -15,6 +16,13 @@ from .fastpath import (
     fastpath_table,
 )
 from .harness import DEFAULT_FACTOR, FIGURE15_ENGINES, Harness
+from .planner_bench import (
+    PlannerReport,
+    PlannerRow,
+    check_planner_against_baseline,
+    compare_planner,
+    planner_table,
+)
 from .reporting import (
     counters_table,
     figure15_speedups,
@@ -43,13 +51,18 @@ __all__ = [
     "check_batch_against_baseline",
     "compare_batch",
     "Harness",
+    "PlannerReport",
+    "PlannerRow",
     "ServiceBenchReport",
     "ServiceBenchRow",
     "bench_service",
     "service_table",
     "check_against_baseline",
+    "check_planner_against_baseline",
     "compare_fastpath",
-    "fastpath_table",
+    "compare_planner",
+    "planner_table",
+    "runtime_flags",
     "counters_table",
     "figure15_speedups",
     "figure15_table",

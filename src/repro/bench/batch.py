@@ -20,11 +20,12 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import asdict, dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..columns.arrays import numpy_available, use_numpy
 from ..columns.batch import use_batch
 from ..xmark.queries import FIGURE15_ORDER
+from .env import runtime_flags
 from .fastpath import WORK_COUNTERS, _geomean
 from .harness import DEFAULT_FACTOR, Harness
 
@@ -55,6 +56,7 @@ class BatchReport:
     factor: float
     repeats: int
     engine: str
+    environment: Dict[str, object] = field(default_factory=dict)
     rows: List[BatchRow] = field(default_factory=list)
 
     def backend_rows(self, backend: str) -> List[BatchRow]:
@@ -92,6 +94,7 @@ class BatchReport:
             "factor": self.factor,
             "repeats": self.repeats,
             "engine": self.engine,
+            "environment": self.environment,
             "summary": summary,
             "rows": [asdict(row) for row in self.rows],
         }
@@ -104,6 +107,7 @@ class BatchReport:
             factor=payload["factor"],
             repeats=payload["repeats"],
             engine=payload["engine"],
+            environment=payload.get("environment", {}),
         )
         report.rows = [BatchRow(**row) for row in payload["rows"]]
         return report
@@ -130,7 +134,12 @@ def compare_batch(
         backends = (
             BACKENDS if numpy_available() else ("pure",)
         )
-    report = BatchReport(factor=factor, repeats=repeats, engine=engine)
+    report = BatchReport(
+        factor=factor,
+        repeats=repeats,
+        engine=engine,
+        environment=runtime_flags(),
+    )
     for name in queries or FIGURE15_ORDER:
         with use_batch(False):
             before = harness.run_query(

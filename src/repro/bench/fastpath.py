@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence
 from ..physical.structural_join import use_fast_path
 from ..storage.stats import QueryReport
 from ..xmark.queries import FIGURE15_ORDER
+from .env import runtime_flags
 from .harness import DEFAULT_FACTOR, Harness
 
 #: Work counters that must never increase under the fast path.  The
@@ -93,6 +94,7 @@ class FastPathReport:
     factor: float
     repeats: int
     engine: str
+    environment: Dict[str, object] = field(default_factory=dict)
     rows: List[FastPathRow] = field(default_factory=list)
 
     def join_heavy_speedup(self) -> float:
@@ -119,6 +121,7 @@ class FastPathReport:
             "factor": self.factor,
             "repeats": self.repeats,
             "engine": self.engine,
+            "environment": self.environment,
             "summary": {
                 "join_heavy_speedup": round(self.join_heavy_speedup(), 3),
                 "overall_speedup": round(self.overall_speedup(), 3),
@@ -137,6 +140,7 @@ class FastPathReport:
             factor=payload["factor"],
             repeats=payload["repeats"],
             engine=payload["engine"],
+            environment=payload.get("environment", {}),
         )
         report.rows = [FastPathRow(**row) for row in payload["rows"]]
         return report
@@ -169,7 +173,12 @@ def compare_fastpath(
     shared engine, with the paper's repeat-and-trim methodology.
     """
     harness = harness or Harness()
-    report = FastPathReport(factor=factor, repeats=repeats, engine=engine)
+    report = FastPathReport(
+        factor=factor,
+        repeats=repeats,
+        engine=engine,
+        environment=runtime_flags(),
+    )
     for name in queries or FIGURE15_ORDER:
         with use_fast_path(False):
             before = harness.run_query(

@@ -40,6 +40,7 @@ from ..service import QueryService
 from ..service.cache import normalize_query
 from ..telemetry.querylog import query_hash
 from ..xmark.queries import FIGURE15_ORDER, QUERIES
+from .env import runtime_flags
 from .harness import DEFAULT_FACTOR, Harness
 
 
@@ -67,6 +68,9 @@ class ServiceBenchReport:
     #: cores the host exposed during the run — the ceiling on any
     #: process-pool speedup, recorded so the number can be judged
     cpu_count: int = 0
+    #: uniform machine/toggle stamp (includes cpu_count again, plus the
+    #: fast-path/batch/numpy/planner flags) — shared with every BENCH_*
+    environment: Dict[str, object] = field(default_factory=dict)
     rows: List[ServiceBenchRow] = field(default_factory=list)
     #: wall seconds for the concurrent batch on 1 worker vs ``threads``
     serial_batch_seconds: float = 0.0
@@ -110,6 +114,7 @@ class ServiceBenchReport:
             "mode": self.mode,
             "start_method": self.start_method,
             "cpu_count": self.cpu_count,
+            "environment": self.environment,
             "summary": {
                 "warm_speedup_geomean": round(self.overall_speedup(), 3),
                 "median_compile_fraction": round(
@@ -141,6 +146,7 @@ class ServiceBenchReport:
             mode=payload.get("mode", "thread"),
             start_method=payload.get("start_method"),
             cpu_count=payload.get("cpu_count", 0),
+            environment=payload.get("environment", {}),
         )
         report.rows = [ServiceBenchRow(**row) for row in payload["rows"]]
         summary = payload.get("summary", {})
@@ -225,6 +231,7 @@ def bench_service(
         mode=mode,
         start_method=start_method,
         cpu_count=os.cpu_count() or 0,
+        environment=runtime_flags(),
     )
     with QueryService(
         engine, threads=threads, mode=mode, start_method=start_method

@@ -67,8 +67,32 @@ def evaluate(
     walk_started = time.perf_counter() if telemetry_on else 0.0
     # batch-at-a-time evaluation rides on the fast path (extension
     # splicing reuses its anchored-variant machinery), so both switches
-    # must be on; the choice is pinned once per walk
-    batch = batch_enabled() and fast_path_enabled()
+    # must be on; the choice is pinned once per walk.  A cost-planned
+    # plan can narrow it further: ``exec_currency == "tree"`` on the
+    # root keeps the whole walk per-tree, and a per-operator
+    # ``exec_mode == "tree"`` veto (a stranded columnar operator inside
+    # a batch plan) forces just that operator onto its per-tree body —
+    # its columnar inputs are materialised first, which is exactly the
+    # boundary cost the planner charged the veto with.
+    batch = (
+        batch_enabled()
+        and fast_path_enabled()
+        and getattr(plan, "exec_currency", None) != "tree"
+    )
+
+    def run_op(op: Operator, inputs: List[TreeSequence]) -> TreeSequence:
+        if batch:
+            if getattr(op, "exec_mode", None) == "tree":
+                return op.execute(
+                    ctx,
+                    [
+                        as_tree_sequence(seq, ctx.metrics)
+                        for seq in inputs
+                    ],
+                )
+            return op.execute_batch(ctx, inputs)
+        return op.execute(ctx, inputs)
+
     try:
         if tracer is None:
             while stack:
@@ -80,10 +104,7 @@ def evaluate(
                     inputs = [memo[id(child)] for child in op.inputs]
                     if limits is not None:
                         limits.check(op.name)
-                    if batch:
-                        result = op.execute_batch(ctx, inputs)
-                    else:
-                        result = op.execute(ctx, inputs)
+                    result = run_op(op, inputs)
                     if limits is not None:
                         limits.check_output(op.name, len(result))
                     memo[key] = result
@@ -104,10 +125,7 @@ def evaluate(
                         limits.check(op.name)
                     before = tracer.counters_before()
                     started = time.perf_counter()
-                    if batch:
-                        result = op.execute_batch(ctx, inputs)
-                    else:
-                        result = op.execute(ctx, inputs)
+                    result = run_op(op, inputs)
                     elapsed = time.perf_counter() - started
                     tracer.record(op, inputs, result, elapsed, before)
                     if limits is not None:

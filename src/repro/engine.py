@@ -25,7 +25,7 @@ from .core.limits import ExecutionLimits
 from .errors import ReproError
 from .model.sequence import TreeSequence
 from .storage.database import DEFAULT_POOL_PAGES, Database
-from .storage.stats import QueryReport
+from .storage.stats import CardinalityStats, QueryReport
 from .xquery.translator import TranslationResult, translate_query
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -67,6 +67,8 @@ class Engine:
         pool_pages: int = DEFAULT_POOL_PAGES,
     ) -> None:
         self.db = db if db is not None else Database(pool_pages)
+        #: (document names, snapshot) — see :meth:`cardinality_stats`
+        self._stats_cache: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # loading
@@ -84,12 +86,42 @@ class Engine:
     # ------------------------------------------------------------------
     # planning and execution
     # ------------------------------------------------------------------
+    def cardinality_stats(self) -> CardinalityStats:
+        """A cached tag-count snapshot of the loaded documents.
+
+        Documents are load-only (the Database has no update API), so the
+        snapshot stays valid until another document is loaded; the cache
+        key is the set of document names.  This keeps the cost-based
+        planner's per-query overhead at pure arithmetic instead of a
+        per-plan walk over every tag index.
+        """
+        names = tuple(sorted(self.db.document_names()))
+        if self._stats_cache is None or self._stats_cache[0] != names:
+            self._stats_cache = (
+                names,
+                CardinalityStats.from_database(self.db),
+            )
+        return self._stats_cache[1]
+
     def plan(
-        self, query: str, engine: str = "tlc", optimize: bool = False
+        self,
+        query: str,
+        engine: str = "tlc",
+        optimize: bool = False,
+        planner: Optional[bool] = None,
+        observed: Optional[dict] = None,
     ) -> TranslationResult:
         """Translate a query into a plan for the given algebraic engine.
 
         ``nav`` has no plan (it interprets the AST); asking for one raises.
+
+        ``planner`` runs cost-based physical planning on the TLC plan
+        (``None`` follows the process-wide ``REPRO_PLANNER`` toggle):
+        edge orders, operator currency and join engine are chosen by the
+        cost model and the :class:`~repro.planner.PlanDecision` lands on
+        ``translation.plan.planner_decision``.  ``observed`` optionally
+        feeds measured cardinalities into the model (the telemetry
+        feedback loop; see :mod:`repro.planner.feedback`).
         """
         _require_query_text(query)
         if engine == "tlc":
@@ -98,6 +130,19 @@ class Engine:
                 from .rewrites.pipeline import optimize_plan
 
                 translation = optimize_plan(translation)
+            if planner is None:
+                from .planner import planner_enabled
+
+                planner = planner_enabled()
+            if planner:
+                from .planner import plan_physical
+
+                plan_physical(
+                    translation.plan,
+                    self.cardinality_stats(),
+                    observed=observed,
+                    metrics=self.db.metrics,
+                )
             return translation
         if optimize:
             raise ReproError(
@@ -120,8 +165,14 @@ class Engine:
         limits: Optional[ExecutionLimits] = None,
         deadline: Optional[float] = None,
         max_trees: Optional[int] = None,
+        planner: Optional[bool] = None,
     ) -> TreeSequence:
         """Evaluate a query and return the result forest.
+
+        ``planner`` applies cost-based physical planning to the TLC plan
+        before execution (``None`` follows the ``REPRO_PLANNER``
+        toggle); see :meth:`plan`.  The planned plan's output is
+        byte-identical — only the work to produce it changes.
 
         With ``strict`` the TLC plan is linted by the static LC-flow
         analyzer before execution and a
@@ -172,7 +223,7 @@ class Engine:
                     "has none (use an algebraic engine)"
                 )
             return NavEvaluator(self.db).run(query)
-        translation = self.plan(query, engine, optimize)
+        translation = self.plan(query, engine, optimize, planner=planner)
         return self.run_plan(
             translation.plan,
             strict=strict and engine == "tlc",
@@ -189,10 +240,27 @@ class Engine:
         scan_cache: bool = True,
         limits: Optional[ExecutionLimits] = None,
     ) -> TreeSequence:
-        """Evaluate an already-built plan against this engine's database."""
+        """Evaluate an already-built plan against this engine's database.
+
+        A plan the cost-based planner annotated with
+        ``exec_engine == "legacy"`` is evaluated with the fast join path
+        suppressed for the duration of the walk (the planner's engine
+        choice; in practice it always picks ``fast`` — the hook keeps
+        the decision executable rather than advisory).
+        """
         if strict:
             _validate_plan(plan)
         ctx = Context(self.db, scan_cache=scan_cache, limits=limits)
+        if getattr(plan, "exec_engine", None) == "legacy":
+            from .physical.structural_join import use_fast_path
+
+            with use_fast_path(False):
+                return self._evaluate(plan, ctx, trace)
+        return self._evaluate(plan, ctx, trace)
+
+    def _evaluate(
+        self, plan: Operator, ctx: Context, trace: bool
+    ) -> TreeSequence:
         if not trace:
             return evaluate(plan, ctx)
         from .trace import Tracer
@@ -228,13 +296,16 @@ class Engine:
         strict: bool = False,
         trace: bool = False,
         scan_cache: bool = True,
+        planner: Optional[bool] = None,
     ) -> QueryReport:
         """Run a query and report wall time plus the work counters.
 
         ``strict`` and ``trace`` are forwarded to :meth:`run`: a
         benchmark run can lint its plan pre-execution and/or attach the
         per-operator :class:`~repro.trace.PlanTrace` to the report
-        (``report.trace``).
+        (``report.trace``).  ``planner`` (default: the ``REPRO_PLANNER``
+        toggle) cost-plans the TLC plan first; planning time is part of
+        the measured wall time, as it would be for a real request.
         """
         _require_query_text(query)
         self.db.reset_metrics(cold_cache=cold_cache)
@@ -246,6 +317,7 @@ class Engine:
             strict=strict,
             trace=trace,
             scan_cache=scan_cache,
+            planner=planner,
         )
         elapsed = time.perf_counter() - started
         name = engine + ("+opt" if optimize else "")

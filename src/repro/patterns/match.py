@@ -101,11 +101,19 @@ def _expand_nested(
 def _combine_edge(
     partials: List[_MTree],
     joined: List[Tuple[_MTree, List[List[_MTree]]]],
+    order_keys: Optional[Dict[int, tuple]] = None,
 ) -> "Candidates":
     """Extend each partial with its alternatives for one more edge.
 
     Returns a fresh :class:`Candidates` list (never the input), so the
     next edge's structural join can attach its probe columns to it.
+
+    ``order_keys`` (when edges run out of source order) maps each
+    partial's identity to its enumeration key — the candidate index
+    followed by one alternative index per processed edge.  Each new
+    partial extends its parent's key with this edge's alternative index,
+    so the caller can sort the final variants back into the order
+    source-order processing would have enumerated them in.
     """
     by_parent = {id(parent): alts for parent, alts in joined}
     out: Candidates = Candidates()
@@ -113,16 +121,19 @@ def _combine_edge(
         alternatives = by_parent.get(id(partial))
         if alternatives is None:
             continue  # parent dropped by a mandatory edge
-        for alt in alternatives:
-            out.append(
-                _MTree(
-                    partial.nid,
-                    partial.tag,
-                    partial.value,
-                    partial.slots + [alt],
-                    partial.ref,
-                )
+        for alt_index, alt in enumerate(alternatives):
+            extended = _MTree(
+                partial.nid,
+                partial.tag,
+                partial.value,
+                partial.slots + [alt],
+                partial.ref,
             )
+            if order_keys is not None:
+                order_keys[id(extended)] = order_keys[id(partial)] + (
+                    alt_index,
+                )
+            out.append(extended)
     return out
 
 
@@ -166,7 +177,15 @@ class PatternMatcher:
     def _edge_plan(self, node: APTNode, doc_name: str) -> list:
         """The edge processing order for one pattern node."""
         edges = list(node.edges)
-        if not self.order_edges or len(edges) < 2:
+        if len(edges) < 2:
+            return edges
+        # an explicit planner annotation wins over both source order and
+        # the order_edges heuristic (it was costed, they are guesses);
+        # anything but a permutation of the edges is ignored
+        hint = getattr(node, "planner_order", None)
+        if hint is not None and sorted(hint) == list(range(len(edges))):
+            return [edges[index] for index in hint]
+        if not self.order_edges:
             return edges
         index = self.db.tag_index(doc_name)
 
@@ -804,6 +823,15 @@ class PatternMatcher:
             return memo[key]
         partials = self._candidates(node, doc_name)
         planned = self._edge_plan(node, doc_name)
+        reordered_plan = planned != node.edges
+        # out-of-source-order processing also enumerates the variants in
+        # a different sequence; track each partial's enumeration key so
+        # the final list can be sorted back into source-order sequence
+        order_keys: Optional[Dict[int, tuple]] = (
+            {id(partial): (index,) for index, partial in enumerate(partials)}
+            if reordered_plan
+            else None
+        )
         for edge in planned:
             children = self._match_node_db(edge.child, doc_name, memo)
             joined = join_for_mspec(
@@ -816,12 +844,13 @@ class PatternMatcher:
                 child_id=lambda m: m.nid,
             )
             joined = _expand_nested(joined, edge.mspec, lambda m: m.nid)
-            partials = _combine_edge(partials, joined)
-        if planned != node.edges:
+            partials = _combine_edge(partials, joined, order_keys)
+        if reordered_plan:
             # witness building zips slots with node.edges: restore order
             original_position = {
                 id(edge): index for index, edge in enumerate(node.edges)
             }
+            perm = [original_position[id(edge)] for edge in planned]
             for partial in partials:
                 reordered = [None] * len(node.edges)
                 for processed_index, edge in enumerate(planned):
@@ -829,6 +858,21 @@ class PatternMatcher:
                         original_position[id(edge)]
                     ] = partial.slots[processed_index]
                 partial.slots = reordered
+            # variant order: source-order processing enumerates variants
+            # lexicographically by (candidate, alt per edge in source
+            # position); the alternatives of one (candidate, edge) pair
+            # are plan-order-invariant, so permuting each key back to
+            # source positions and sorting reproduces that sequence
+            assert order_keys is not None
+
+            def source_sequence(partial: _MTree) -> tuple:
+                enum_key = order_keys[id(partial)]
+                restored = [0] * (len(enum_key) - 1)
+                for processed_index, alt_index in enumerate(enum_key[1:]):
+                    restored[perm[processed_index]] = alt_index
+                return (enum_key[0], *restored)
+
+            partials.sort(key=source_sequence)
         memo[key] = partials
         return partials
 

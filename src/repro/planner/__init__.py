@@ -1,0 +1,78 @@
+"""Cost-based physical planning over index statistics.
+
+The translator fixes the *logical* plan; this package chooses its
+*physical* shape: structural-join edge order per pattern node, operator
+currency (trees vs columns), and join engine (fast path vs legacy) —
+each decision recorded as a chosen-vs-rejected
+:class:`~repro.planner.choice.PlanChoice` with cost estimates, and the
+whole run rolled up into a :class:`~repro.planner.choice.PlanDecision`
+(what ``explain --cost`` and the ``plan`` subcommand render).
+
+The model (:mod:`repro.planner.cost`) is arithmetic over
+:class:`~repro.storage.stats.CardinalityStats` and the static
+``card [lo, hi]`` bounds; the feedback loop
+(:mod:`repro.planner.feedback`) corrects it with cardinalities the
+runtime tracer actually measured, evicting cached plans whose shape a
+corrected model no longer picks.  Everything is annotation-only — a
+planned plan evaluates through the same operators and returns
+byte-identical results — and the whole layer sits behind the
+``REPRO_PLANNER`` toggle (default off), like the fast-path and batch
+runtimes before it.  docs/PLANNING.md is the guided tour.
+"""
+
+from .choice import CHOICE_KINDS, Alternative, PlanChoice, PlanDecision
+from .cost import (
+    BATCH_CONVERT_PER_ROW,
+    BATCH_SAVING_PER_ROW,
+    LEGACY_JOIN_FACTOR,
+    MAX_EXHAUSTIVE_EDGES,
+    PREDICATE_SELECTIVITY,
+    TREE_VETO_MARGIN,
+    UNKNOWN_COUNT,
+    CostModel,
+    EdgeEstimate,
+    PatternEstimate,
+    post_order,
+)
+from .feedback import (
+    FEEDBACK_CAPACITY,
+    RECOST_MARGIN,
+    FeedbackStore,
+    RecostResult,
+    observed_from_trace,
+    recost,
+    shape_cost,
+)
+from .planner import DECISION_MARGIN, currency_flow, plan_physical
+from .toggles import planner_enabled, set_planner, use_planner
+
+__all__ = [
+    "Alternative",
+    "BATCH_CONVERT_PER_ROW",
+    "BATCH_SAVING_PER_ROW",
+    "CHOICE_KINDS",
+    "CostModel",
+    "DECISION_MARGIN",
+    "EdgeEstimate",
+    "FEEDBACK_CAPACITY",
+    "FeedbackStore",
+    "LEGACY_JOIN_FACTOR",
+    "MAX_EXHAUSTIVE_EDGES",
+    "PREDICATE_SELECTIVITY",
+    "PatternEstimate",
+    "PlanChoice",
+    "PlanDecision",
+    "RECOST_MARGIN",
+    "RecostResult",
+    "TREE_VETO_MARGIN",
+    "UNKNOWN_COUNT",
+    "currency_flow",
+    "observed_from_trace",
+    "plan_physical",
+    "planner_enabled",
+    "post_order",
+    "recost",
+    "set_planner",
+    "shape_cost",
+    "use_planner",
+]

@@ -205,8 +205,11 @@ class ServiceStats:
     cancelled: int = 0
     legacy_retries: int = 0
     slow_queries: int = 0
+    #: cached plans evicted by the planner's feedback re-costing
+    plan_bumps: int = 0
     threads: int = 0
     mode: str = "thread"
+    planner: bool = False
     cache: CacheStats = field(default_factory=CacheStats)
     counters: Dict[str, int] = field(default_factory=dict)
     latency: Dict[str, Dict[str, object]] = field(default_factory=dict)
@@ -272,6 +275,15 @@ class QueryService:
         receiving one event per request; a private ring-only log is
         created when omitted.  Pass one with a ``sink_path`` to also
         persist events as JSON lines.
+    planner:
+        Cost-plan every freshly compiled TLC plan
+        (:func:`~repro.planner.plan_physical`) before it enters the
+        cache, and close the telemetry feedback loop: when a slow-query
+        capture shows a cached plan's observed cardinalities favour a
+        different physical shape, the plan is bumped out of the LRU and
+        the next request recompiles with the observed overrides.
+        ``None`` (the default) follows the process-wide
+        ``REPRO_PLANNER`` toggle.
     """
 
     def __init__(
@@ -288,6 +300,7 @@ class QueryService:
         slow_threshold: Optional[float] = None,
         slow_log_capacity: int = DEFAULT_SLOW_CAPACITY,
         query_log: Optional[QueryLog] = None,
+        planner: Optional[bool] = None,
     ) -> None:
         if threads <= 0:
             raise ServiceError("thread count must be positive")
@@ -322,6 +335,16 @@ class QueryService:
         self.slow_threshold = slow_threshold
         self.query_log = query_log if query_log is not None else QueryLog()
         self.slow_log = SlowQueryLog(capacity=slow_log_capacity)
+        if planner is None:
+            from ..planner import planner_enabled
+
+            planner = planner_enabled()
+        self.planner = bool(planner)
+        from ..planner.feedback import FeedbackStore
+
+        #: observed-cardinality overrides awaiting recompiles (feedback)
+        self.feedback = FeedbackStore()
+        self._plan_bumps = 0
         self._pool = ThreadPoolExecutor(
             max_workers=threads, thread_name_prefix="repro-query"
         )
@@ -363,7 +386,16 @@ class QueryService:
         generation = self.db.generation
 
         def compile_fn() -> TranslationResult:
-            translation = self.engine.plan(query, engine, optimize)
+            observed = (
+                self.feedback.overrides_for(key) if self.planner else None
+            )
+            translation = self.engine.plan(
+                query,
+                engine,
+                optimize,
+                planner=self.planner,
+                observed=observed,
+            )
             if self.strict and engine == "tlc":
                 from ..analysis import analyze
                 from ..errors import PlanValidationError
@@ -725,6 +757,8 @@ class QueryService:
                 # on every request
                 if status == "ok" and self.slow_log.should_capture(qhash):
                     trace_payload = self._capture_slow(prepared)
+                    if trace_payload is not None and self.planner:
+                        self._recost_slow(prepared, trace_payload)
             event = QueryLogEvent(
                 trace_id=new_trace_id(),
                 query_hash=qhash,
@@ -758,6 +792,38 @@ class QueryService:
                 prepared.engine, qhash, excerpt(prepared.text)
             )
             hist.observe(elapsed)
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+    def _recost_slow(
+        self, prepared: PreparedQuery, trace_payload: dict
+    ) -> None:
+        """Close the feedback loop for one slow-query capture.
+
+        Re-costs the cached plan against the cardinalities the tracer
+        actually measured; when the corrected model prefers a different
+        physical shape by more than the re-cost margin, the plan is
+        bumped out of the prepared-plan LRU and the observed map is
+        parked so the recompile serving the next request plans with it.
+        Defensive like the rest of ``_observe``: a feedback bug must not
+        fail a served query.
+        """
+        try:
+            from ..planner.feedback import observed_from_trace, recost
+
+            observed = observed_from_trace(trace_payload)
+            if not observed:
+                return
+            stats = self.engine.cardinality_stats()
+            verdict = recost(prepared.plan, stats, observed)
+            if not verdict.changed:
+                return
+            self.feedback.remember(prepared.key, observed)
+            if self.cache.invalidate(prepared.key):
+                self.db.metrics.planner_evictions += 1
+                with self._lock:
+                    self._plan_bumps += 1
+                telemetry.instrument("planner.bump")
         except Exception:  # pragma: no cover - defensive
             pass
 
@@ -832,8 +898,10 @@ class QueryService:
                 cancelled=self._cancelled,
                 legacy_retries=self._legacy_retries,
                 slow_queries=self._slow_queries,
+                plan_bumps=self._plan_bumps,
                 threads=self.threads,
                 mode=self.mode,
+                planner=self.planner,
                 cache=self.cache.stats(),
                 counters=self.db.metrics.snapshot(),
                 latency=latency,

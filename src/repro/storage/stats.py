@@ -67,6 +67,9 @@ COUNTER_FIELDS: Tuple[str, ...] = (
     "batch_ops",
     "batch_rows",
     "batch_fallbacks",
+    "planner_plans",
+    "planner_reorders",
+    "planner_evictions",
 )
 
 #: Metrics instance -> the per-thread cell dicts it has handed out.

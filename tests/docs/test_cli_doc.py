@@ -52,6 +52,7 @@ def test_the_page_documents_every_subcommand():
         "generate",
         "query",
         "explain",
+        "plan",
         "lint",
         "profile",
         "bench",

@@ -54,6 +54,7 @@ def test_every_operator_section_names_a_registered_operator():
     prose = {
         "Annotated pattern trees and edge annotations",
         "Batch forms",
+        "Cost hooks",
         "Setup shared by the examples",
     }
     text = DOC.read_text()

@@ -1,0 +1,48 @@
+"""The REPRO_PLANNER switch and its per-call/per-scope overrides."""
+
+from repro.planner import planner_enabled, set_planner, use_planner
+from repro.xmark import QUERIES
+
+
+def test_set_planner_returns_the_previous_setting():
+    before = planner_enabled()
+    try:
+        assert set_planner(True) == before
+        assert planner_enabled()
+        assert set_planner(False) is True
+        assert not planner_enabled()
+    finally:
+        set_planner(before)
+
+
+def test_use_planner_restores_on_exit_even_after_an_error():
+    before = planner_enabled()
+    try:
+        with use_planner(True):
+            assert planner_enabled()
+        assert planner_enabled() == before
+        try:
+            with use_planner(True):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert planner_enabled() == before
+    finally:
+        set_planner(before)
+
+
+def test_the_toggle_is_the_default_and_the_call_overrides_it(
+    xmark_engine,
+):
+    query = QUERIES["x9"].text
+    with use_planner(True):
+        translation = xmark_engine.plan(query)
+        assert getattr(translation.plan, "planner_decision", None)
+        # per-call override beats the scope
+        static = xmark_engine.plan(query, planner=False)
+        assert getattr(static.plan, "planner_decision", None) is None
+    with use_planner(False):
+        translation = xmark_engine.plan(query)
+        assert getattr(translation.plan, "planner_decision", None) is None
+        planned = xmark_engine.plan(query, planner=True)
+        assert planned.plan.planner_decision.reordered_sites == 1

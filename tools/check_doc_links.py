@@ -30,6 +30,7 @@ DEFAULT_DOCS = (
     "docs/ARCHITECTURE.md",
     "docs/OPERATORS.md",
     "docs/CLI.md",
+    "docs/PLANNING.md",
     "docs/OBSERVABILITY.md",
 )
 
