@@ -16,18 +16,27 @@ Commands:
   analyzer (no document needed; exits 1 on error diagnostics);
 * ``profile``  — EXPLAIN ANALYZE: run a query with the runtime tracer
   and print the plan annotated with per-operator wall time,
-  cardinalities and work-counter deltas;
+  cardinalities and work-counter deltas; ``--spans`` runs it through
+  the traced service instead and prints the request's span tree as
+  Chrome-trace-event JSON (load in Perfetto / ``chrome://tracing``);
+* ``calibrate`` — measure the cost model's constants on this machine:
+  run the benchmark queries under the tracer, distil per-operator
+  self-time-per-row and the legacy/batch constants into a calibration
+  table the planner loads via ``REPRO_CALIBRATION``;
 * ``prepare``  — compile a query through the service's prepared-plan
   cache and report what the cache would save on re-execution;
 * ``serve``    — run queries from stdin through the concurrent
   :class:`~repro.service.QueryService` (plan cache, thread pool,
   deadlines), one query per line; ``--http`` exposes ``/metrics``,
-  ``/stats``, ``/healthz`` and ``/slow`` while serving, ``--slow-ms``
-  arms slow-query capture, ``--query-log`` appends one JSON line per
-  request;
+  ``/stats``, ``/healthz``, ``/slow``, ``/trace`` and ``/workers``
+  while serving, ``--slow-ms`` arms slow-query capture, ``--spans``
+  records a span tree per request, ``--query-log`` appends one JSON
+  line per request, ``--feedback-file`` persists observed
+  cardinalities across restarts;
 * ``stats``    — summarise a query-log JSONL file (or fetch ``/stats``
   from a running ``serve --http``): request counts by status/engine,
-  cache hits, latency percentiles;
+  cache hits, latency percentiles; ``--workers`` fetches the
+  per-worker-process introspection instead;
 * ``tail``     — print the newest query-log events; ``--slow`` shows
   only slow queries with each capture's hottest operators.
 
@@ -135,14 +144,48 @@ def cmd_explain(args: argparse.Namespace) -> int:
                 "--cost is the cost-based planner's report; only tlc "
                 "plans carry the pattern statistics it prices"
             )
-        from .planner import plan_physical
+        from contextlib import nullcontext
 
-        decision = plan_physical(
-            translation.plan, engine.cardinality_stats()
+        from .planner import (
+            DEFAULT_CONSTANTS,
+            CalibrationTable,
+            active_calibration,
+            calibrated,
+            plan_physical,
+            use_calibration,
         )
-        print(translation.explain())
-        print()
-        print(decision.render())
+
+        scope = (
+            use_calibration(CalibrationTable.load(args.calibration))
+            if getattr(args, "calibration", None)
+            else nullcontext()
+        )
+        with scope:
+            decision = plan_physical(
+                translation.plan, engine.cardinality_stats()
+            )
+            print(translation.explain())
+            print()
+            print(decision.render())
+            print()
+            table = active_calibration()
+            if table is None:
+                print("cost constants: hand-fit defaults "
+                      "(no calibration table loaded)")
+            else:
+                print(
+                    "cost constants: calibrated on XMark factor "
+                    f"{table.factor:g} ({table.queries} queries, "
+                    f"unit {table.unit_us:g} us/work-unit)"
+                )
+            for name in sorted(DEFAULT_CONSTANTS):
+                value = calibrated(name)
+                default = DEFAULT_CONSTANTS[name]
+                suffix = (
+                    "" if value == default
+                    else f"  (default {default:g})"
+                )
+                print(f"  {name} = {value:g}{suffix}")
     else:
         print(translation.explain())
     return 0
@@ -236,6 +279,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
         raise ReproError("give the query either inline or via -q/-f")
     query = args.inline_query or _read_query(args)
     engine = _open_engine(args.document)
+    if getattr(args, "spans", False):
+        return _profile_spans(args, engine, query)
     report = engine.measure(
         query,
         engine=args.engine,
@@ -267,6 +312,84 @@ def cmd_profile(args: argparse.Namespace) -> int:
             f"(wall time includes parse + translate)",
             file=sys.stderr,
         )
+    return 0
+
+
+def _profile_spans(args: argparse.Namespace, engine, query: str) -> int:
+    """``profile --spans``: one traced request, Chrome-trace JSON out."""
+    import json
+
+    from .service import QueryService
+    from .telemetry.hooks import instrument
+    from .telemetry.spans import to_chrome_trace
+
+    if args.json or args.dot:
+        raise ReproError(
+            "--spans emits Chrome-trace JSON already; it does not "
+            "combine with --json or --dot"
+        )
+    mode = getattr(args, "mode", "thread") or "thread"
+    with QueryService(
+        engine,
+        threads=1,
+        mode=mode,
+        strict=args.strict,
+        spans=True,
+    ) as svc:
+        handle = svc.submit(
+            query, engine=args.engine, optimize=args.optimize
+        )
+        result = handle.result()
+        capture = svc.span_store.tail(1)[0]
+    instrument("spans.export")
+    print(json.dumps(to_chrome_trace([capture]), indent=2, sort_keys=True))
+    print(
+        f"-- trace {capture.trace_id}: {len(capture.spans)} spans over "
+        f"{len(result)} result trees under {mode} mode "
+        "(load the JSON in Perfetto / chrome://tracing)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from .planner import DEFAULT_CONSTANTS, check_table, run_calibration
+
+    def progress(message: str) -> None:
+        print(f"-- {message}", file=sys.stderr, flush=True)
+
+    table = run_calibration(
+        factor=args.factor,
+        repeats=args.repeats,
+        queries=args.queries or None,
+        progress=progress,
+    )
+    problems = check_table(table)
+    if problems:
+        for problem in problems:
+            print(f"error: calibration table invalid: {problem}",
+                  file=sys.stderr)
+        return 1
+    table.save(args.output)
+    measured = sum(
+        1 for entry in table.operators.values() if entry.get("measured")
+    )
+    print(f"wrote {args.output}")
+    print(
+        f"swept XMark factor {table.factor:g}: {table.queries} queries "
+        f"x {table.repeats} repeats, {measured}/{len(table.operators)} "
+        f"operators measured, unit {table.unit_us:g} us/work-unit"
+    )
+    for name in sorted(DEFAULT_CONSTANTS):
+        print(
+            f"  {name} = {getattr(table, name):g} "
+            f"(default {DEFAULT_CONSTANTS[name]:g})"
+        )
+    print(
+        f"activate with: REPRO_CALIBRATION={args.output} "
+        "(or planner.set_calibration)",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -326,6 +449,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         default_max_trees=args.max_trees,
         slow_threshold=slow_threshold,
         query_log=query_log,
+        spans=True if args.spans else None,
+        feedback_path=args.feedback_file,
     ) as svc:
         if args.mode == "process":
             pids = svc.prime()
@@ -337,7 +462,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             )
         server = None
         if args.http is not None:
-            from .telemetry.http import TelemetryServer
+            from .telemetry.http import ENDPOINTS, TelemetryServer
 
             server = TelemetryServer(svc, port=args.http)
             host, port = server.start()
@@ -345,7 +470,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             # stdin pipe open can find the endpoints while we serve
             print(
                 f"-- telemetry on http://{host}:{port} "
-                "(/metrics /stats /healthz /slow)",
+                f"({' '.join(ENDPOINTS)})",
                 file=sys.stderr,
                 flush=True,
             )
@@ -458,6 +583,41 @@ def _percentile_ms(values: list, q: float) -> float:
 def cmd_stats(args: argparse.Namespace) -> int:
     import json
 
+    if args.workers:
+        if not args.url:
+            raise ReproError(
+                "--workers reads live pool state; give --url of a "
+                "running serve --http"
+            )
+        payload = _fetch_json(args.url.rstrip("/") + "/workers")
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        method = payload.get("start_method")
+        print(
+            f"{payload.get('mode', '?')} mode, "
+            f"{payload.get('threads', 0)} workers"
+            + (f" ({method})" if method else "")
+            + f" | in flight={payload.get('in_flight', 0)}"
+            f" dispatched={payload.get('dispatched', 0)}"
+        )
+        for worker in payload.get("workers", []):
+            plans = worker.get("plans") or {}
+            load_ms = worker.get("snapshot_load_ms")
+            load = (
+                f"{float(load_ms):.1f} ms snapshot load"
+                if load_ms is not None
+                else "inherited database"
+            )
+            print(
+                f"  pid {worker.get('pid')}: "
+                f"{worker.get('requests', 0)} requests, "
+                f"{len(plans)} plan hash(es) "
+                f"({sum(plans.values())} executions), {load}"
+            )
+        if not payload.get("workers"):
+            print("  (no worker processes: thread mode or none primed)")
+        return 0
     if bool(args.log_file) == bool(args.url):
         raise ReproError("give exactly one of -f/--log-file or --url")
     if args.url:
@@ -705,8 +865,13 @@ def build_parser() -> argparse.ArgumentParser:
             command.add_argument(
                 "--cost", action="store_true",
                 help="append the cost-based planner's report: chosen "
-                "vs rejected physical shapes with cost estimates "
-                "(TLC only)",
+                "vs rejected physical shapes with cost estimates, plus "
+                "the calibrated-vs-default cost constants (TLC only)",
+            )
+            command.add_argument(
+                "--calibration", default=None, metavar="FILE",
+                help="with --cost: plan under this calibration table "
+                "(default: REPRO_CALIBRATION / hand-fit constants)",
             )
         command.set_defaults(func=func)
 
@@ -830,7 +995,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the trace as JSON (trace_to_json payload) instead "
         "of the text tree",
     )
+    profile.add_argument(
+        "--spans", action="store_true",
+        help="run the query through the traced service and emit the "
+        "request's span tree as Chrome-trace-event JSON "
+        "(Perfetto / chrome://tracing)",
+    )
+    profile.add_argument(
+        "--mode", choices=("thread", "process"), default="thread",
+        help="with --spans: execution backend — process adds the "
+        "worker-side spans (serialize, IPC, execute) to the trace",
+    )
     profile.set_defaults(func=cmd_profile)
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="measure the cost model's constants on a traced XMark "
+        "sweep and write a calibration table for REPRO_CALIBRATION",
+    )
+    calibrate.add_argument(
+        "--factor", type=float, default=0.05,
+        help="XMark scale factor to sweep (default 0.05)",
+    )
+    calibrate.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repetitions per configuration; the fastest run "
+        "counts (default 3)",
+    )
+    calibrate.add_argument(
+        "--queries", nargs="+", default=None, metavar="XQUERY",
+        help="calibrate on these query texts instead of the paper's "
+        "benchmark set",
+    )
+    calibrate.add_argument(
+        "-o", "--output", default="CALIBRATION.json",
+        help="where to write the table (default CALIBRATION.json)",
+    )
+    calibrate.set_defaults(func=cmd_calibrate)
 
     bench = sub.add_parser(
         "bench",
@@ -976,6 +1177,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="append one JSON line per request to this file "
         "(read back with 'stats -f' / 'tail -f')",
     )
+    serve.add_argument(
+        "--spans", action="store_true",
+        help="record a span tree per request (parse, plan, queue, "
+        "dispatch, worker execute, merge) served at /trace/<id> as "
+        "Chrome-trace JSON; default follows REPRO_SPANS",
+    )
+    serve.add_argument(
+        "--feedback-file", default=None, metavar="PATH",
+        help="load observed-cardinality feedback from this JSON file "
+        "at start and save it back on shutdown",
+    )
     serve.set_defaults(func=cmd_serve)
 
     stats = sub.add_parser(
@@ -994,6 +1206,11 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--json", action="store_true",
         help="print the aggregate as JSON instead of text",
+    )
+    stats.add_argument(
+        "--workers", action="store_true",
+        help="with --url: fetch /workers instead — per-worker-process "
+        "requests served, plans cached, snapshot load time",
     )
     stats.set_defaults(func=cmd_stats)
 

@@ -24,12 +24,20 @@ def runtime_flags() -> Dict[str, object]:
     from ..columns.arrays import numpy_available, numpy_enabled
     from ..columns.batch import batch_enabled
     from ..physical.structural_join import fast_path_enabled
-    from ..planner import planner_enabled
+    from ..planner import active_calibration, planner_enabled
+    from ..telemetry.spans import spans_enabled
 
+    calibration = active_calibration()
     return {
         "cpu_count": os.cpu_count() or 1,
         "fast_path": fast_path_enabled(),
         "batch": batch_enabled(),
         "numpy": numpy_enabled() and numpy_available(),
         "planner": planner_enabled(),
+        "spans": spans_enabled(),
+        "calibration": (
+            round(calibration.factor, 6)
+            if calibration is not None
+            else None
+        ),
     }

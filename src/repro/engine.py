@@ -26,7 +26,7 @@ from .errors import ReproError
 from .model.sequence import TreeSequence
 from .storage.database import DEFAULT_POOL_PAGES, Database
 from .storage.stats import CardinalityStats, QueryReport
-from .xquery.translator import TranslationResult, translate_query
+from .xquery.translator import TLCTranslator, TranslationResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .service import QueryService
@@ -125,11 +125,20 @@ class Engine:
         """
         _require_query_text(query)
         if engine == "tlc":
-            translation = translate_query(query)
+            # span() is a no-op thread-local read unless the calling
+            # thread is serving a traced service request
+            from .telemetry.spans import span
+            from .xquery.parser import parse_query
+
+            with span("parse"):
+                ast = parse_query(query)
+            with span("translate"):
+                translation = TLCTranslator().translate(ast)
             if optimize:
                 from .rewrites.pipeline import optimize_plan
 
-                translation = optimize_plan(translation)
+                with span("rewrite"):
+                    translation = optimize_plan(translation)
             if planner is None:
                 from .planner import planner_enabled
 
@@ -137,12 +146,13 @@ class Engine:
             if planner:
                 from .planner import plan_physical
 
-                plan_physical(
-                    translation.plan,
-                    self.cardinality_stats(),
-                    observed=observed,
-                    metrics=self.db.metrics,
-                )
+                with span("planner"):
+                    plan_physical(
+                        translation.plan,
+                        self.cardinality_stats(),
+                        observed=observed,
+                        metrics=self.db.metrics,
+                    )
             return translation
         if optimize:
             raise ReproError(

@@ -20,6 +20,19 @@ byte-identical results — and the whole layer sits behind the
 runtimes before it.  docs/PLANNING.md is the guided tour.
 """
 
+from .calibration import (
+    CALIBRATION_ENV,
+    DEFAULT_CALIBRATION_PATH,
+    DEFAULT_CONSTANTS,
+    CalibrationTable,
+    calibrated,
+    check_table,
+    expected_operator_names,
+    run_calibration,
+    set_calibration,
+    use_calibration,
+)
+from .calibration import active as active_calibration
 from .choice import CHOICE_KINDS, Alternative, PlanChoice, PlanDecision
 from .cost import (
     BATCH_CONVERT_PER_ROW,
@@ -50,8 +63,12 @@ __all__ = [
     "Alternative",
     "BATCH_CONVERT_PER_ROW",
     "BATCH_SAVING_PER_ROW",
+    "CALIBRATION_ENV",
     "CHOICE_KINDS",
+    "CalibrationTable",
     "CostModel",
+    "DEFAULT_CALIBRATION_PATH",
+    "DEFAULT_CONSTANTS",
     "DECISION_MARGIN",
     "EdgeEstimate",
     "FEEDBACK_CAPACITY",
@@ -66,13 +83,20 @@ __all__ = [
     "RecostResult",
     "TREE_VETO_MARGIN",
     "UNKNOWN_COUNT",
+    "active_calibration",
+    "calibrated",
+    "check_table",
     "currency_flow",
+    "expected_operator_names",
     "observed_from_trace",
     "plan_physical",
     "planner_enabled",
     "post_order",
     "recost",
+    "run_calibration",
+    "set_calibration",
     "set_planner",
     "shape_cost",
+    "use_calibration",
     "use_planner",
 ]

@@ -37,13 +37,9 @@ from ..core.base import Operator
 from ..core.select import SelectOp
 from ..patterns.apt import APTNode
 from ..storage.stats import CardinalityStats
+from .calibration import calibrated
 from .choice import PlanDecision
-from .cost import (
-    BATCH_CONVERT_PER_ROW,
-    BATCH_SAVING_PER_ROW,
-    CostModel,
-    post_order,
-)
+from .cost import CostModel, post_order
 from .planner import DECISION_MARGIN, currency_flow, plan_physical
 
 #: Fractional cost advantage the planner-best shape must show over the
@@ -152,8 +148,8 @@ def shape_cost(
     if currency == "batch":
         _, _, columnar_rows, boundary_rows = currency_flow(ops, rows)
         total += (
-            BATCH_CONVERT_PER_ROW * boundary_rows
-            - BATCH_SAVING_PER_ROW * columnar_rows
+            calibrated("batch_convert_per_row") * boundary_rows
+            - calibrated("batch_saving_per_row") * columnar_rows
         )
     return total
 
@@ -277,3 +273,76 @@ class FeedbackStore:
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    # -- persistence (serve --feedback-file) ---------------------------
+    def save(self, path: str) -> int:
+        """Write the store as JSON; returns the entry count written.
+
+        Entries whose key is not a
+        :class:`~repro.service.cache.PlanCacheKey` (tests park ad-hoc
+        keys) are skipped — the file format only promises plan-cache
+        keys.  Oldest-first, so a load replays insertion order and the
+        LRU ends up in the same recency order it was saved in.
+        """
+        import json
+
+        from ..service.cache import PlanCacheKey
+
+        with self._lock:
+            entries = [
+                {
+                    "text": key.text,
+                    "engine": key.engine,
+                    "optimize": key.optimize,
+                    "observed": {
+                        str(index): card
+                        for index, card in observed.items()
+                    },
+                }
+                for key, observed in self._entries.items()
+                if isinstance(key, PlanCacheKey)
+            ]
+        payload = {"version": 1, "entries": entries}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return len(entries)
+
+    def load(self, path: str) -> int:
+        """Merge entries from ``path``; returns how many were loaded.
+
+        A missing file is fine (fresh service, nothing observed yet);
+        an unknown version or malformed payload loads nothing rather
+        than guessing.
+        """
+        import json
+        import os
+
+        from ..service.cache import PlanCacheKey
+
+        if not os.path.exists(path):
+            return 0
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return 0
+        if not isinstance(payload, dict) or payload.get("version") != 1:
+            return 0
+        loaded = 0
+        for entry in payload.get("entries", ()):
+            try:
+                key = PlanCacheKey(
+                    text=str(entry["text"]),
+                    engine=str(entry["engine"]),
+                    optimize=bool(entry["optimize"]),
+                )
+                observed = {
+                    int(index): int(card)
+                    for index, card in entry["observed"].items()
+                }
+            except (KeyError, TypeError, ValueError):
+                continue
+            self.remember(key, observed)
+            loaded += 1
+        return loaded

@@ -41,11 +41,10 @@ from ..core.select import SelectOp
 from ..patterns.apt import APTNode
 from ..storage.database import Database
 from ..storage.stats import CardinalityStats
+from .calibration import active as active_calibration
+from .calibration import calibrated
 from .choice import Alternative, PlanChoice, PlanDecision
 from .cost import (
-    BATCH_CONVERT_PER_ROW,
-    BATCH_SAVING_PER_ROW,
-    LEGACY_JOIN_FACTOR,
     TREE_VETO_MARGIN,
     CostModel,
     PatternEstimate,
@@ -132,6 +131,10 @@ def plan_physical(
         if metrics is None:
             metrics = database.metrics
     model = CostModel(stats, observed=observed)
+    if active_calibration() is not None:
+        from ..telemetry.hooks import instrument
+
+        instrument("calibration.applied")
     decision = PlanDecision()
     ops = post_order(plan)
     op_index = {id(op): i for i, op in enumerate(ops)}
@@ -236,8 +239,8 @@ def plan_physical(
     native, consumers, columnar_rows, boundary_rows = currency_flow(
         ops, rows
     )
-    batch_saving = BATCH_SAVING_PER_ROW * columnar_rows
-    batch_price = BATCH_CONVERT_PER_ROW * boundary_rows
+    batch_saving = calibrated("batch_saving_per_row") * columnar_rows
+    batch_price = calibrated("batch_convert_per_row") * boundary_rows
     # batch is the measured default (BENCH_8); the veto to per-tree
     # execution needs the conversion price to *clearly* dominate
     batch_wins = batch_price <= batch_saving * TREE_VETO_MARGIN
@@ -295,7 +298,8 @@ def plan_physical(
     # join engine: merge-cursor fast path vs legacy
     # ------------------------------------------------------------------
     fast_cost = scan_work + join_work
-    legacy_cost = scan_work + join_work * LEGACY_JOIN_FACTOR
+    legacy_factor = calibrated("legacy_join_factor")
+    legacy_cost = scan_work + join_work * legacy_factor
     decision.engine = "fast"
     decision.choices.append(
         PlanChoice(
@@ -309,7 +313,7 @@ def plan_physical(
                 Alternative(
                     label="legacy", cost=round(legacy_cost, 1),
                     detail=(
-                        f"per-call probe rebuilds, x{LEGACY_JOIN_FACTOR} "
+                        f"per-call probe rebuilds, x{legacy_factor:g} "
                         "join work"
                     ),
                 )

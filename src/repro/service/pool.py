@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import tempfile
 import threading
 import time
@@ -103,6 +104,12 @@ class WorkItem:
     prepared: "PreparedQuery"
     deadline: Optional[float]
     max_trees: Optional[int]
+    #: Trace context: the request's correlation id, and whether the
+    #: worker should measure its own phases (deserialize / execute /
+    #: result serialize) as wall-anchored span records.  Both default
+    #: off so the spans-disabled wire format is byte-compatible.
+    trace_id: Optional[str] = None
+    spans: bool = False
 
 
 @dataclass
@@ -129,6 +136,15 @@ class WorkerResult:
     telemetry: Optional[Dict[str, Any]] = None
     legacy_retried: bool = False
     pid: int = 0
+    #: Worker-side span records (wall-anchored dicts) when the item was
+    #: dispatched with ``spans=True``; reconciled by the dispatcher via
+    #: :meth:`~repro.telemetry.spans.SpanRecorder.add_remote`.
+    spans: Optional[List[Dict[str, Any]]] = None
+    #: Per-worker introspection snapshot (requests served, plans seen
+    #: by plan hash, snapshot load ms, last heartbeat) — piggybacked on
+    #: every result so the dispatcher's registry stays current without
+    #: extra IPC.
+    worker_info: Optional[Dict[str, Any]] = None
 
 
 # ---------------------------------------------------------------------------
@@ -166,6 +182,7 @@ def _init_worker(
     future breaks), which is the right behaviour: a worker that cannot
     produce a verified database must not answer queries.
     """
+    load_started = time.perf_counter()
     if fork_token is not None:
         with _FORK_DBS_LOCK:
             db = _FORK_DBS.get(fork_token)
@@ -181,10 +198,20 @@ def _init_worker(
     with _WORKER_STATE_LOCK:
         _WORKER_STATE["db"] = db
         _WORKER_STATE["retry_legacy"] = bool(retry_legacy)
+        _WORKER_STATE["started_wall"] = time.time()
+        _WORKER_STATE["requests"] = 0
+        _WORKER_STATE["plan_hashes"] = {}
+        _WORKER_STATE["last_heartbeat"] = time.time()
     # a fresh registry: fork-inherited parent history must not be
     # re-shipped to the dispatcher inside this worker's deltas
     telemetry.set_registry(MetricsRegistry())
     _warm(db)
+    # snapshot load ms covers materialization *and* index warm-up: both
+    # are start-up cost the first request would otherwise pay
+    with _WORKER_STATE_LOCK:
+        _WORKER_STATE["snapshot_load_ms"] = round(
+            (time.perf_counter() - load_started) * 1000, 3
+        )
 
 
 def _warm(db: Database) -> None:
@@ -195,8 +222,37 @@ def _warm(db: Database) -> None:
             tag_index.count(tag)
 
 
-def _ping(hold_seconds: float = 0.0) -> Tuple[int, int]:
-    """Liveness probe: (worker pid, documents materialized).
+#: Distinct plan hashes a worker tracks before new ones fold into the
+#: ``other`` bucket (bounds the per-result introspection payload).
+MAX_WORKER_PLAN_HASHES = 64
+
+
+def _worker_info_snapshot() -> Dict[str, Any]:
+    """This worker's introspection record (shipped with every result)."""
+    with _WORKER_STATE_LOCK:
+        return {
+            "pid": os.getpid(),
+            "requests": int(_WORKER_STATE.get("requests", 0)),
+            "plans": dict(_WORKER_STATE.get("plan_hashes", {})),
+            "snapshot_load_ms": _WORKER_STATE.get("snapshot_load_ms"),
+            "started_wall": _WORKER_STATE.get("started_wall"),
+            "last_heartbeat": _WORKER_STATE.get("last_heartbeat"),
+        }
+
+
+def _note_request(plan_hash: str) -> None:
+    """Bump this worker's served-request and plan-hash bookkeeping."""
+    with _WORKER_STATE_LOCK:
+        _WORKER_STATE["requests"] = int(_WORKER_STATE.get("requests", 0)) + 1
+        _WORKER_STATE["last_heartbeat"] = time.time()
+        plans = _WORKER_STATE.setdefault("plan_hashes", {})
+        if plan_hash not in plans and len(plans) >= MAX_WORKER_PLAN_HASHES:
+            plan_hash = "other"
+        plans[plan_hash] = plans.get(plan_hash, 0) + 1
+
+
+def _ping(hold_seconds: float = 0.0) -> Tuple[int, int, Dict[str, Any]]:
+    """Liveness probe: (worker pid, documents materialized, worker info).
 
     ``hold_seconds`` keeps the probed worker busy briefly so a batch of
     probes cannot all be drained by the first worker to come up — the
@@ -204,11 +260,12 @@ def _ping(hold_seconds: float = 0.0) -> Tuple[int, int]:
     """
     with _WORKER_STATE_LOCK:
         db = _WORKER_STATE.get("db")
+        _WORKER_STATE["last_heartbeat"] = time.time()
     if db is None:
         raise ServiceError("worker has no database (initializer did not run)")
     if hold_seconds > 0:
         time.sleep(hold_seconds)
-    return os.getpid(), len(db.document_names())
+    return os.getpid(), len(db.document_names()), _worker_info_snapshot()
 
 
 def _execute_item(item: WorkItem) -> WorkerResult:
@@ -223,6 +280,9 @@ def _execute_item(item: WorkItem) -> WorkerResult:
             error_text="worker has no database (initializer did not run)",
             pid=os.getpid(),
         )
+    from ..telemetry.querylog import query_hash
+
+    _note_request(query_hash(item.prepared.key.text))
     limits = ExecutionLimits(deadline=item.deadline, max_trees=item.max_trees)
     counters_before = db.metrics.local_snapshot()
     registry = telemetry.get_registry()
@@ -269,7 +329,66 @@ def _execute_item(item: WorkItem) -> WorkerResult:
         telemetry=diff_states(telemetry_before, registry.export_state()),
         legacy_retried=legacy_retried,
         pid=os.getpid(),
+        worker_info=_worker_info_snapshot(),
     )
+
+
+def _execute_blob(blob: bytes) -> Tuple[bytes, List[Dict[str, Any]]]:
+    """Traced worker body: time every wire phase the dispatcher cannot.
+
+    The spans-enabled dispatch path ships the pickled :class:`WorkItem`
+    as an opaque blob so *this* function owns both pickle hops and can
+    time them: payload deserialize, plan execution, result serialize.
+    Each phase is reported as a wall-anchored span record — the worker
+    pins one ``(perf_counter, time.time())`` pair at entry and converts
+    its monotonic readings through it, which is what lets the
+    dispatcher reconcile worker-relative clocks onto the request
+    timeline under both ``fork`` and ``spawn``.  The result travels
+    back pre-pickled (the executor pickles the small outer tuple again;
+    that hop is charged to IPC, where it belongs).
+    """
+    wall0 = time.time()
+    perf0 = time.perf_counter()
+
+    def wall(perf: float) -> float:
+        return wall0 + (perf - perf0)
+
+    item: WorkItem = pickle.loads(blob)
+    t_loaded = time.perf_counter()
+    result = _execute_item(item)
+    t_executed = time.perf_counter()
+    payload = pickle.dumps(result, pickle.HIGHEST_PROTOCOL)
+    t_serialized = time.perf_counter()
+    records: List[Dict[str, Any]] = [
+        {
+            "name": "worker",
+            "start": wall0,
+            "end": wall(t_serialized),
+            "parent": None,
+            "tags": {"pid": os.getpid(), "status": result.status},
+        },
+        {
+            "name": "worker.deserialize",
+            "start": wall0,
+            "end": wall(t_loaded),
+            "parent": "worker",
+            "tags": {"bytes": len(blob)},
+        },
+        {
+            "name": "worker.execute",
+            "start": wall(t_loaded),
+            "end": wall(t_executed),
+            "parent": "worker",
+        },
+        {
+            "name": "worker.result_serialize",
+            "start": wall(t_executed),
+            "end": wall(t_serialized),
+            "parent": "worker",
+            "tags": {"bytes": len(payload)},
+        },
+    ]
+    return payload, records
 
 
 def _evaluate_guarded(
@@ -351,6 +470,12 @@ class WorkerPool:
         self._owns_snapshot = False
         self._close_lock = threading.Lock()
         self._closed = False
+        #: dispatcher-side introspection: pid -> latest worker_info
+        #: snapshot (updated from every result and prime probe)
+        self._registry_lock = threading.Lock()
+        self._worker_registry: Dict[int, Dict[str, Any]] = {}
+        self._in_flight = 0
+        self._dispatched = 0
         if method == "fork":
             token = _fork_token_for(db)
             with _FORK_DBS_LOCK:
@@ -374,9 +499,60 @@ class WorkerPool:
             initargs=initargs,
         )
 
+    def _track(self, future: "Future[Any]") -> None:
+        with self._registry_lock:
+            self._in_flight += 1
+            self._dispatched += 1
+        future.add_done_callback(self._untrack)
+
+    def _untrack(self, future: "Future[Any]") -> None:
+        with self._registry_lock:
+            self._in_flight -= 1
+
     def submit(self, item: WorkItem) -> "Future[WorkerResult]":
         """Queue one request on the worker processes."""
-        return self._executor.submit(_execute_item, item)
+        future = self._executor.submit(_execute_item, item)
+        self._track(future)
+        return future
+
+    def submit_blob(self, blob: bytes) -> "Future[Tuple[bytes, List[Dict[str, Any]]]]":
+        """Queue one pre-pickled request on the traced wire path.
+
+        The spans-enabled dispatcher pickles the :class:`WorkItem`
+        itself (timing the hop) and ships the blob; the worker times
+        its own deserialize / execute / result-serialize phases — see
+        :func:`_execute_blob`.
+        """
+        future = self._executor.submit(_execute_blob, blob)
+        self._track(future)
+        return future
+
+    def note_worker(self, info: Optional[Dict[str, Any]]) -> None:
+        """Fold one worker_info snapshot into the dispatcher registry."""
+        if not info or "pid" not in info:
+            return
+        with self._registry_lock:
+            self._worker_registry[int(info["pid"])] = dict(info)
+
+    def worker_info(self) -> List[Dict[str, Any]]:
+        """Latest per-worker snapshots, sorted by pid."""
+        with self._registry_lock:
+            return [
+                dict(info)
+                for _, info in sorted(self._worker_registry.items())
+            ]
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently dispatched and not yet resolved."""
+        with self._registry_lock:
+            return self._in_flight
+
+    @property
+    def dispatched(self) -> int:
+        """Requests ever dispatched to the worker processes."""
+        with self._registry_lock:
+            return self._dispatched
 
     def prime(self, timeout: Optional[float] = None) -> List[int]:
         """Start and warm every worker now; returns their pids.
@@ -384,13 +560,20 @@ class WorkerPool:
         The executor starts processes on demand, one per outstanding
         item — submitting ``workers`` probes forces the whole fleet up
         front so the first real requests (and benchmark rounds) do not
-        pay process start + database materialization.
+        pay process start + database materialization.  Each probe also
+        seeds the dispatcher-side worker registry (``/workers`` shows
+        the fleet before the first request lands).
         """
         hold = 0.2 if self.workers > 1 else 0.0
         probes = [
             self._executor.submit(_ping, hold) for _ in range(self.workers)
         ]
-        return sorted({probe.result(timeout)[0] for probe in probes})
+        pids = set()
+        for probe in probes:
+            pid, _, info = probe.result(timeout)
+            pids.add(pid)
+            self.note_worker(info)
+        return sorted(pids)
 
     def close(self, wait: bool = True) -> None:
         """Shut workers down and release the handoff artifacts."""

@@ -41,6 +41,7 @@ single-threaded, and cannot be stopped once started.
 
 from __future__ import annotations
 
+import pickle
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -72,6 +73,7 @@ from ..errors import (
 from ..model.sequence import TreeSequence
 from ..storage.database import Database
 from ..telemetry import hooks as telemetry
+from ..telemetry import spans as spanlib
 from ..telemetry.hooks import new_latency_histogram
 from ..telemetry.querylog import (
     DEFAULT_SLOW_CAPACITY,
@@ -82,6 +84,7 @@ from ..telemetry.querylog import (
     new_trace_id,
     query_hash,
 )
+from ..telemetry.spans import SpanRecorder, SpanStore, bind_recorder
 from ..telemetry.registry import Histogram
 from ..xquery.translator import TranslationResult
 from .cache import CacheStats, PlanCache, PlanCacheKey, normalize_query
@@ -210,6 +213,7 @@ class ServiceStats:
     threads: int = 0
     mode: str = "thread"
     planner: bool = False
+    spans: bool = False
     cache: CacheStats = field(default_factory=CacheStats)
     counters: Dict[str, int] = field(default_factory=dict)
     latency: Dict[str, Dict[str, object]] = field(default_factory=dict)
@@ -284,6 +288,18 @@ class QueryService:
         the next request recompiles with the observed overrides.
         ``None`` (the default) follows the process-wide
         ``REPRO_PLANNER`` toggle.
+    spans:
+        Record a full span tree for every request (parse → plan-cache →
+        queue → dispatch → merge, across the worker boundary in process
+        mode) into :attr:`span_store`, served by ``/trace/<id>`` and
+        exportable as Chrome-trace JSON.  ``None`` (the default)
+        follows the process-wide ``REPRO_SPANS`` toggle; with spans off
+        the per-request cost is one boolean test.
+    feedback_path:
+        JSON file the planner feedback store round-trips through: its
+        observed-cardinality overrides are loaded at startup (missing
+        file is fine) and saved on :meth:`close`, so re-costing
+        verdicts survive a service restart.
     """
 
     def __init__(
@@ -301,6 +317,8 @@ class QueryService:
         slow_log_capacity: int = DEFAULT_SLOW_CAPACITY,
         query_log: Optional[QueryLog] = None,
         planner: Optional[bool] = None,
+        spans: Optional[bool] = None,
+        feedback_path: Optional[str] = None,
     ) -> None:
         if threads <= 0:
             raise ServiceError("thread count must be positive")
@@ -340,10 +358,19 @@ class QueryService:
 
             planner = planner_enabled()
         self.planner = bool(planner)
+        if spans is None:
+            spans = spanlib.spans_enabled()
+        self.spans = bool(spans)
+        #: finished span captures behind /trace/<id> (always present so
+        #: callers can flip spans on without re-wiring endpoints)
+        self.span_store = SpanStore()
         from ..planner.feedback import FeedbackStore
 
         #: observed-cardinality overrides awaiting recompiles (feedback)
         self.feedback = FeedbackStore()
+        self.feedback_path = feedback_path
+        if feedback_path is not None:
+            self.feedback.load(feedback_path)
         self._plan_bumps = 0
         self._pool = ThreadPoolExecutor(
             max_workers=threads, thread_name_prefix="repro-query"
@@ -389,13 +416,14 @@ class QueryService:
             observed = (
                 self.feedback.overrides_for(key) if self.planner else None
             )
-            translation = self.engine.plan(
-                query,
-                engine,
-                optimize,
-                planner=self.planner,
-                observed=observed,
-            )
+            with spanlib.span("compile", engine=engine):
+                translation = self.engine.plan(
+                    query,
+                    engine,
+                    optimize,
+                    planner=self.planner,
+                    observed=observed,
+                )
             if self.strict and engine == "tlc":
                 from ..analysis import analyze
                 from ..errors import PlanValidationError
@@ -408,9 +436,10 @@ class QueryService:
                     )
             return translation
 
-        translation, hit = self.cache.get_or_compile(
-            key, generation, compile_fn
-        )
+        with spanlib.span("plan_cache"):
+            translation, hit = self.cache.get_or_compile(
+                key, generation, compile_fn
+            )
         return PreparedQuery(
             text=query,
             engine=engine,
@@ -437,10 +466,34 @@ class QueryService:
         ``query`` may be raw text (prepared through the cache first) or
         an existing :class:`PreparedQuery`.  ``deadline``/``max_trees``
         default to the service-wide budgets.
+
+        Every request gets a trace id here — the same id its query-log
+        event carries, so log lines join against exported span files.
+        With spans on, a :class:`SpanRecorder` starts now: preparation
+        runs inside a ``prepare`` span on this thread, and the ``queue``
+        span opened before the pool hand-off measures the wait until a
+        worker thread picks the request up.
         """
         self._ensure_open()
+        trace_id = new_trace_id()
+        recorder = SpanRecorder(trace_id) if self.spans else None
         if isinstance(query, PreparedQuery):
             prepared = query
+        elif recorder is not None:
+            try:
+                with bind_recorder(recorder):
+                    with recorder.span(
+                        "prepare", {"engine": engine}
+                    ) as sid:
+                        prepared = self.prepare(
+                            query, engine=engine, optimize=optimize
+                        )
+                    recorder.annotate(sid, cache_hit=prepared.cache_hit)
+            except Exception:
+                # compile failures never reach _observe; freeze the
+                # partial capture so the failed request stays traceable
+                self.span_store.put(recorder.finish(status="error"))
+                raise
         else:
             prepared = self.prepare(query, engine=engine, optimize=optimize)
         limits = ExecutionLimits(
@@ -451,7 +504,10 @@ class QueryService:
                 max_trees if max_trees is not None else self.default_max_trees
             ),
         )
-        future = self._pool.submit(self._run, prepared, limits)
+        queue_sid = recorder.begin("queue") if recorder is not None else None
+        future = self._pool.submit(
+            self._run, prepared, limits, trace_id, recorder, queue_sid
+        )
         return QueryHandle(
             future, limits, prepared, on_queue_cancel=self._count_queue_cancel
         )
@@ -514,7 +570,12 @@ class QueryService:
     # the worker body
     # ------------------------------------------------------------------
     def _run(
-        self, prepared: PreparedQuery, limits: ExecutionLimits
+        self,
+        prepared: PreparedQuery,
+        limits: ExecutionLimits,
+        trace_id: Optional[str] = None,
+        recorder: Optional[SpanRecorder] = None,
+        queue_sid: Optional[int] = None,
     ) -> TreeSequence:
         """Execute one prepared plan with a fresh, request-scoped context.
 
@@ -527,12 +588,18 @@ class QueryService:
         their deltas to whichever request happened to finish first).
         """
         started = time.perf_counter()
+        if recorder is not None and queue_sid is not None:
+            recorder.end(queue_sid)
         before = self.db.metrics.local_snapshot()
         status = "ok"
         error_text: Optional[str] = None
         result_trees = 0
         try:
-            result = self._run_guarded(prepared, limits)
+            if recorder is not None:
+                with bind_recorder(recorder), recorder.span("execute"):
+                    result = self._run_guarded(prepared, limits, recorder)
+            else:
+                result = self._run_guarded(prepared, limits, None)
             result_trees = len(result)
             return result
         except BaseException as error:
@@ -561,6 +628,8 @@ class QueryService:
                 elapsed,
                 result_trees,
                 self.db.metrics.local_diff(before),
+                trace_id=trace_id,
+                recorder=recorder,
             )
             # counted last so an ``executed == N`` stats read implies the
             # telemetry for all N requests is already in the registry
@@ -568,11 +637,14 @@ class QueryService:
                 self._executed += 1
 
     def _run_guarded(
-        self, prepared: PreparedQuery, limits: ExecutionLimits
+        self,
+        prepared: PreparedQuery,
+        limits: ExecutionLimits,
+        recorder: Optional[SpanRecorder] = None,
     ) -> TreeSequence:
         """Evaluate with the graceful-degradation retry around it."""
         if self._worker_pool is not None:
-            return self._run_process(prepared, limits)
+            return self._run_process(prepared, limits, recorder)
         try:
             return self._evaluate(prepared, limits)
         except ExecutionLimitError:
@@ -616,7 +688,10 @@ class QueryService:
     # process-mode dispatch
     # ------------------------------------------------------------------
     def _run_process(
-        self, prepared: PreparedQuery, limits: ExecutionLimits
+        self,
+        prepared: PreparedQuery,
+        limits: ExecutionLimits,
+        recorder: Optional[SpanRecorder] = None,
     ) -> TreeSequence:
         """Ship one request to a worker process and merge its result.
 
@@ -644,7 +719,11 @@ class QueryService:
             prepared=prepared,
             deadline=remaining,
             max_trees=limits.max_trees,
+            trace_id=recorder.trace_id if recorder is not None else None,
+            spans=recorder is not None,
         )
+        if recorder is not None:
+            return self._dispatch_traced(item, limits, recorder)
         try:
             future = self._worker_pool.submit(item)
         except Exception as error:
@@ -663,6 +742,99 @@ class QueryService:
                 raise WorkerError(type(error).__name__, str(error)) from error
         return self._merge_worker_result(worker_result)
 
+    def _dispatch_traced(
+        self,
+        item: "object",
+        limits: ExecutionLimits,
+        recorder: SpanRecorder,
+    ) -> TreeSequence:
+        """The traced twin of the dispatch loop: measure the wire.
+
+        The dispatcher pickles the :class:`~repro.service.pool.WorkItem`
+        itself (so payload serialization is a real, timed span) and
+        ships the blob through
+        :meth:`~repro.service.pool.WorkerPool.submit_blob`; the worker
+        side times deserialize / execute / result-serialize against its
+        own perf clock anchored to the wall, and ``add_remote`` maps
+        those records back onto this recorder's timeline, clamped into
+        the ``dispatch`` span so bounded clock skew cannot escape the
+        phase.  The gaps between our send/receive instants and the
+        worker's window become the ``ipc_send`` / ``ipc_recv`` spans —
+        executor queueing plus both pickle hops over the pipe.
+        """
+        assert self._worker_pool is not None
+        dispatch_sid = recorder.begin("dispatch")
+        try:
+            with recorder.span("serialize") as sid:
+                blob = pickle.dumps(item, pickle.HIGHEST_PROTOCOL)
+            recorder.annotate(sid, bytes=len(blob))
+            # send/receive instants come off the recorder's own perf
+            # timeline (wall-vs-perf drift must not reorder dispatcher
+            # spans); only the worker's endpoints need the wall bridge
+            t_sent = recorder.now()
+            try:
+                future = self._worker_pool.submit_blob(blob)
+            except Exception as error:
+                raise WorkerError(
+                    type(error).__name__, str(error)
+                ) from error
+            while True:
+                try:
+                    payload = future.result(_DISPATCH_POLL_SECONDS)
+                    break
+                except FuturesTimeoutError:
+                    if limits.cancelled:
+                        future.add_done_callback(self._absorb_abandoned)
+                        raise QueryCancelledError() from None
+                except Exception as error:
+                    raise WorkerError(
+                        type(error).__name__, str(error)
+                    ) from error
+            t_recv = recorder.now()
+            result_blob, wire_records = payload
+            with recorder.span("result_deserialize") as sid:
+                worker_result = pickle.loads(result_blob)
+            recorder.annotate(sid, bytes=len(result_blob))
+            window = (recorder.start_of(dispatch_sid), recorder.now())
+            recorder.add_remote(
+                wire_records,
+                parent=dispatch_sid,
+                pid=worker_result.pid,
+                window=window,
+            )
+            if wire_records:
+                # the worker's outermost record brackets its whole stay;
+                # the gaps against our send/receive instants are the IPC
+                # spans (executor queueing + both pipe pickle hops)
+                w_start = min(
+                    max(
+                        recorder.wall_to_timeline(
+                            float(wire_records[0]["start"])
+                        ),
+                        t_sent,
+                    ),
+                    t_recv,
+                )
+                w_end = min(
+                    max(
+                        recorder.wall_to_timeline(
+                            float(wire_records[0]["end"])
+                        ),
+                        w_start,
+                    ),
+                    t_recv,
+                )
+                recorder.record(
+                    "ipc_send", t_sent, w_start, parent=dispatch_sid
+                )
+                recorder.record(
+                    "ipc_recv", w_end, t_recv, parent=dispatch_sid
+                )
+            with recorder.span("merge"):
+                return self._merge_worker_result(worker_result)
+        finally:
+            recorder.end(dispatch_sid)
+
     def _merge_worker_result(self, wr: "WorkerResult") -> TreeSequence:
         """Fold a worker's deltas into this process; return or re-raise.
 
@@ -670,6 +842,8 @@ class QueryService:
         ``_run`` window that is timing this request — so the query-log
         row attributes the remote work to the right request.
         """
+        if wr.worker_info and self._worker_pool is not None:
+            self._worker_pool.note_worker(wr.worker_info)
         if wr.counters:
             self.db.metrics.merge(wr.counters)
         if wr.telemetry is not None and telemetry.enabled():
@@ -702,6 +876,11 @@ class QueryService:
             if future.cancelled() or future.exception() is not None:
                 return
             wr = future.result()
+            if isinstance(wr, tuple):
+                # traced dispatch ships (result blob, wire records)
+                wr = pickle.loads(wr[0])
+            if wr.worker_info and self._worker_pool is not None:
+                self._worker_pool.note_worker(wr.worker_info)
             if wr.counters:
                 self.db.metrics.merge(wr.counters)
             if wr.telemetry is not None and telemetry.enabled():
@@ -732,13 +911,17 @@ class QueryService:
         elapsed: float,
         result_trees: int,
         delta: Dict[str, int],
+        trace_id: Optional[str] = None,
+        recorder: Optional[SpanRecorder] = None,
     ) -> None:
         """Record one finished request: log event, metrics, latency.
 
         Runs in the worker thread *after* the result future resolves;
         it must never raise into the caller (a telemetry bug must not
         turn a good result into a failed query), so everything here is
-        defensive.
+        defensive.  ``trace_id`` is the id minted in :meth:`submit` —
+        the query-log row and the span capture carry the same one, so
+        ``tail`` output joins against exported span files.
         """
         try:
             qhash = query_hash(prepared.key.text)
@@ -759,8 +942,15 @@ class QueryService:
                     trace_payload = self._capture_slow(prepared)
                     if trace_payload is not None and self.planner:
                         self._recost_slow(prepared, trace_payload)
+            if recorder is not None:
+                capture = recorder.finish(status=status, slow=slow)
+                self.span_store.put(capture)
+                if telemetry.enabled():
+                    telemetry.instrument("spans.request")
+                    if slow:
+                        telemetry.instrument("spans.slow")
             event = QueryLogEvent(
-                trace_id=new_trace_id(),
+                trace_id=trace_id if trace_id is not None else new_trace_id(),
                 query_hash=qhash,
                 query=excerpt(prepared.text),
                 engine=prepared.engine,
@@ -902,6 +1092,7 @@ class QueryService:
                 threads=self.threads,
                 mode=self.mode,
                 planner=self.planner,
+                spans=self.spans,
                 cache=self.cache.stats(),
                 counters=self.db.metrics.snapshot(),
                 latency=latency,
@@ -913,6 +1104,29 @@ class QueryService:
         if self._worker_pool is None:
             return None
         return self._worker_pool.start_method
+
+    def workers(self) -> Dict[str, object]:
+        """Per-worker introspection (the ``/workers`` endpoint's body).
+
+        Process mode reports one entry per worker process — requests
+        served, plans cached by plan hash, snapshot load milliseconds,
+        last heartbeat — plus the pool-level in-flight and dispatched
+        gauges.  Thread mode has no worker processes; the shape stays
+        identical with an empty worker list so callers need no branch.
+        """
+        payload: Dict[str, object] = {
+            "mode": self.mode,
+            "threads": self.threads,
+            "start_method": self.start_method,
+            "in_flight": 0,
+            "dispatched": 0,
+            "workers": [],
+        }
+        if self._worker_pool is not None:
+            payload["in_flight"] = self._worker_pool.in_flight
+            payload["dispatched"] = self._worker_pool.dispatched
+            payload["workers"] = self._worker_pool.worker_info()
+        return payload
 
     def prime(self, timeout: Optional[float] = None) -> List[int]:
         """Start and warm every worker now; returns worker pids.
@@ -933,6 +1147,11 @@ class QueryService:
         self._pool.shutdown(wait=wait)
         if self._worker_pool is not None:
             self._worker_pool.close(wait=wait)
+        if self.feedback_path is not None:
+            try:
+                self.feedback.save(self.feedback_path)
+            except OSError:  # pragma: no cover - disk full / perms
+                pass
         self.query_log.close()
 
     def _ensure_open(self) -> None:

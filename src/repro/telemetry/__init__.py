@@ -49,6 +49,20 @@ from .registry import (
     HistogramSnapshot,
     MetricsRegistry,
 )
+from .spans import (
+    Span,
+    SpanCapture,
+    SpanRecorder,
+    SpanStore,
+    bind_recorder,
+    check_chrome_trace,
+    current_recorder,
+    set_spans,
+    span,
+    spans_enabled,
+    to_chrome_trace,
+    use_spans,
+)
 
 __all__ = [
     "CONTENT_TYPE",
@@ -61,7 +75,14 @@ __all__ = [
     "QueryLogEvent",
     "SITES",
     "SlowQueryLog",
+    "Span",
+    "SpanCapture",
+    "SpanRecorder",
+    "SpanStore",
     "TelemetryServer",
+    "bind_recorder",
+    "check_chrome_trace",
+    "current_recorder",
     "disabled",
     "enabled",
     "excerpt",
@@ -72,5 +93,10 @@ __all__ = [
     "render_prometheus",
     "set_enabled",
     "set_registry",
+    "set_spans",
+    "span",
+    "spans_enabled",
+    "to_chrome_trace",
     "use_registry",
+    "use_spans",
 ]

@@ -122,6 +122,36 @@ SITES: Dict[str, Tuple[str, str, str]] = {
         "repro_legacy_retries_total",
         "Requests retried on the legacy join path",
     ),
+    "planner.bump": (
+        "counter",
+        "repro_planner_bumps_total",
+        "Cached plans evicted by the feedback re-coster",
+    ),
+    "spans.request": (
+        "counter",
+        "repro_span_requests_total",
+        "Requests recorded as full span trees",
+    ),
+    "spans.slow": (
+        "counter",
+        "repro_span_slow_captures_total",
+        "Span captures auto-retained by the slow-query threshold",
+    ),
+    "spans.export": (
+        "counter",
+        "repro_span_exports_total",
+        "Chrome-trace exports rendered (/trace and profile --spans)",
+    ),
+    "calibration.loaded": (
+        "gauge",
+        "repro_calibration_loaded",
+        "Whether a measured cost-model calibration table is active",
+    ),
+    "calibration.applied": (
+        "counter",
+        "repro_calibration_applied_total",
+        "Plans costed with calibrated (measured) constants",
+    ),
 }
 
 _CARDINALITY_SITES = frozenset({"evaluator.trees", "matcher.trees"})

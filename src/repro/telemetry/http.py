@@ -1,4 +1,4 @@
-"""Embedded HTTP exposition: /metrics, /stats, /healthz and /slow.
+"""Embedded HTTP exposition: metrics, stats, traces and workers.
 
 A tiny stdlib ``ThreadingHTTPServer`` running on a daemon thread next
 to a :class:`~repro.service.QueryService`.  It serves:
@@ -9,7 +9,12 @@ to a :class:`~repro.service.QueryService`.  It serves:
   snapshot, per-query-class latency percentiles, registry snapshot;
 * ``GET /healthz`` — liveness: ``{"status": "ok", ...}``;
 * ``GET /slow``    — JSON: the slow-query ring, newest last, each
-  entry carrying its captured per-operator trace.
+  entry carrying its captured per-operator trace;
+* ``GET /trace``   — JSON: resident span captures (trace ids + spans);
+* ``GET /trace/<id>`` — one capture as Chrome-trace-event JSON — save
+  the body and load it in Perfetto / ``chrome://tracing``;
+* ``GET /workers`` — JSON: per-worker-process introspection (requests
+  served, plans cached by plan hash, snapshot load ms, heartbeat).
 
 The server binds ``127.0.0.1`` by default — telemetry is an operator
 surface, not a public one — and ``port=0`` picks an ephemeral port
@@ -26,7 +31,8 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from .exposition import CONTENT_TYPE, render_prometheus
 from .exposition import work_counter_families
-from .hooks import get_registry
+from .hooks import get_registry, instrument
+from .spans import to_chrome_trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..service.service import QueryService
@@ -80,6 +86,52 @@ class TelemetryServer:
                 [(None, float(len(self.service.slow_log)))],
             )
         )
+        extras.append(
+            (
+                "repro_span_store_size",
+                "Span captures currently resident behind /trace",
+                "gauge",
+                [(None, float(len(self.service.span_store)))],
+            )
+        )
+        workers = self.service.workers()
+        extras.append(
+            (
+                "repro_workers_in_flight",
+                "Requests currently dispatched to worker processes",
+                "gauge",
+                [(None, float(workers["in_flight"]))],
+            )
+        )
+        if workers["workers"]:
+            extras.append(
+                (
+                    "repro_worker_requests",
+                    "Requests served, per worker process",
+                    "gauge",
+                    [
+                        (
+                            {"pid": str(entry["pid"])},
+                            float(entry["requests"]),
+                        )
+                        for entry in workers["workers"]
+                    ],
+                )
+            )
+            extras.append(
+                (
+                    "repro_worker_snapshot_load_ms",
+                    "Database materialization time per worker process",
+                    "gauge",
+                    [
+                        (
+                            {"pid": str(entry["pid"])},
+                            float(entry["snapshot_load_ms"] or 0.0),
+                        )
+                        for entry in workers["workers"]
+                    ],
+                )
+            )
         return render_prometheus(get_registry(), extras)
 
     def stats_payload(self) -> dict:
@@ -102,6 +154,26 @@ class TelemetryServer:
             "captured": self.service.slow_log.captured,
             "slow": [record.to_dict() for record in records],
         }
+
+    def trace_index_payload(self) -> dict:
+        store = self.service.span_store
+        return {
+            "spans_enabled": self.service.spans,
+            "stored": store.stored,
+            "dropped": store.dropped,
+            "traces": [cap.to_dict() for cap in store.tail()],
+        }
+
+    def trace_payload(self, trace_id: str) -> Optional[dict]:
+        """One capture as Chrome-trace JSON; None when not resident."""
+        capture = self.service.span_store.get(trace_id)
+        if capture is None:
+            return None
+        instrument("spans.export")
+        return to_chrome_trace([capture])
+
+    def workers_payload(self) -> dict:
+        return self.service.workers()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -141,6 +213,38 @@ class TelemetryServer:
                     elif path == "/slow":
                         self._send(
                             _json_bytes(server.slow_payload()),
+                            "application/json",
+                        )
+                    elif path == "/trace":
+                        self._send(
+                            _json_bytes(server.trace_index_payload()),
+                            "application/json",
+                        )
+                    elif path.startswith("/trace/"):
+                        trace_id = path[len("/trace/"):]
+                        payload = server.trace_payload(trace_id)
+                        if payload is None:
+                            self._send(
+                                _json_bytes(
+                                    {
+                                        "error": "unknown trace id",
+                                        "trace_id": trace_id,
+                                        "resident": (
+                                            server.service.span_store.ids()
+                                        ),
+                                    }
+                                ),
+                                "application/json",
+                                status=404,
+                            )
+                        else:
+                            self._send(
+                                _json_bytes(payload),
+                                "application/json",
+                            )
+                    elif path == "/workers":
+                        self._send(
+                            _json_bytes(server.workers_payload()),
                             "application/json",
                         )
                     else:
@@ -206,7 +310,15 @@ class TelemetryServer:
 
 
 #: Paths the server answers (listed in 404 responses and the docs).
-ENDPOINTS: List[str] = ["/metrics", "/stats", "/healthz", "/slow"]
+ENDPOINTS: List[str] = [
+    "/metrics",
+    "/stats",
+    "/healthz",
+    "/slow",
+    "/trace",
+    "/trace/<id>",
+    "/workers",
+]
 
 
 def _json_bytes(payload: dict) -> bytes:

@@ -162,3 +162,58 @@ def test_service_bumps_an_evicted_plan_and_counts_it(
         # the recompile after the bump plans with the parked overrides
         result = svc.execute(query)
         assert len(result) > 0
+
+
+class TestFeedbackPersistence:
+    """save()/load(): the JSON round-trip behind serve --feedback-file."""
+
+    def _key(self, text):
+        from repro.service.cache import PlanCacheKey
+
+        return PlanCacheKey(text=text, engine="tlc", optimize=True)
+
+    def test_round_trip_preserves_entries_and_order(self, tmp_path):
+        store = FeedbackStore()
+        store.remember(self._key("Q1"), {0: 10, 3: 250})
+        store.remember(self._key("Q2"), {1: 7})
+        path = tmp_path / "feedback.json"
+        assert store.save(str(path)) == 2
+
+        fresh = FeedbackStore()
+        assert fresh.load(str(path)) == 2
+        assert fresh.overrides_for(self._key("Q1")) == {0: 10, 3: 250}
+        assert fresh.overrides_for(self._key("Q2")) == {1: 7}
+        assert len(fresh) == 2
+
+    def test_non_cache_keys_are_skipped_on_save(self, tmp_path):
+        store = FeedbackStore()
+        store.remember("ad-hoc test key", {0: 1})
+        store.remember(self._key("Q1"), {0: 2})
+        path = tmp_path / "feedback.json"
+        assert store.save(str(path)) == 1
+        fresh = FeedbackStore()
+        assert fresh.load(str(path)) == 1
+        assert fresh.overrides_for(self._key("Q1")) == {0: 2}
+
+    def test_load_tolerates_missing_and_malformed_files(self, tmp_path):
+        store = FeedbackStore()
+        assert store.load(str(tmp_path / "nope.json")) == 0
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        assert store.load(str(broken)) == 0
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text('{"version": 99, "entries": []}')
+        assert store.load(str(wrong)) == 0
+        assert len(store) == 0
+
+    def test_service_round_trips_through_feedback_path(
+        self, xmark_engine, tmp_path
+    ):
+        """serve --feedback-file: saved on close, loaded on start."""
+        path = tmp_path / "feedback.json"
+        key = self._key("Q_persist")
+        with xmark_engine.service(threads=1, feedback_path=str(path)) as svc:
+            svc.feedback.remember(key, {2: 99})
+        assert path.exists()
+        with xmark_engine.service(threads=1, feedback_path=str(path)) as svc:
+            assert svc.feedback.overrides_for(key) == {2: 99}

@@ -1,0 +1,283 @@
+"""Unit tests for the span layer: recorder, store, Chrome export.
+
+Service integration (real requests under fork/spawn) lives in
+``tests/service/test_service_spans.py``; these tests pin the building
+blocks — nesting semantics, the clamped cross-process merge, the dual
+store rings, and the export contract ``check_chrome_trace`` verifies.
+"""
+
+import threading
+
+import pytest
+
+from repro.telemetry.spans import (
+    SpanCapture,
+    SpanRecorder,
+    SpanStore,
+    bind_recorder,
+    check_chrome_trace,
+    current_recorder,
+    set_spans,
+    span,
+    spans_enabled,
+    to_chrome_trace,
+    use_spans,
+)
+
+
+class TestToggle:
+    def test_disabled_by_default(self):
+        assert spans_enabled() is False
+
+    def test_use_spans_scopes_and_restores(self):
+        with use_spans(True):
+            assert spans_enabled() is True
+        assert spans_enabled() is False
+
+    def test_set_spans_returns_previous(self):
+        assert set_spans(True) is False
+        try:
+            assert set_spans(False) is True
+        finally:
+            set_spans(False)
+
+
+class TestRecorder:
+    def test_root_request_span_opens_at_birth(self):
+        recorder = SpanRecorder("abc123")
+        capture = recorder.finish()
+        assert capture.trace_id == "abc123"
+        assert capture.spans[0].name == "request"
+        assert capture.spans[0].parent is None
+
+    def test_spans_nest_under_the_innermost_open_span(self):
+        recorder = SpanRecorder()
+        with recorder.span("outer") as outer:
+            with recorder.span("inner") as inner:
+                pass
+        capture = recorder.finish()
+        spans = {s.sid: s for s in capture.spans}
+        assert spans[inner].parent == outer
+        assert spans[outer].parent == 0  # the request root
+
+    def test_end_is_idempotent_and_closes_abandoned_children(self):
+        recorder = SpanRecorder()
+        outer = recorder.begin("outer")
+        inner = recorder.begin("inner")
+        recorder.end(outer)  # inner never explicitly closed
+        first_end = recorder.finish().spans[inner].end
+        recorder.end(inner)
+        assert recorder.finish().spans[inner].end == first_end
+
+    def test_finish_closes_everything_and_stamps_status(self):
+        recorder = SpanRecorder()
+        recorder.begin("open")
+        capture = recorder.finish(status="error", slow=True)
+        assert capture.status == "error"
+        assert capture.slow is True
+        assert all(s.end is not None for s in capture.spans)
+
+    def test_timeline_is_monotonic_within_a_trace(self):
+        recorder = SpanRecorder()
+        with recorder.span("a"):
+            pass
+        with recorder.span("b"):
+            pass
+        capture = recorder.finish()
+        a, b = capture.spans[1], capture.spans[2]
+        assert a.start <= a.end <= b.start <= b.end
+
+    def test_annotate_merges_tags(self):
+        recorder = SpanRecorder()
+        sid = recorder.begin("phase", tags={"engine": "tlc"})
+        recorder.annotate(sid, cache_hit=True)
+        recorder.end(sid)
+        tags = recorder.finish().spans[sid].tags
+        assert tags == {"engine": "tlc", "cache_hit": True}
+
+
+class TestAddRemote:
+    def test_remote_records_map_through_the_wall_clock(self):
+        recorder = SpanRecorder()
+        parent = recorder.begin("dispatch")
+        records = [
+            {
+                "name": "worker",
+                "start": recorder.wall0 + 0.010,
+                "end": recorder.wall0 + 0.020,
+            },
+            {
+                "name": "worker.execute",
+                "start": recorder.wall0 + 0.012,
+                "end": recorder.wall0 + 0.018,
+                "parent": "worker",
+            },
+        ]
+        sids = recorder.add_remote(records, parent=parent, pid=4242)
+        recorder.end(parent)
+        capture = recorder.finish()
+        worker, execute = (capture.spans[s] for s in sids)
+        assert worker.pid == 4242 and execute.pid == 4242
+        assert worker.parent == parent
+        # the remote parent reference resolved to the merged worker span
+        assert execute.parent == worker.sid
+        assert worker.start == pytest.approx(0.010, abs=5e-3)
+        assert execute.seconds == pytest.approx(0.006, abs=1e-4)
+
+    def test_window_clamps_skewed_remote_endpoints(self):
+        recorder = SpanRecorder()
+        parent = recorder.begin("dispatch")
+        # a worker clock skewed far outside the dispatch window
+        records = [
+            {
+                "name": "worker",
+                "start": recorder.wall0 - 5.0,
+                "end": recorder.wall0 + 5.0,
+            }
+        ]
+        (sid,) = recorder.add_remote(
+            records, parent=parent, pid=1, window=(0.001, 0.002)
+        )
+        recorder.end(parent)
+        worker = recorder.finish().spans[sid]
+        assert 0.001 <= worker.start <= worker.end <= 0.002
+
+
+class TestThreadCurrentRecorder:
+    def test_module_span_is_a_noop_without_a_recorder(self):
+        assert current_recorder() is None
+        with span("parse"):  # must not raise, must not record
+            pass
+
+    def test_module_span_records_on_the_bound_recorder(self):
+        recorder = SpanRecorder()
+        with bind_recorder(recorder):
+            assert current_recorder() is recorder
+            with span("parse", engine="tlc"):
+                pass
+        assert current_recorder() is None
+        names = [s.name for s in recorder.finish().spans]
+        assert "parse" in names
+
+    def test_binding_is_thread_local(self):
+        recorder = SpanRecorder()
+        seen = {}
+
+        def other_thread():
+            seen["recorder"] = current_recorder()
+
+        with bind_recorder(recorder):
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        assert seen["recorder"] is None
+
+
+def _capture(trace_id: str, slow: bool = False) -> SpanCapture:
+    recorder = SpanRecorder(trace_id)
+    with recorder.span("phase"):
+        pass
+    return recorder.finish(slow=slow)
+
+
+class TestSpanStore:
+    def test_put_get_roundtrip(self):
+        store = SpanStore()
+        capture = _capture("t1")
+        store.put(capture)
+        assert store.get("t1") is capture
+        assert store.get("missing") is None
+        assert store.ids() == ["t1"]
+
+    def test_main_ring_evicts_oldest(self):
+        store = SpanStore(capacity=2, slow_capacity=2)
+        for tid in ("t1", "t2", "t3"):
+            store.put(_capture(tid))
+        assert store.get("t1") is None
+        assert store.ids() == ["t2", "t3"]
+        assert store.stored == 3
+        assert store.dropped == 1
+
+    def test_slow_ring_survives_a_flood_of_fast_requests(self):
+        store = SpanStore(capacity=2, slow_capacity=2)
+        store.put(_capture("slow1", slow=True))
+        for i in range(5):
+            store.put(_capture(f"fast{i}"))
+        # evicted from the main ring, still resident via the slow ring
+        assert store.get("slow1") is not None
+        assert "slow1" in store.ids()
+
+    def test_rejects_nonpositive_capacities(self):
+        with pytest.raises(ValueError):
+            SpanStore(capacity=0)
+
+
+class TestChromeExport:
+    def test_export_passes_its_own_checker(self):
+        recorder = SpanRecorder("deadbeef00000001")
+        with recorder.span("prepare"):
+            with recorder.span("parse"):
+                pass
+        parent = recorder.begin("dispatch")
+        recorder.add_remote(
+            [
+                {
+                    "name": "worker",
+                    "start": recorder.wall0,
+                    "end": recorder.wall0 + 0.001,
+                }
+            ],
+            parent=parent,
+            pid=99999,
+            window=(recorder.start_of(parent), recorder.now()),
+        )
+        recorder.end(parent)
+        payload = to_chrome_trace([recorder.finish()])
+        assert check_chrome_trace(payload) == []
+
+    def test_worker_spans_land_on_their_own_pid_track(self):
+        recorder = SpanRecorder()
+        parent = recorder.begin("dispatch")
+        recorder.add_remote(
+            [
+                {
+                    "name": "worker",
+                    "start": recorder.wall0,
+                    "end": recorder.wall0 + 0.001,
+                }
+            ],
+            parent=parent,
+            pid=54321,
+        )
+        recorder.end(parent)
+        payload = to_chrome_trace([recorder.finish()])
+        pids = {
+            e["pid"] for e in payload["traceEvents"] if e["ph"] != "M"
+        }
+        assert 54321 in pids and len(pids) == 2
+        # each pid track gets a process_name metadata event
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert {e["pid"] for e in meta} == pids
+
+    def test_multiple_captures_are_offset_not_interleaved(self):
+        captures = [_capture("t1"), _capture("t2")]
+        payload = to_chrome_trace(captures)
+        assert check_chrome_trace(payload) == []
+        by_trace = {}
+        for event in payload["traceEvents"]:
+            if event["ph"] == "B":
+                tid = event["args"]["trace_id"]
+                by_trace.setdefault(tid, []).append(event["ts"])
+        assert max(by_trace["t1"]) < min(by_trace["t2"])
+
+    def test_checker_flags_unsorted_and_unmatched_events(self):
+        broken = {
+            "traceEvents": [
+                {"name": "a", "ph": "B", "pid": 1, "tid": 0, "ts": 10.0},
+                {"name": "a", "ph": "E", "pid": 1, "tid": 0, "ts": 5.0},
+                {"name": "b", "ph": "B", "pid": 1, "tid": 0, "ts": 6.0},
+            ]
+        }
+        problems = check_chrome_trace(broken)
+        assert any("ts" in p for p in problems)
+        assert any("unclosed" in p for p in problems)

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """End-to-end telemetry smoke test: serve --http, scrape, validate.
 
-Starts ``python -m repro serve xmark:0.002 --http 0 --slow-ms 0`` as a
+Starts ``python -m repro serve xmark:0.002 --http 0 --slow-ms 0
+--spans --mode process --workers 2 --query-log <tmp>`` as a
 subprocess, keeps its stdin pipe open while scraping the announced
 endpoints, then feeds it queries and checks that:
 
@@ -10,10 +11,19 @@ endpoints, then feeds it queries and checks that:
   and counts the served requests;
 * ``/stats`` reports the executions with latency percentiles;
 * ``/slow`` holds a capture with a per-operator trace (every request
-  is slow at ``--slow-ms 0``).
+  is slow at ``--slow-ms 0``);
+* ``/trace`` lists one span capture per request, ``/trace/<id>``
+  round-trips as Chrome-trace-event JSON that passes the schema
+  checker (non-decreasing ``ts``, matched ``B``/``E`` pairs) and
+  carries worker-side spans;
+* ``/workers`` reports both worker processes with their served
+  request counts;
+* every query-log JSONL record's ``trace_id`` joins against a
+  resident ``/trace`` capture.
 
 Run from the repo root: ``python tools/telemetry_smoke.py``.  Exit 0
-on success; failures print a reason and exit 1.  Stdlib only.
+on success; failures print a reason and exit 1.  Stdlib plus the
+in-repo ``repro.telemetry.spans`` checker only.
 """
 
 from __future__ import annotations
@@ -28,8 +38,11 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO / "tools"))
+sys.path.insert(0, str(REPO / "src"))
 
 from promformat import parse_exposition  # noqa: E402
+
+from repro.telemetry.spans import check_chrome_trace  # noqa: E402
 
 QUERIES = [
     'FOR $p IN document("auction.xml")//person RETURN $p/name',
@@ -45,13 +58,17 @@ def _get(base: str, path: str) -> bytes:
 def main() -> int:
     env_path = str(REPO / "src")
     import os
+    import tempfile
 
     env = dict(os.environ)
     env["PYTHONPATH"] = env_path + os.pathsep + env.get("PYTHONPATH", "")
+    query_log = Path(tempfile.mkstemp(suffix=".jsonl")[1])
     proc = subprocess.Popen(
         [
             sys.executable, "-m", "repro", "serve", "xmark:0.002",
             "--http", "0", "--slow-ms", "0",
+            "--spans", "--mode", "process", "--workers", "2",
+            "--query-log", str(query_log),
         ],
         stdin=subprocess.PIPE,
         stdout=subprocess.DEVNULL,
@@ -62,8 +79,16 @@ def main() -> int:
     )
     try:
         assert proc.stderr is not None and proc.stdin is not None
-        line = proc.stderr.readline()
-        match = re.search(r"http://[\d.]+:\d+", line)
+        # --mode process announces the worker fleet first; scan stderr
+        # lines until the telemetry address shows up
+        match = None
+        for _ in range(10):
+            line = proc.stderr.readline()
+            if not line:
+                break
+            match = re.search(r"http://[\d.]+:\d+", line)
+            if match:
+                break
         if not match:
             print(f"smoke: no telemetry address in {line!r}")
             return 1
@@ -121,20 +146,93 @@ def main() -> int:
             print("smoke: no slow capture carries a trace")
             return 1
 
+        # span captures: /trace index, per-id Chrome round-trip
+        index = json.loads(_get(base, "/trace"))
+        if not index.get("spans_enabled"):
+            print(f"smoke: /trace reports spans disabled: {index}")
+            return 1
+        traces = index.get("traces", [])
+        if len(traces) < len(QUERIES):
+            print(f"smoke: /trace holds {len(traces)} captures < 2")
+            return 1
+        for entry in traces:
+            chrome = json.loads(_get(base, f"/trace/{entry['trace_id']}"))
+            problems = check_chrome_trace(chrome)
+            if problems:
+                print(
+                    f"smoke: /trace/{entry['trace_id']} export is "
+                    f"malformed: {problems}"
+                )
+                return 1
+            names = {
+                event.get("name")
+                for event in chrome["traceEvents"]
+                if event.get("ph") == "B"
+            }
+            if "worker.execute" not in names:
+                print(
+                    f"smoke: trace {entry['trace_id']} never crossed "
+                    f"the worker boundary: {sorted(names)}"
+                )
+                return 1
+
+        # worker introspection
+        workers = json.loads(_get(base, "/workers"))
+        if workers.get("mode") != "process":
+            print(f"smoke: /workers mode {workers.get('mode')!r}")
+            return 1
+        fleet = workers.get("workers", [])
+        if len(fleet) != 2:
+            print(f"smoke: /workers lists {len(fleet)} workers != 2")
+            return 1
+        served = sum(entry.get("requests", 0) for entry in fleet)
+        if served < len(QUERIES):
+            print(f"smoke: workers served {served} < {len(QUERIES)}")
+            return 1
+        if "repro_worker_requests" not in families and not any(
+            f.startswith("repro_worker_requests")
+            for f in parse_exposition(_get(base, "/metrics").decode())
+        ):
+            print("smoke: /metrics misses repro_worker_requests")
+            return 1
+
         proc.stdin.close()
         if proc.wait(timeout=60) != 0:
             print(f"smoke: serve exited {proc.returncode}")
             print(proc.stderr.read(), file=sys.stderr)
             return 1
+
+        # the query log joins against the exported span captures
+        resident = {entry["trace_id"] for entry in traces}
+        events = [
+            json.loads(line)
+            for line in query_log.read_text().splitlines()
+            if line.strip()
+        ]
+        if len(events) < len(QUERIES):
+            print(f"smoke: query log holds {len(events)} records < 2")
+            return 1
+        unjoined = [
+            event["trace_id"]
+            for event in events
+            if event.get("trace_id") not in resident
+        ]
+        if unjoined:
+            print(f"smoke: log trace_ids not in /trace: {unjoined}")
+            return 1
+
         print(
             f"smoke: OK ({len(families)} metric families, "
             f"{int(requests_total)} requests, "
-            f"{slow['captured']} slow captures)"
+            f"{slow['captured']} slow captures, {len(traces)} span "
+            f"captures joined to {len(events)} log records, "
+            f"{served} requests across {len(fleet)} workers)"
         )
         return 0
     finally:
         if proc.poll() is None:
             proc.kill()
+        query_log.unlink(missing_ok=True)
 
 
 if __name__ == "__main__":
